@@ -1,0 +1,120 @@
+// Ablation: RFC 8198 aggressive NSEC caching against the NX pattern.
+//
+// The paper notes (§2.3) that pseudo-random-subdomain (NX) cache bypassing
+// "can be suppressed by a resolver that implements DNSSEC-validated cache",
+// but that DNSSEC adoption is low. This bench quantifies the claim on our
+// stack: an NX attacker against (1) a vanilla resolver, (2) a resolver with
+// aggressive NSEC caching over a signed zone, and (3) DCC without NSEC —
+// reporting the load that actually reaches the victim's nameserver and the
+// benign client's fate.
+
+#include <cstdio>
+
+#include "src/attack/patterns.h"
+#include "src/attack/testbed.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+const Name& TargetApex() {
+  static const Name apex = *Name::Parse("target-domain");
+  return apex;
+}
+
+struct Outcome {
+  double benign_success = 0;
+  double ans_load_qps = 0;
+  uint64_t nsec_synthesized = 0;
+};
+
+Outcome Run(bool aggressive_nsec, bool dcc_enabled) {
+  Testbed bed;
+  bed.network().SetDelayJitter(Milliseconds(5));
+  const Duration horizon = Seconds(30);
+
+  const HostAddress ans_addr = bed.NextAddress();
+  AuthoritativeConfig auth_config;
+  auth_config.rrl.enabled = true;  // 100-QPS channel as in Fig. 3/4.
+  auth_config.rrl.noerror_qps = 100;
+  auth_config.rrl.nxdomain_qps = 100;
+  auth_config.rrl.per_class = false;
+  AuthoritativeServer& ans = bed.AddAuthoritative(ans_addr, auth_config);
+  Zone zone = MakeTargetZone(TargetApex(), ans_addr);
+  zone.EnableNsec();  // The zone is signed either way; caching is opt-in.
+  ans.AddZone(std::move(zone));
+  ans.EnableQueryLog(horizon + Seconds(2));
+
+  const HostAddress resolver_addr = bed.NextAddress();
+  ResolverConfig resolver_config;
+  resolver_config.aggressive_nsec = aggressive_nsec;
+  RecursiveResolver* resolver = nullptr;
+  if (dcc_enabled) {
+    DccConfig dcc;
+    dcc.scheduler.default_channel_qps = 100;
+    dcc.scheduler.max_poq_depth = 10;
+    auto [shim, resolver_ref] = bed.AddDccResolver(resolver_addr, dcc, resolver_config);
+    shim.SetChannelCapacity(ans_addr, 100);
+    resolver = &resolver_ref;
+  } else {
+    resolver = &bed.AddResolver(resolver_addr, resolver_config);
+  }
+  resolver->AddAuthorityHint(TargetApex(), ans_addr);
+
+  StubConfig attacker_config;
+  attacker_config.qps = 300;  // NX flood well above the channel capacity.
+  attacker_config.stop = horizon;
+  attacker_config.timeout = Milliseconds(900);
+  attacker_config.series_horizon = horizon + Seconds(2);
+  StubClient& attacker = bed.AddStub(bed.NextAddress(), attacker_config,
+                                     MakeNxGenerator(TargetApex(), 1));
+  attacker.AddResolver(resolver_addr);
+  attacker.Start();
+
+  StubConfig benign_config;
+  benign_config.qps = 20;
+  benign_config.stop = horizon;
+  benign_config.timeout = Milliseconds(900);
+  benign_config.series_horizon = horizon + Seconds(2);
+  StubClient& benign = bed.AddStub(bed.NextAddress(), benign_config,
+                                   MakeWcGenerator(TargetApex(), 2));
+  benign.AddResolver(resolver_addr);
+  benign.Start();
+
+  bed.RunFor(horizon + Seconds(3));
+
+  Outcome outcome;
+  outcome.benign_success = benign.SuccessRatio();
+  outcome.ans_load_qps =
+      static_cast<double>(ans.queries_received()) / ToSeconds(horizon);
+  outcome.nsec_synthesized = resolver->nsec_synthesized();
+  return outcome;
+}
+
+}  // namespace
+}  // namespace dcc
+
+int main() {
+  std::printf("Aggressive NSEC caching (RFC 8198) vs the NX pattern\n");
+  std::printf("(NX attacker 300 QPS + benign WC client 20 QPS, 100-QPS channel)\n\n");
+  std::printf("%-34s %14s %14s %16s\n", "configuration", "benign ok", "ANS load(QPS)",
+              "NSEC synthesized");
+  struct Config {
+    const char* label;
+    bool nsec;
+    bool dcc;
+  };
+  for (const Config& config : {Config{"vanilla resolver", false, false},
+                               Config{"resolver + aggressive NSEC", true, false},
+                               Config{"DCC (no NSEC)", false, true},
+                               Config{"DCC + aggressive NSEC", true, true}}) {
+    const dcc::Outcome outcome = dcc::Run(config.nsec, config.dcc);
+    std::printf("%-34s %14.2f %14.0f %16llu\n", config.label, outcome.benign_success,
+                outcome.ans_load_qps,
+                static_cast<unsigned long long>(outcome.nsec_synthesized));
+  }
+  std::printf("\nAggressive NSEC collapses the NX attack at the source (one\n");
+  std::printf("cached denial covers the whole empty subtree), while DCC\n");
+  std::printf("guarantees the benign client's share even without DNSSEC.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 9 — efficacy of DCC's in-band signaling on a resolution path.
+//
+// Forwarder and recursive resolver are both DCC-enabled; the attacker, heavy
+// and light clients sit behind the forwarder while the medium client queries
+// the resolver directly (§5.1). Two attacker patterns (NX at 200 QPS, FF at
+// 20 QPS), each run with the signaling mechanism off and on. Without
+// signals, the resolver polices the whole forwarder and its benign clients
+// share the attacker's fate; with signals, the forwarder convicts the real
+// culprit before that happens.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/attack/scenarios.h"
+
+namespace dcc {
+namespace {
+
+void PrintSeries(const ScenarioResult& result, bool ff_attacker) {
+  std::printf("%-10s", "t(s)");
+  for (const auto& client : result.clients) {
+    std::printf("%10s", client.label.c_str());
+  }
+  std::printf("\n");
+  const size_t seconds = result.clients.front().effective_qps.size();
+  for (size_t t = 0; t < seconds; t += 2) {
+    std::printf("%-10zu", t);
+    for (const auto& client : result.clients) {
+      double value = client.effective_qps[t];
+      if (ff_attacker && client.label == "Attacker") {
+        double benign = 0;
+        for (const auto& other : result.clients) {
+          if (other.label != "Attacker") {
+            benign += other.effective_qps[t];
+          }
+        }
+        value = std::max(0.0, result.ans_qps[t] - benign);
+      }
+      std::printf("%10.0f", value);
+    }
+    std::printf("\n");
+  }
+}
+
+void RunPattern(const char* title, QueryPattern pattern, double attacker_qps) {
+  std::printf("\n=== Scenario: %s (attacker %.0f QPS) ===\n", title, attacker_qps);
+  for (bool signaling : {false, true}) {
+    SignalingOptions options;
+    options.signaling_enabled = signaling;
+    options.attacker_pattern = pattern;
+    options.attacker_qps = attacker_qps;
+    const ScenarioResult result = RunSignalingScenario(options);
+    std::printf("\n--- signaling %s ---\n", signaling ? "ON" : "OFF");
+    PrintSeries(result, pattern == QueryPattern::kFf);
+    std::printf("summary:");
+    for (const auto& client : result.clients) {
+      std::printf("  %s=%.2f", client.label.c_str(), client.success_ratio);
+    }
+    std::printf("  [convictions=%llu policed=%llu signals=%llu]\n",
+                static_cast<unsigned long long>(result.dcc_convictions),
+                static_cast<unsigned long long>(result.dcc_policed_drops),
+                static_cast<unsigned long long>(result.dcc_signals_attached));
+  }
+}
+
+}  // namespace
+}  // namespace dcc
+
+int main() {
+  std::printf("Fig. 9 — anomaly monitoring, policing and signaling on a\n");
+  std::printf("forwarder -> resolver path (channel 1000 QPS; heavy/light behind\n");
+  std::printf("the forwarder, medium direct at the resolver)\n");
+  dcc::RunPattern("(a) NX pattern", dcc::QueryPattern::kNx, 200);
+  dcc::RunPattern("(b) FF amplification pattern", dcc::QueryPattern::kFf, 20);
+  return 0;
+}

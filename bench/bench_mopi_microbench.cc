@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks for MOPI-FQ (§5.2): enqueue/dequeue cost
+// scaling with the number of active output channels (expected O(log |O|)
+// from the out_seq ordered map) and with the number of sources (expected
+// O(1)), plus comparisons against the baseline schedulers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/dcc/baseline_schedulers.h"
+#include "src/dcc/mopi_fq.h"
+
+namespace dcc {
+namespace {
+
+void BM_MopiEnqueueDequeue_Channels(benchmark::State& state) {
+  const auto channels = static_cast<uint64_t>(state.range(0));
+  MopiFqConfig config;
+  config.pool_capacity = 1 << 20;
+  config.default_channel_qps = 1e9;
+  MopiFq fq(config);
+  Rng rng(1);
+  // Keep every channel active with one queued message.
+  for (uint64_t c = 0; c < channels; ++c) {
+    fq.Enqueue(SchedMessage{1, static_cast<OutputId>(c + 1), 0, c}, 0);
+  }
+  Time now = 0;
+  for (auto _ : state) {
+    now += 10;
+    const auto out = static_cast<OutputId>(1 + rng.NextBelow(channels));
+    fq.Enqueue(SchedMessage{1 + static_cast<SourceId>(rng.NextBelow(16)), out, now, 0},
+               now);
+    benchmark::DoNotOptimize(fq.Dequeue(now));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MopiEnqueueDequeue_Channels)->RangeMultiplier(8)->Range(8, 1 << 15);
+
+void BM_MopiEnqueueDequeue_Sources(benchmark::State& state) {
+  const auto sources = static_cast<uint64_t>(state.range(0));
+  MopiFqConfig config;
+  config.pool_capacity = 1 << 20;
+  config.default_channel_qps = 1e9;  // Paper defaults otherwise (depth 100,
+                                     // 75 rounds) - sources cost O(1).
+  MopiFq fq(config);
+  Rng rng(2);
+  Time now = 0;
+  for (auto _ : state) {
+    now += 10;
+    fq.Enqueue(SchedMessage{static_cast<SourceId>(1 + rng.NextBelow(sources)), 7, now, 0},
+               now);
+    benchmark::DoNotOptimize(fq.Dequeue(now));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MopiEnqueueDequeue_Sources)->RangeMultiplier(8)->Range(8, 1 << 15);
+
+void BM_MopiPoolPressure(benchmark::State& state) {
+  // Enqueue/dequeue with queues near their depth limit: exercises the
+  // eviction path.
+  MopiFqConfig config;
+  config.pool_capacity = 4096;
+  config.max_poq_depth = 64;
+  config.default_channel_qps = 1e4;
+  MopiFq fq(config);
+  Rng rng(3);
+  Time now = 0;
+  for (auto _ : state) {
+    now += 20;
+    fq.Enqueue(SchedMessage{static_cast<SourceId>(1 + rng.NextBelow(32)),
+                            static_cast<OutputId>(1 + rng.NextBelow(8)), now, 0},
+               now);
+    if (rng.NextBool(0.5)) {
+      benchmark::DoNotOptimize(fq.Dequeue(now));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MopiPoolPressure);
+
+void BM_SchedulerComparison(benchmark::State& state, const char* name) {
+  BaselineConfig config;
+  config.max_queue_depth = 100;
+  config.default_channel_qps = 1e9;
+  auto scheduler = MakeSchedulerByName(name, config);
+  Rng rng(4);
+  Time now = 0;
+  for (auto _ : state) {
+    now += 10;
+    scheduler->Enqueue(SchedMessage{static_cast<SourceId>(1 + rng.NextBelow(64)),
+                                    static_cast<OutputId>(1 + rng.NextBelow(256)), now, 0},
+                       now);
+    benchmark::DoNotOptimize(scheduler->Dequeue(now));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_SchedulerComparison, mopi, "mopi");
+BENCHMARK_CAPTURE(BM_SchedulerComparison, fifo, "fifo");
+BENCHMARK_CAPTURE(BM_SchedulerComparison, input, "input");
+BENCHMARK_CAPTURE(BM_SchedulerComparison, leapfrog, "leapfrog");
+BENCHMARK_CAPTURE(BM_SchedulerComparison, isolated, "isolated");
+BENCHMARK_CAPTURE(BM_SchedulerComparison, output, "output");
+
+}  // namespace
+}  // namespace dcc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Using MOPI-FQ as a standalone library component.
+//
+// The scheduler has no dependency on the DNS or simulator layers: you feed
+// it (source, output, arrival, cookie) tuples with explicit timestamps and
+// drain it against per-channel token buckets. This example schedules three
+// tenants with 2:1:1 weighted shares over two rate-limited channels and
+// prints the per-tenant goodput against the analytic expectation.
+//
+// Build & run:  ./build/examples/mopi_scheduler
+
+#include <cstdio>
+#include <vector>
+
+#include "src/dcc/mopi_fq.h"
+
+int main() {
+  using namespace dcc;
+
+  MopiFqConfig config;
+  config.pool_capacity = 10000;  // Shared entry pool for all channels.
+  config.max_poq_depth = 100;    // Per-channel queue depth.
+  config.max_rounds = 75;        // Per-source scheduling horizon.
+  MopiFq scheduler(config);
+
+  // Two output channels with different capacities.
+  scheduler.SetChannelCapacity(/*output=*/1, /*qps=*/300);
+  scheduler.SetChannelCapacity(/*output=*/2, /*qps=*/100);
+
+  // Tenant 1 pays for a double share (Appendix B.1.3).
+  scheduler.SetSourceShare(/*source=*/1, 2.0);
+
+  // Offer 20 s of traffic: every tenant sends 400 QPS to channel 1 and
+  // 200 QPS to channel 2 — both channels are oversubscribed.
+  const Duration horizon = Seconds(20);
+  std::vector<double> delivered_ch1(3, 0);
+  std::vector<double> delivered_ch2(3, 0);
+  uint64_t rejected = 0;
+
+  Time now = 0;
+  const Duration step = Milliseconds(1);
+  for (now = 0; now < horizon; now += step) {
+    for (SourceId tenant = 1; tenant <= 3; ++tenant) {
+      // 400 QPS => 0.4 messages per 1 ms step; send on modulo schedule.
+      if ((now / step) % 5 < 2) {
+        if (scheduler.Enqueue({tenant, 1, now, 0}, now).result !=
+            EnqueueResult::kSuccess) {
+          ++rejected;
+        }
+      }
+      if ((now / step) % 5 == 0) {
+        if (scheduler.Enqueue({tenant, 2, now, 0}, now).result !=
+            EnqueueResult::kSuccess) {
+          ++rejected;
+        }
+      }
+    }
+    // Drain everything the channels' token buckets allow right now.
+    while (auto msg = scheduler.Dequeue(now)) {
+      (msg->output == 1 ? delivered_ch1 : delivered_ch2)[msg->source - 1] += 1;
+    }
+  }
+
+  const double secs = ToSeconds(horizon);
+  std::printf("channel 1 (300 QPS): expected 2:1:1 split = 150/75/75\n");
+  std::printf("channel 2 (100 QPS): expected 2:1:1 split =  50/25/25\n\n");
+  std::printf("%-8s %14s %14s\n", "tenant", "ch1 (QPS)", "ch2 (QPS)");
+  for (int tenant = 0; tenant < 3; ++tenant) {
+    std::printf("%-8d %14.1f %14.1f\n", tenant + 1, delivered_ch1[tenant] / secs,
+                delivered_ch2[tenant] / secs);
+  }
+  std::printf("\n%llu excess messages rejected at enqueue (fair-share policing)\n",
+              (unsigned long long)rejected);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "src/attack/patterns.h"
+
+#include "src/common/rng.h"
+
+namespace dcc {
+namespace {
+
+// Deterministic pseudo-random label for (seed, index).
+std::string LabelFor(uint64_t seed, uint64_t index) {
+  Rng rng(seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  return rng.NextLabel(12);
+}
+
+}  // namespace
+
+QuestionGenerator MakeWcGenerator(const Name& target_apex, uint64_t seed,
+                                  uint64_t unique_names) {
+  const Name subtree = *target_apex.Prepend(kWildcardSubtree);
+  return [subtree, seed, unique_names](uint64_t seq) {
+    const uint64_t index = unique_names > 0 ? seq % unique_names : seq;
+    return Question{*subtree.Prepend(LabelFor(seed, index)), RecordType::kA};
+  };
+}
+
+QuestionGenerator MakeNxGenerator(const Name& target_apex, uint64_t seed,
+                                  uint64_t unique_names) {
+  const Name subtree = *target_apex.Prepend(kNxSubtree);
+  return [subtree, seed, unique_names](uint64_t seq) {
+    const uint64_t index = unique_names > 0 ? seq % unique_names : seq;
+    return Question{*subtree.Prepend(LabelFor(seed, index)), RecordType::kA};
+  };
+}
+
+QuestionGenerator MakeCqGenerator(const Name& target_apex, int instances,
+                                  int cq_labels) {
+  return [target_apex, instances, cq_labels](uint64_t seq) {
+    const int instance = static_cast<int>(seq % static_cast<uint64_t>(instances)) + 1;
+    return Question{CqChainHead(target_apex, instance, /*chain_index=*/1, cq_labels),
+                    RecordType::kA};
+  };
+}
+
+QuestionGenerator MakeFfGenerator(const Name& attacker_apex, int instances) {
+  return [attacker_apex, instances](uint64_t seq) {
+    const int instance = static_cast<int>(seq % static_cast<uint64_t>(instances)) + 1;
+    return Question{FfQueryName(attacker_apex, instance), RecordType::kA};
+  };
+}
+
+}  // namespace dcc

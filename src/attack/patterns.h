@@ -1,0 +1,42 @@
+// Query-pattern generators (paper §2.2.1 / Appendix A).
+//
+//   WC — pseudo-random names under the wildcard subtree: cache-bypassing
+//        NOERROR answers (also the benign clients' pattern in Table 2).
+//   NX — pseudo-random names under an empty subtree: NXDOMAIN answers
+//        (pseudo-random subdomain / water-torture).
+//   CQ — CNAME chain x QNAME-minimization compositional amplification.
+//   FF — NS fan-out x fan-out compositional amplification.
+//
+// Generators are deterministic functions of (seed, sequence number) and plug
+// into StubClient. `unique_names` bounds the name pool, mirroring the
+// measurement methodology's cache-friendly probing (Appendix A.1).
+
+#ifndef SRC_ATTACK_PATTERNS_H_
+#define SRC_ATTACK_PATTERNS_H_
+
+#include <cstdint>
+
+#include "src/server/stub.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+
+// Names "<rand>.wc.<apex>", answered by the target zone's wildcard.
+QuestionGenerator MakeWcGenerator(const Name& target_apex, uint64_t seed,
+                                  uint64_t unique_names = 0);
+
+// Names "<rand>.nx.<apex>", answered NXDOMAIN.
+QuestionGenerator MakeNxGenerator(const Name& target_apex, uint64_t seed,
+                                  uint64_t unique_names = 0);
+
+// CQ chain heads, cycling over `instances` chains built into the target
+// zone via TargetZoneOptions::cq_instances.
+QuestionGenerator MakeCqGenerator(const Name& target_apex, int instances,
+                                  int cq_labels = 15);
+
+// FF trigger names "q-<i>.<attacker apex>", cycling over `instances`.
+QuestionGenerator MakeFfGenerator(const Name& attacker_apex, int instances);
+
+}  // namespace dcc
+
+#endif  // SRC_ATTACK_PATTERNS_H_

@@ -1,0 +1,496 @@
+#include "src/attack/scenarios.h"
+
+#include <algorithm>
+
+#include "src/attack/patterns.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+const Name& TargetApex() {
+  static const Name apex = *Name::Parse("target-domain");
+  return apex;
+}
+
+const Name& AttackerApex() {
+  static const Name apex = *Name::Parse("attacker-com");
+  return apex;
+}
+
+bool UsesFf(const std::vector<ClientSpec>& clients) {
+  for (const auto& spec : clients) {
+    if (spec.pattern == QueryPattern::kFf) {
+      return true;
+    }
+  }
+  return false;
+}
+
+QuestionGenerator MakeGenerator(const ClientSpec& spec, uint64_t seed,
+                                int ff_instances) {
+  switch (spec.pattern) {
+    case QueryPattern::kWc:
+      return MakeWcGenerator(TargetApex(), seed);
+    case QueryPattern::kNx:
+      return MakeNxGenerator(TargetApex(), seed);
+    case QueryPattern::kFf:
+      return MakeFfGenerator(AttackerApex(), ff_instances);
+    case QueryPattern::kNxThenWc: {
+      // NX for the first 20 s of the client's schedule, then WC (Fig. 8b).
+      QuestionGenerator nx = MakeNxGenerator(TargetApex(), seed);
+      QuestionGenerator wc = MakeWcGenerator(TargetApex(), seed ^ 0x5a5a);
+      const double qps = spec.qps;
+      return [nx, wc, qps](uint64_t seq) {
+        const double elapsed_sec = static_cast<double>(seq) / qps;
+        return elapsed_sec < 20.0 ? nx(seq) : wc(seq);
+      };
+    }
+  }
+  return MakeWcGenerator(TargetApex(), seed);
+}
+
+ClientResult CollectClient(const ClientSpec& spec, const StubClient& stub,
+                           Duration horizon) {
+  ClientResult result;
+  result.label = spec.label;
+  result.success_ratio = stub.SuccessRatio();
+  result.sent = stub.requests_sent();
+  result.succeeded = stub.succeeded();
+  const size_t seconds = static_cast<size_t>(horizon / kSecond);
+  result.effective_qps.reserve(seconds);
+  for (size_t i = 0; i < seconds; ++i) {
+    result.effective_qps.push_back(stub.success_series().RateAt(i));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<ClientSpec> Table2Clients(QueryPattern attacker_pattern,
+                                      double attacker_qps) {
+  std::vector<ClientSpec> clients;
+  ClientSpec heavy;
+  heavy.label = "Heavy";
+  heavy.qps = 600;
+  heavy.start = 0;
+  heavy.stop = Seconds(60);
+  heavy.pattern = attacker_pattern == QueryPattern::kNx ? QueryPattern::kNxThenWc
+                                                        : QueryPattern::kWc;
+  clients.push_back(heavy);
+
+  ClientSpec medium;
+  medium.label = "Medium";
+  medium.qps = 350;
+  medium.start = 0;
+  medium.stop = Seconds(50);
+  clients.push_back(medium);
+
+  ClientSpec light;
+  light.label = "Light";
+  light.qps = 150;
+  light.start = Seconds(20);
+  light.stop = Seconds(60);
+  clients.push_back(light);
+
+  ClientSpec attacker;
+  attacker.label = "Attacker";
+  attacker.qps = attacker_qps;
+  attacker.start = Seconds(10);
+  attacker.stop = Seconds(60);
+  attacker.pattern = attacker_pattern;
+  attacker.is_attacker = true;
+  clients.push_back(attacker);
+  return clients;
+}
+
+ResilienceOptions::ResilienceOptions() {
+  // Paper §5 defaults: per-queue capacity 100, 75 rounds, 100K pool; anomaly
+  // window 2 s, 10 alarms within a 60 s suspicion to convict; NX policy =
+  // rate limit 100 QPS for 20 s; amplification policy = block for 30 s;
+  // inactive state removed after 10 s.
+  dcc.scheduler.pool_capacity = 100000;
+  dcc.scheduler.max_poq_depth = 100;
+  dcc.scheduler.max_rounds = 75;
+  dcc.scheduler.default_channel_qps = 1000;
+  dcc.anomaly.window = Seconds(2);
+  dcc.anomaly.alarms_to_convict = 10;
+  dcc.anomaly.suspicion_period = Seconds(60);
+  dcc.nx_policy_qps = 100;
+  dcc.nx_policy_duration = Seconds(20);
+  dcc.amp_policy_duration = Seconds(30);
+  dcc.state_idle_timeout = Seconds(10);
+  resolver.upstream_timeout = Milliseconds(800);
+  resolver.upstream_retries = 1;
+}
+
+ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
+  Testbed bed;
+  // Real-network delay variance (the paper's inter-datacenter testbed);
+  // without it, paced benign traffic and bursty attack traffic interleave
+  // unrealistically favourably at rate limiters.
+  bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
+  const HostAddress target_ans = bed.NextAddress();
+
+  // Channel capacity is enforced at the authoritative end via RRL (the
+  // paper's validation setups configure ingress RL at the nameserver); the
+  // DCC scheduler is configured with the same capacity.
+  AuthoritativeConfig auth_config;
+  auth_config.rrl.enabled = true;
+  auth_config.rrl.noerror_qps = options.channel_qps;
+  auth_config.rrl.nxdomain_qps = options.channel_qps;
+  auth_config.rrl.burst = options.channel_qps / 50 + 4;
+  auth_config.rrl.per_class = false;  // One 1000-QPS channel in total (§5.1).
+  AuthoritativeServer& auth = bed.AddAuthoritative(target_ans, auth_config);
+  auth.AddZone(MakeTargetZone(TargetApex(), target_ans));
+  auth.EnableQueryLog(options.horizon + Seconds(2));
+
+  const bool has_ff = UsesFf(options.clients);
+  int ff_instances = 0;
+  HostAddress attacker_ans = kInvalidAddress;
+  if (has_ff) {
+    attacker_ans = bed.NextAddress();
+    AuthoritativeServer& atk = bed.AddAuthoritative(attacker_ans);
+    AttackerZoneOptions zone_options;
+    // Enough distinct instances that every attack request misses the cache.
+    double ff_qps = 0;
+    for (const auto& spec : options.clients) {
+      if (spec.pattern == QueryPattern::kFf) {
+        ff_qps = std::max(ff_qps, spec.qps);
+      }
+    }
+    zone_options.instances = static_cast<int>(ff_qps * ToSeconds(options.horizon)) + 8;
+    zone_options.ttl = 1;
+    ff_instances = zone_options.instances;
+    atk.AddZone(MakeAttackerZone(AttackerApex(), TargetApex(), zone_options));
+  }
+
+  const HostAddress resolver_addr = bed.NextAddress();
+  RecursiveResolver* resolver = nullptr;
+  DccNode* shim = nullptr;
+  if (options.dcc_enabled) {
+    DccConfig dcc = options.dcc;
+    dcc.scheduler.default_channel_qps = options.channel_qps;
+    auto [shim_ref, resolver_ref] =
+        bed.AddDccResolver(resolver_addr, dcc, options.resolver);
+    shim = &shim_ref;
+    resolver = &resolver_ref;
+    shim->SetChannelCapacity(target_ans, options.channel_qps);
+  } else {
+    resolver = &bed.AddResolver(resolver_addr, options.resolver);
+  }
+  resolver->AddAuthorityHint(TargetApex(), target_ans);
+  if (has_ff) {
+    resolver->AddAuthorityHint(AttackerApex(), attacker_ans);
+  }
+
+  std::vector<StubClient*> stubs;
+  for (size_t i = 0; i < options.clients.size(); ++i) {
+    const ClientSpec& spec = options.clients[i];
+    StubConfig config;
+    config.start = spec.start;
+    config.stop = spec.stop;
+    config.qps = spec.qps;
+    config.timeout = Milliseconds(1500);
+    config.retries = spec.retries;
+    config.dcc_aware = spec.dcc_aware;
+    config.series_horizon = options.horizon + Seconds(2);
+    StubClient& stub =
+        bed.AddStub(bed.NextAddress(), config,
+                    MakeGenerator(spec, options.seed * 101 + i, ff_instances));
+    stub.AddResolver(resolver_addr);
+    stub.Start();
+    stubs.push_back(&stub);
+  }
+
+  bed.RunFor(options.horizon + Seconds(3));
+
+  ScenarioResult result;
+  for (size_t i = 0; i < options.clients.size(); ++i) {
+    result.clients.push_back(
+        CollectClient(options.clients[i], *stubs[i], options.horizon));
+  }
+  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
+  for (size_t i = 0; i < seconds; ++i) {
+    result.ans_qps.push_back(auth.QpsAtSecond(i));
+  }
+  if (shim != nullptr) {
+    result.dcc_convictions = shim->convictions();
+    result.dcc_policed_drops = shim->policed_drops();
+    result.dcc_servfails = shim->servfails_synthesized();
+    result.dcc_signals_attached = shim->signals_attached();
+  }
+  return result;
+}
+
+ValidationResult RunValidationScenario(const ValidationOptions& options) {
+  Testbed bed;
+  bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
+  const Duration horizon = Seconds(50);
+
+  // Authoritative servers for the target zone; channel capacity enforced via
+  // ingress RRL per Fig. 3.
+  AuthoritativeConfig auth_config;
+  auth_config.rrl.enabled = true;
+  auth_config.rrl.noerror_qps = options.channel_qps;
+  auth_config.rrl.nxdomain_qps = options.channel_qps;
+  auth_config.rrl.burst = options.channel_qps / 50 + 4;
+  auth_config.rrl.per_class = false;
+  // Public resolvers were observed to lower their limits or temporarily
+  // block clients that exceed them (§2.2.1); the validation setups model
+  // that punitive behavior.
+  auth_config.rrl.penalty = Milliseconds(300);
+
+  const bool amplified = options.setup == ValidationSetup::kRedundantAuth ||
+                         options.setup == ValidationSetup::kRedundantResolver ||
+                         options.setup == ValidationSetup::kLargeResolver;
+
+  std::vector<HostAddress> target_ans_addrs;
+  std::vector<AuthoritativeServer*> target_ans;
+  const int ans_count = options.setup == ValidationSetup::kRedundantAuth ||
+                                options.setup == ValidationSetup::kRedundantResolver
+                            ? 2
+                            : 1;
+  for (int i = 0; i < ans_count; ++i) {
+    const HostAddress addr = bed.NextAddress();
+    AuthoritativeServer& ans = bed.AddAuthoritative(addr, auth_config);
+    ans.AddZone(MakeTargetZone(TargetApex(), addr));
+    ans.EnableQueryLog(horizon + Seconds(2));
+    target_ans_addrs.push_back(addr);
+    target_ans.push_back(&ans);
+  }
+
+  HostAddress attacker_ans = kInvalidAddress;
+  int ff_instances = 0;
+  if (amplified) {
+    attacker_ans = bed.NextAddress();
+    AuthoritativeServer& atk = bed.AddAuthoritative(attacker_ans);
+    AttackerZoneOptions zone_options;
+    zone_options.instances =
+        static_cast<int>(options.attacker_qps * ToSeconds(horizon)) + 8;
+    zone_options.ttl = 1;
+    ff_instances = zone_options.instances;
+    atk.AddZone(MakeAttackerZone(AttackerApex(), TargetApex(), zone_options));
+  }
+
+  // Resolver layer.
+  ResolverConfig resolver_config;
+  resolver_config.upstream_timeout = Milliseconds(800);
+  resolver_config.upstream_retries = 1;
+  auto add_resolver = [&](double ingress_limit) {
+    const HostAddress addr = bed.NextAddress();
+    ResolverConfig config = resolver_config;
+    if (ingress_limit > 0) {
+      config.ingress_rrl.enabled = true;
+      config.ingress_rrl.noerror_qps = ingress_limit;
+      config.ingress_rrl.nxdomain_qps = ingress_limit;
+      config.ingress_rrl.burst = ingress_limit / 50 + 4;
+      config.ingress_rrl.per_class = false;
+      config.ingress_rrl.penalty = Milliseconds(300);
+    }
+    RecursiveResolver& resolver = bed.AddResolver(addr, config);
+    resolver.AddAuthorityHint(TargetApex(), target_ans_addrs[0]);
+    if (target_ans_addrs.size() > 1) {
+      resolver.AddAuthorityHint(TargetApex(), target_ans_addrs[1]);
+    }
+    if (amplified) {
+      resolver.AddAuthorityHint(AttackerApex(), attacker_ans);
+    }
+    return addr;
+  };
+
+  // Entry points the clients talk to.
+  std::vector<HostAddress> entry_points;
+  int client_retries = 0;
+  switch (options.setup) {
+    case ValidationSetup::kRedundantAuth: {
+      entry_points.push_back(add_resolver(0));
+      break;
+    }
+    case ValidationSetup::kRedundantResolver: {
+      entry_points.push_back(add_resolver(0));
+      entry_points.push_back(add_resolver(0));
+      client_retries = 1;  // Failed requests retried at the other resolver.
+      break;
+    }
+    case ValidationSetup::kForwarder: {
+      // The RR channel capacity is the upstream resolver's ingress limit.
+      const HostAddress upstream = add_resolver(options.channel_qps);
+      const HostAddress fwd_addr = bed.NextAddress();
+      Forwarder& fwd = bed.AddForwarder(fwd_addr);
+      fwd.AddUpstream(upstream);
+      entry_points.push_back(fwd_addr);
+      break;
+    }
+    case ValidationSetup::kLargeResolver: {
+      // Ingress load balancer over `egress_count` recursive egresses, each
+      // with its own (rate-limited) channel to the target ANS.
+      const HostAddress fwd_addr = bed.NextAddress();
+      ForwarderConfig fwd_config;
+      fwd_config.cache_enabled = false;  // Large systems: internal layers.
+      Forwarder& fwd = bed.AddForwarder(fwd_addr, fwd_config);
+      for (int i = 0; i < options.egress_count; ++i) {
+        fwd.AddUpstream(add_resolver(0));
+      }
+      entry_points.push_back(fwd_addr);
+      break;
+    }
+  }
+
+  // Clients: attacker 0-50 s; three benign clients at 3 QPS, 5-35 s.
+  ClientSpec attacker_spec;
+  attacker_spec.qps = options.attacker_qps;
+  attacker_spec.pattern = options.setup == ValidationSetup::kForwarder
+                              ? QueryPattern::kWc
+                              : QueryPattern::kFf;
+  StubConfig attacker_config;
+  attacker_config.start = 0;
+  attacker_config.stop = horizon;
+  attacker_config.qps = options.attacker_qps;
+  attacker_config.timeout = Milliseconds(1500);
+  attacker_config.series_horizon = horizon + Seconds(2);
+  // The attacker targets every available entry point (the paper's setup (b)
+  // observation: congestion arises at both resolvers).
+  attacker_config.rotate_resolvers = true;
+  StubClient& attacker =
+      bed.AddStub(bed.NextAddress(), attacker_config,
+                  MakeGenerator(attacker_spec, options.seed * 31, ff_instances));
+  for (HostAddress entry : entry_points) {
+    attacker.AddResolver(entry);
+  }
+  attacker.Start();
+
+  std::vector<StubClient*> benign;
+  for (int i = 0; i < 3; ++i) {
+    ClientSpec spec;
+    spec.qps = 3;
+    StubConfig config;
+    config.start = Seconds(5);
+    config.stop = Seconds(35);
+    config.qps = 3;
+    config.timeout = Milliseconds(1500);
+    config.retries = client_retries;
+    config.series_horizon = horizon + Seconds(2);
+    StubClient& stub =
+        bed.AddStub(bed.NextAddress(), config,
+                    MakeWcGenerator(TargetApex(), options.seed * 1000 + i));
+    for (HostAddress entry : entry_points) {
+      stub.AddResolver(entry);
+    }
+    stub.Start();
+    benign.push_back(&stub);
+  }
+
+  bed.RunFor(horizon + Seconds(3));
+
+  ValidationResult result;
+  uint64_t ok = 0;
+  uint64_t total = 0;
+  for (const StubClient* stub : benign) {
+    ok += stub->succeeded();
+    total += stub->succeeded() + stub->failed();
+  }
+  result.benign_success_ratio =
+      total > 0 ? static_cast<double>(ok) / static_cast<double>(total) : 0;
+  result.attacker_success_ratio = attacker.SuccessRatio();
+  for (const AuthoritativeServer* ans : target_ans) {
+    result.ans_peak_qps = std::max(result.ans_peak_qps, ans->PeakQps());
+  }
+  return result;
+}
+
+ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
+  Testbed bed;
+  bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
+  const HostAddress target_ans = bed.NextAddress();
+  AuthoritativeServer& auth = bed.AddAuthoritative(target_ans);
+  auth.AddZone(MakeTargetZone(TargetApex(), target_ans));
+  auth.EnableQueryLog(options.horizon + Seconds(2));
+
+  HostAddress attacker_ans = kInvalidAddress;
+  int ff_instances = 0;
+  if (options.attacker_pattern == QueryPattern::kFf) {
+    attacker_ans = bed.NextAddress();
+    AuthoritativeServer& atk = bed.AddAuthoritative(attacker_ans);
+    AttackerZoneOptions zone_options;
+    zone_options.instances =
+        static_cast<int>(options.attacker_qps * ToSeconds(options.horizon)) + 8;
+    zone_options.ttl = 1;
+    ff_instances = zone_options.instances;
+    atk.AddZone(MakeAttackerZone(AttackerApex(), TargetApex(), zone_options));
+  }
+
+  ResilienceOptions defaults;  // Reuse the paper-default DCC parameters.
+
+  // Recursive resolver (egress), DCC-enabled.
+  const HostAddress resolver_addr = bed.NextAddress();
+  DccConfig resolver_dcc = defaults.dcc;
+  resolver_dcc.signaling_enabled = options.signaling_enabled;
+  resolver_dcc.scheduler.default_channel_qps = options.channel_qps;
+  auto [resolver_shim, resolver] =
+      bed.AddDccResolver(resolver_addr, resolver_dcc, defaults.resolver);
+  resolver.AddAuthorityHint(TargetApex(), target_ans);
+  if (attacker_ans != kInvalidAddress) {
+    resolver.AddAuthorityHint(AttackerApex(), attacker_ans);
+  }
+  resolver_shim.SetChannelCapacity(target_ans, options.channel_qps);
+
+  // Forwarder (ingress), DCC-enabled. Its own anomaly detection is disabled:
+  // the experiment isolates the effect of the signaling mechanism, as in the
+  // paper where the forwarder reacts to upstream signals with the default
+  // block policy and a countdown threshold of 5.
+  const HostAddress forwarder_addr = bed.NextAddress();
+  DccConfig fwd_dcc = defaults.dcc;
+  fwd_dcc.signaling_enabled = options.signaling_enabled;
+  fwd_dcc.countdown_police_threshold = 5;
+  fwd_dcc.anomaly.nx_ratio_threshold = 10.0;       // Never fires locally.
+  fwd_dcc.anomaly.amplification_threshold = 1e12;  // Never fires locally.
+  fwd_dcc.scheduler.default_channel_qps = options.channel_qps;
+  auto [forwarder_shim, forwarder] = bed.AddDccForwarder(forwarder_addr, fwd_dcc);
+  forwarder.AddUpstream(resolver_addr);
+  forwarder_shim.SetChannelCapacity(resolver_addr, options.channel_qps);
+
+  // Clients per §5.1: attacker, heavy and light behind the forwarder; medium
+  // directly at the recursive resolver; heavy always WC.
+  std::vector<ClientSpec> specs = Table2Clients(options.attacker_pattern,
+                                                options.attacker_qps);
+  specs[0].pattern = QueryPattern::kWc;  // Heavy always WC here.
+  std::vector<StubClient*> stubs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ClientSpec& spec = specs[i];
+    StubConfig config;
+    config.start = spec.start;
+    config.stop = spec.stop;
+    config.qps = spec.qps;
+    config.timeout = Milliseconds(1500);
+    config.series_horizon = options.horizon + Seconds(2);
+    StubClient& stub =
+        bed.AddStub(bed.NextAddress(), config,
+                    MakeGenerator(spec, options.seed * 77 + i, ff_instances));
+    stub.AddResolver(spec.label == "Medium" ? resolver_addr : forwarder_addr);
+    stub.Start();
+    stubs.push_back(&stub);
+  }
+
+  bed.RunFor(options.horizon + Seconds(3));
+
+  ScenarioResult result;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    result.clients.push_back(CollectClient(specs[i], *stubs[i], options.horizon));
+  }
+  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
+  for (size_t i = 0; i < seconds; ++i) {
+    result.ans_qps.push_back(auth.QpsAtSecond(i));
+  }
+  result.dcc_convictions =
+      resolver_shim.convictions() + forwarder_shim.convictions();
+  result.dcc_policed_drops =
+      resolver_shim.policed_drops() + forwarder_shim.policed_drops();
+  result.dcc_servfails =
+      resolver_shim.servfails_synthesized() + forwarder_shim.servfails_synthesized();
+  result.dcc_signals_attached =
+      resolver_shim.signals_attached() + forwarder_shim.signals_attached();
+  return result;
+}
+
+}  // namespace dcc

@@ -1,0 +1,122 @@
+// Pre-built experiment scenarios shared by benches, examples and tests.
+//
+// Three runners cover the paper's evaluation topologies:
+//  * RunValidationScenario  — the §2.3 attack-validation setups (Fig. 3/4):
+//    vanilla resolvers, capacity-limited channels, benign success ratio vs
+//    attacker QPS.
+//  * RunResilienceScenario  — the §5.1 single-resolver evaluation (Table 2 /
+//    Fig. 8): four clients with start/stop schedules against a vanilla or
+//    DCC-enabled resolver; per-second effective QPS per client.
+//  * RunSignalingScenario   — the §5.1 signaling evaluation (Fig. 9):
+//    forwarder -> resolver path, both DCC-enabled, signaling on or off.
+
+#ifndef SRC_ATTACK_SCENARIOS_H_
+#define SRC_ATTACK_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/attack/testbed.h"
+#include "src/dcc/dcc_node.h"
+
+namespace dcc {
+
+enum class QueryPattern {
+  kWc,        // Pseudo-random wildcard hits (benign / worst-case attack).
+  kNx,        // Pseudo-random NXDOMAIN.
+  kFf,        // NS fan-out x fan-out amplification.
+  kNxThenWc,  // NX for the first 20 s, then WC (Fig. 8b heavy client).
+};
+
+struct ClientSpec {
+  std::string label;
+  double qps = 1.0;
+  Time start = 0;
+  Time stop = Seconds(60);
+  QueryPattern pattern = QueryPattern::kWc;
+  bool is_attacker = false;
+  bool dcc_aware = false;
+  int retries = 0;
+};
+
+// The §5.1 Table 2 client mix for a given attacker pattern.
+std::vector<ClientSpec> Table2Clients(QueryPattern attacker_pattern,
+                                      double attacker_qps);
+
+struct ClientResult {
+  std::string label;
+  std::vector<double> effective_qps;  // Per-second successful responses.
+  double success_ratio = 0;
+  uint64_t sent = 0;
+  uint64_t succeeded = 0;
+};
+
+struct ScenarioResult {
+  std::vector<ClientResult> clients;
+  // Target-ANS query rate per second (the FF attacker's effective QPS is
+  // derived from this, as in the paper's Fig. 8 caption).
+  std::vector<double> ans_qps;
+  uint64_t dcc_convictions = 0;
+  uint64_t dcc_policed_drops = 0;
+  uint64_t dcc_servfails = 0;
+  uint64_t dcc_signals_attached = 0;
+};
+
+// --- §5.1 resilience (Fig. 8) ------------------------------------------------
+
+struct ResilienceOptions {
+  bool dcc_enabled = true;
+  double channel_qps = 1000;
+  std::vector<ClientSpec> clients;
+  Duration horizon = Seconds(60);
+  uint64_t seed = 1;
+  // DCC parameters default to the paper's §5 settings; override as needed.
+  DccConfig dcc;
+  ResolverConfig resolver;
+
+  ResilienceOptions();
+};
+
+ScenarioResult RunResilienceScenario(const ResilienceOptions& options);
+
+// --- §2.3 validation (Fig. 4) ------------------------------------------------
+
+enum class ValidationSetup {
+  kRedundantAuth,      // (a) 2 authoritative servers, 1 resolver, FF attack.
+  kRedundantResolver,  // (b) 2 resolvers, clients retry across them, FF.
+  kForwarder,          // (c) forwarder with 3 upstreams, WC attack.
+  kLargeResolver,      // (d) ingress LB over E egress resolvers, FF attack.
+};
+
+struct ValidationOptions {
+  ValidationSetup setup = ValidationSetup::kRedundantAuth;
+  double attacker_qps = 1.0;
+  double channel_qps = 100;  // RA/RR channel capacity (paper: 100).
+  int egress_count = 4;      // Setup (d) only.
+  uint64_t seed = 1;
+};
+
+struct ValidationResult {
+  double benign_success_ratio = 0;
+  double attacker_success_ratio = 0;
+  double ans_peak_qps = 0;
+};
+
+ValidationResult RunValidationScenario(const ValidationOptions& options);
+
+// --- §5.1 signaling (Fig. 9) --------------------------------------------------
+
+struct SignalingOptions {
+  bool signaling_enabled = true;
+  QueryPattern attacker_pattern = QueryPattern::kNx;
+  double attacker_qps = 200;  // Paper: 200 for NX, 20 for FF.
+  double channel_qps = 1000;
+  Duration horizon = Seconds(60);
+  uint64_t seed = 1;
+};
+
+ScenarioResult RunSignalingScenario(const SignalingOptions& options);
+
+}  // namespace dcc
+
+#endif  // SRC_ATTACK_SCENARIOS_H_

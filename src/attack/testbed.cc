@@ -1,0 +1,72 @@
+#include "src/attack/testbed.h"
+
+namespace dcc {
+
+AuthoritativeServer& Testbed::AddAuthoritative(HostAddress addr,
+                                               AuthoritativeConfig config) {
+  auto host = std::make_unique<HostNode>(network_, addr);
+  auto server = std::make_unique<AuthoritativeServer>(*host, config);
+  host->SetHandler(server.get());
+  hosts_.push_back(std::move(host));
+  auths_.push_back(std::move(server));
+  return *auths_.back();
+}
+
+RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config) {
+  auto host = std::make_unique<HostNode>(network_, addr);
+  auto server = std::make_unique<RecursiveResolver>(*host, config, /*seed=*/addr);
+  host->SetHandler(server.get());
+  hosts_.push_back(std::move(host));
+  resolvers_.push_back(std::move(server));
+  return *resolvers_.back();
+}
+
+Forwarder& Testbed::AddForwarder(HostAddress addr, ForwarderConfig config) {
+  auto host = std::make_unique<HostNode>(network_, addr);
+  auto server = std::make_unique<Forwarder>(*host, config);
+  host->SetHandler(server.get());
+  hosts_.push_back(std::move(host));
+  forwarders_.push_back(std::move(server));
+  return *forwarders_.back();
+}
+
+StubClient& Testbed::AddStub(HostAddress addr, StubConfig config,
+                             QuestionGenerator generator) {
+  auto host = std::make_unique<HostNode>(network_, addr);
+  auto stub = std::make_unique<StubClient>(*host, config, std::move(generator));
+  host->SetHandler(stub.get());
+  hosts_.push_back(std::move(host));
+  stubs_.push_back(std::move(stub));
+  return *stubs_.back();
+}
+
+std::pair<DccNode&, RecursiveResolver&> Testbed::AddDccResolver(
+    HostAddress addr, DccConfig dcc_config, ResolverConfig config) {
+  config.attach_attribution = true;
+  auto shim = std::make_unique<DccNode>(network_, addr, dcc_config);
+  auto server = std::make_unique<RecursiveResolver>(*shim, config, /*seed=*/addr);
+  shim->SetServer(server.get());
+  shim->Start();
+  DccNode& shim_ref = *shim;
+  RecursiveResolver& server_ref = *server;
+  dcc_nodes_.push_back(std::move(shim));
+  resolvers_.push_back(std::move(server));
+  return {shim_ref, server_ref};
+}
+
+std::pair<DccNode&, Forwarder&> Testbed::AddDccForwarder(HostAddress addr,
+                                                         DccConfig dcc_config,
+                                                         ForwarderConfig config) {
+  config.attach_attribution = true;
+  auto shim = std::make_unique<DccNode>(network_, addr, dcc_config);
+  auto server = std::make_unique<Forwarder>(*shim, config);
+  shim->SetServer(server.get());
+  shim->Start();
+  DccNode& shim_ref = *shim;
+  Forwarder& server_ref = *server;
+  dcc_nodes_.push_back(std::move(shim));
+  forwarders_.push_back(std::move(server));
+  return {shim_ref, server_ref};
+}
+
+}  // namespace dcc

@@ -1,0 +1,68 @@
+// Testbed: one-stop construction of simulated DNS topologies.
+//
+// Owns the event loop, network, hosts and servers, and provides builders for
+// the node types used across tests, examples and benches: authoritative
+// servers, vanilla and DCC-enabled resolvers/forwarders, and stub clients.
+// Addresses are handed out from a flat 10.0.0.0/8-style space.
+
+#ifndef SRC_ATTACK_TESTBED_H_
+#define SRC_ATTACK_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dcc/dcc_node.h"
+#include "src/server/authoritative.h"
+#include "src/server/forwarder.h"
+#include "src/server/resolver.h"
+#include "src/server/stub.h"
+#include "src/server/transport.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+
+namespace dcc {
+
+class Testbed {
+ public:
+  Testbed() : network_(loop_) {}
+
+  EventLoop& loop() { return loop_; }
+  Network& network() { return network_; }
+
+  HostAddress NextAddress() { return next_address_++; }
+
+  // --- vanilla hosts ---------------------------------------------------------
+  AuthoritativeServer& AddAuthoritative(HostAddress addr,
+                                        AuthoritativeConfig config = {});
+  RecursiveResolver& AddResolver(HostAddress addr, ResolverConfig config = {});
+  Forwarder& AddForwarder(HostAddress addr, ForwarderConfig config = {});
+  StubClient& AddStub(HostAddress addr, StubConfig config, QuestionGenerator generator);
+
+  // --- DCC-enabled hosts ------------------------------------------------------
+  // Wraps a RecursiveResolver with a DccNode at `addr`; attribution emission
+  // is forced on in the resolver config. Returns both halves.
+  std::pair<DccNode&, RecursiveResolver&> AddDccResolver(HostAddress addr,
+                                                         DccConfig dcc_config,
+                                                         ResolverConfig config = {});
+  std::pair<DccNode&, Forwarder&> AddDccForwarder(HostAddress addr, DccConfig dcc_config,
+                                                  ForwarderConfig config = {});
+
+  // Runs the simulation until `until`.
+  void RunFor(Duration duration) { loop_.Run(loop_.now() + duration); }
+
+ private:
+  EventLoop loop_;
+  Network network_;
+  HostAddress next_address_ = 0x0a000001;  // 10.0.0.1
+
+  std::vector<std::unique_ptr<HostNode>> hosts_;
+  std::vector<std::unique_ptr<DccNode>> dcc_nodes_;
+  std::vector<std::unique_ptr<AuthoritativeServer>> auths_;
+  std::vector<std::unique_ptr<RecursiveResolver>> resolvers_;
+  std::vector<std::unique_ptr<Forwarder>> forwarders_;
+  std::vector<std::unique_ptr<StubClient>> stubs_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_ATTACK_TESTBED_H_

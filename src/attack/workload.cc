@@ -1,0 +1,128 @@
+#include "src/attack/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+// Precomputed CDF for Zipf(s) over [0, n); sampling is one binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (double& v : cdf_) {
+      v /= sum;
+    }
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<ClientTrace> GenerateWorkload(const Name& target_apex,
+                                          const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  const Name wc_subtree = *target_apex.Prepend(kWildcardSubtree);
+  const Name nx_subtree = *target_apex.Prepend(kNxSubtree);
+  const ZipfSampler names(std::max<uint64_t>(1, options.name_space),
+                          options.zipf_exponent);
+
+  // Per-client rate weights: interpolate between equal and Zipf-skewed.
+  std::vector<double> weights(static_cast<size_t>(options.clients));
+  double weight_sum = 0;
+  for (size_t c = 0; c < weights.size(); ++c) {
+    const double zipf = 1.0 / static_cast<double>(c + 1);
+    weights[c] = (1.0 - options.client_skew) + options.client_skew * zipf;
+    weight_sum += weights[c];
+  }
+
+  std::vector<ClientTrace> traces(weights.size());
+  for (size_t c = 0; c < weights.size(); ++c) {
+    Rng client_rng = rng.Fork(c + 1);
+    const double base_rate = options.aggregate_qps * weights[c] / weight_sum;
+    ClientTrace& trace = traces[c];
+    Time now = 0;
+    while (now < options.horizon) {
+      double rate = base_rate;
+      if (options.diurnal) {
+        const double phase = 2.0 * M_PI * ToSeconds(now) /
+                             ToSeconds(options.diurnal_period);
+        rate = base_rate * (1.0 + options.diurnal_depth * std::sin(phase));
+        rate = std::max(rate, base_rate * 0.05);
+      }
+      // Poisson arrivals at the (possibly time-varying) rate.
+      now += static_cast<Duration>(client_rng.NextExponential(1e6 / rate));
+      if (now >= options.horizon) {
+        break;
+      }
+      trace.times.push_back(now);
+      Question question;
+      if (client_rng.NextBool(options.nx_fraction)) {
+        question.qname = *nx_subtree.Prepend(client_rng.NextLabel(10));
+      } else {
+        const uint64_t name_id = names.Sample(client_rng);
+        question.qname = *wc_subtree.Prepend("n" + std::to_string(name_id));
+      }
+      question.qtype = RecordType::kA;
+      trace.questions.push_back(std::move(question));
+    }
+  }
+  return traces;
+}
+
+ReplayStats ReplayWorkload(Testbed& bed, HostAddress resolver_addr,
+                           const std::vector<ClientTrace>& traces,
+                           Duration timeout) {
+  Time horizon = 0;
+  for (const auto& trace : traces) {
+    if (!trace.times.empty()) {
+      horizon = std::max(horizon, trace.times.back());
+    }
+  }
+
+  std::vector<StubClient*> stubs;
+  stubs.reserve(traces.size());
+  for (const auto& trace : traces) {
+    StubConfig config;
+    config.timeout = timeout;
+    config.series_horizon = horizon + Seconds(5);
+    // Questions come straight from the trace.
+    const std::vector<Question>* questions = &trace.questions;
+    StubClient& stub =
+        bed.AddStub(bed.NextAddress(), config, [questions](uint64_t seq) {
+          return (*questions)[std::min<uint64_t>(seq, questions->size() - 1)];
+        });
+    stub.AddResolver(resolver_addr);
+    stub.StartWithSchedule(trace.times);
+    stubs.push_back(&stub);
+  }
+
+  bed.RunFor(horizon + timeout + Seconds(2));
+
+  ReplayStats stats;
+  stats.latency = Histogram(1.0, 1.05);
+  for (const StubClient* stub : stubs) {
+    stats.sent += stub->requests_sent();
+    stats.succeeded += stub->succeeded();
+    stats.latency.Merge(stub->latency());
+  }
+  return stats;
+}
+
+}  // namespace dcc

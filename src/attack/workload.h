@@ -1,0 +1,70 @@
+// Synthetic client workloads standing in for production resolver traces.
+//
+// Real resolver traces (which the paper's operators use to tune shares and
+// anomaly thresholds, §3.2.1/§3.2.2) are not publicly available; this module
+// generates the closest synthetic equivalent: a population of clients whose
+// query names follow a Zipf popularity law over a bounded name space (so
+// cache hit rates are realistic), with optional diurnal rate modulation and
+// a configurable share of nonexistent-name lookups (typos/misconfig), plus a
+// replayer that drives the trace through the simulator.
+
+#ifndef SRC_ATTACK_WORKLOAD_H_
+#define SRC_ATTACK_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/attack/testbed.h"
+#include "src/dns/message.h"
+
+namespace dcc {
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  int clients = 10;
+  // Aggregate request rate across all clients; per-client rates follow a
+  // Zipf law too (a few heavy clients, many light ones) when skewed.
+  double aggregate_qps = 100.0;
+  double client_skew = 0.5;  // 0 = equal clients; 1 = strongly skewed.
+  // Name popularity: Zipf exponent over `name_space` distinct names.
+  double zipf_exponent = 1.0;
+  uint64_t name_space = 10000;
+  // Fraction of queries to nonexistent names (typos, misconfigurations).
+  double nx_fraction = 0.0;
+  // Sinusoidal diurnal modulation: instantaneous rate varies within
+  // [1-depth, 1+depth] x aggregate over one `period`.
+  bool diurnal = false;
+  double diurnal_depth = 0.5;
+  Duration diurnal_period = Seconds(60);
+  Duration horizon = Seconds(60);
+};
+
+struct ClientTrace {
+  // Sorted send times and the question asked at each.
+  std::vector<Time> times;
+  std::vector<Question> questions;
+};
+
+// One trace per client, deterministic in (options.seed).
+std::vector<ClientTrace> GenerateWorkload(const Name& target_apex,
+                                          const WorkloadOptions& options);
+
+struct ReplayStats {
+  uint64_t sent = 0;
+  uint64_t succeeded = 0;
+  double SuccessRatio() const {
+    return sent > 0 ? static_cast<double>(succeeded) / static_cast<double>(sent) : 0;
+  }
+  // Client-observed latency in microseconds.
+  Histogram latency{1.0, 1.05};  // Same buckets as StubClient::latency().
+};
+
+// Replays a workload against `resolver_addr` on `bed` (one stub host per
+// client) and runs the simulation to completion. Returns aggregate stats.
+ReplayStats ReplayWorkload(Testbed& bed, HostAddress resolver_addr,
+                           const std::vector<ClientTrace>& traces,
+                           Duration timeout = Seconds(2));
+
+}  // namespace dcc
+
+#endif  // SRC_ATTACK_WORKLOAD_H_

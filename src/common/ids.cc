@@ -1,0 +1,18 @@
+#include "src/common/ids.h"
+
+#include <cstdio>
+
+namespace dcc {
+
+std::string FormatAddress(HostAddress addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::string FormatEndpoint(const Endpoint& ep) {
+  return FormatAddress(ep.addr) + ":" + std::to_string(ep.port);
+}
+
+}  // namespace dcc

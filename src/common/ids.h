@@ -1,0 +1,41 @@
+// Host addressing shared between the simulator and DNS-layer code.
+//
+// The simulator models an IPv4-like flat address space: a `HostAddress` is a
+// 32-bit identifier and an `Endpoint` pairs it with a 16-bit port. The DCC
+// attribution option (paper §5) embeds these on the wire.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dcc {
+
+using HostAddress = uint32_t;
+
+inline constexpr HostAddress kInvalidAddress = 0;
+
+// Renders an address as a dotted quad, e.g. 0x0a000001 -> "10.0.0.1".
+std::string FormatAddress(HostAddress addr);
+
+struct Endpoint {
+  HostAddress addr = kInvalidAddress;
+  uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+std::string FormatEndpoint(const Endpoint& ep);
+
+struct EndpointHash {
+  size_t operator()(const Endpoint& ep) const {
+    return std::hash<uint64_t>{}((static_cast<uint64_t>(ep.addr) << 16) | ep.port);
+  }
+};
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,37 @@
+// Minimal leveled logging. Experiments run millions of simulated messages, so
+// logging defaults to WARNING and is printf-style to avoid iostream overhead.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace dcc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log emission; prefixed with the level tag.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+// Always-on invariant check (independent of NDEBUG); aborts on violation.
+#define DCC_CHECK(cond)                                                         \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::dcc::Logf(::dcc::LogLevel::kError, "CHECK failed: %s at %s:%d", #cond,  \
+                  __FILE__, __LINE__);                                          \
+      __builtin_trap();                                                         \
+    }                                                                           \
+  } while (0)
+
+#define DCC_LOG_DEBUG(...) ::dcc::Logf(::dcc::LogLevel::kDebug, __VA_ARGS__)
+#define DCC_LOG_INFO(...) ::dcc::Logf(::dcc::LogLevel::kInfo, __VA_ARGS__)
+#define DCC_LOG_WARNING(...) ::dcc::Logf(::dcc::LogLevel::kWarning, __VA_ARGS__)
+#define DCC_LOG_ERROR(...) ::dcc::Logf(::dcc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible bit-for-bit across runs, so all randomness
+// flows through explicitly seeded `Rng` instances (xoshiro256** seeded via
+// splitmix64). `std::mt19937` is avoided because its distributions are not
+// specified identically across standard library implementations.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Returns a uniformly distributed 64-bit value.
+  uint64_t Next();
+
+  // Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Returns an exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+  // Returns a random lowercase alphanumeric label of `length` characters,
+  // suitable for use as a pseudo-random DNS label.
+  std::string NextLabel(int length);
+
+  // Forks an independent stream; children with distinct `salt` values are
+  // decorrelated from each other and from the parent.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_RNG_H_

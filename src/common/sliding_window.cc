@@ -1,0 +1,90 @@
+#include "src/common/sliding_window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcc {
+
+SlidingWindowCounter::SlidingWindowCounter(Duration window, int buckets)
+    : bucket_span_(std::max<Duration>(1, window / std::max(1, buckets))),
+      counts_(static_cast<size_t>(std::max(1, buckets)), 0) {}
+
+void SlidingWindowCounter::Advance(Time now) {
+  const int64_t epoch = now / bucket_span_;
+  if (!started_) {
+    newest_epoch_ = epoch;
+    started_ = true;
+    return;
+  }
+  if (epoch <= newest_epoch_) {
+    return;
+  }
+  const int64_t steps = epoch - newest_epoch_;
+  const int64_t n = static_cast<int64_t>(counts_.size());
+  if (steps >= n) {
+    std::fill(counts_.begin(), counts_.end(), 0);
+  } else {
+    // Clear the slots being recycled for the epochs we skipped over.
+    for (int64_t e = newest_epoch_ + 1; e <= epoch; ++e) {
+      counts_[static_cast<size_t>(e % n)] = 0;
+    }
+  }
+  newest_epoch_ = epoch;
+}
+
+void SlidingWindowCounter::Add(Time now, int64_t count) {
+  Advance(now);
+  counts_[static_cast<size_t>(newest_epoch_ % static_cast<int64_t>(counts_.size()))] += count;
+}
+
+int64_t SlidingWindowCounter::Sum(Time now) const {
+  if (!started_) {
+    return 0;
+  }
+  const int64_t epoch = now / bucket_span_;
+  const int64_t n = static_cast<int64_t>(counts_.size());
+  int64_t sum = 0;
+  // Sum only slots whose epoch falls within (epoch - n, epoch].
+  const int64_t start = std::max<int64_t>({newest_epoch_ - n + 1, epoch - n + 1, 0});
+  for (int64_t e = start; e <= newest_epoch_; ++e) {
+    if (e > epoch) {
+      break;
+    }
+    sum += counts_[static_cast<size_t>(e % n)];
+  }
+  return sum;
+}
+
+double SlidingWindowCounter::Rate(Time now) const {
+  const double w = ToSeconds(window());
+  return w > 0 ? static_cast<double>(Sum(now)) / w : 0.0;
+}
+
+void SlidingWindowCounter::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  started_ = false;
+}
+
+SlidingWindowRatio::SlidingWindowRatio(Duration window, int buckets)
+    : hits_(window, buckets), total_(window, buckets) {}
+
+void SlidingWindowRatio::AddHit(Time now, int64_t count) { hits_.Add(now, count); }
+void SlidingWindowRatio::AddTotal(Time now, int64_t count) { total_.Add(now, count); }
+
+double SlidingWindowRatio::Ratio(Time now) const {
+  const int64_t t = total_.Sum(now);
+  if (t == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(hits_.Sum(now)) / static_cast<double>(t);
+}
+
+int64_t SlidingWindowRatio::Total(Time now) const { return total_.Sum(now); }
+int64_t SlidingWindowRatio::Hits(Time now) const { return hits_.Sum(now); }
+
+void SlidingWindowRatio::Reset() {
+  hits_.Reset();
+  total_.Reset();
+}
+
+}  // namespace dcc

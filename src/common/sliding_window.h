@@ -1,0 +1,71 @@
+// Bucketed sliding-window counters.
+//
+// The anomaly monitor (paper §3.2.2) tracks per-client metrics — request
+// counts, anomalous-response counts, attributed-query counts — "over a sliding
+// window (e.g., 2 seconds)". `SlidingWindowCounter` approximates a continuous
+// sliding window with a fixed number of time buckets, giving O(1) Add and
+// O(#buckets) Sum with bounded memory.
+
+#ifndef SRC_COMMON_SLIDING_WINDOW_H_
+#define SRC_COMMON_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace dcc {
+
+class SlidingWindowCounter {
+ public:
+  // A window of `window` total span split into `buckets` equal slots.
+  SlidingWindowCounter(Duration window, int buckets);
+
+  // Adds `count` events at time `now`.
+  void Add(Time now, int64_t count = 1);
+
+  // Total events within the window ending at `now`.
+  int64_t Sum(Time now) const;
+
+  // Events per second over the window ending at `now`.
+  double Rate(Time now) const;
+
+  // Drops all recorded events.
+  void Reset();
+
+  Duration window() const { return bucket_span_ * static_cast<Duration>(counts_.size()); }
+
+ private:
+  // Expires buckets older than the window relative to `now`.
+  void Advance(Time now);
+
+  Duration bucket_span_;
+  std::vector<int64_t> counts_;
+  // Index of the epoch (bucket_span-sized time slot) stored in slot 0 minus
+  // its slot offset; tracks which absolute epoch each slot currently holds.
+  int64_t newest_epoch_ = 0;
+  bool started_ = false;
+};
+
+// Tracks a ratio (e.g. fraction of NXDOMAIN responses) over a sliding window.
+class SlidingWindowRatio {
+ public:
+  SlidingWindowRatio(Duration window, int buckets);
+
+  void AddHit(Time now, int64_t count = 1);
+  void AddTotal(Time now, int64_t count = 1);
+
+  // hits / total over the window; returns 0 when total is 0.
+  double Ratio(Time now) const;
+  int64_t Total(Time now) const;
+  int64_t Hits(Time now) const;
+  void Reset();
+
+ private:
+  SlidingWindowCounter hits_;
+  SlidingWindowCounter total_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_SLIDING_WINDOW_H_

@@ -1,0 +1,182 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dcc {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double min_value, double growth, int max_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      buckets_(static_cast<size_t>(max_buckets), 0) {}
+
+int Histogram::BucketFor(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  const int b = static_cast<int>(std::log(value / min_value_) / log_growth_) + 1;
+  return std::min(b, static_cast<int>(buckets_.size()) - 1);
+}
+
+double Histogram::BucketUpperBound(int b) const {
+  return min_value_ * std::exp(log_growth_ * b);
+}
+
+void Histogram::Add(double value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  ++count_;
+  stats_.Add(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t b = 0; b < buckets_.size() && b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  stats_.Merge(other.stats_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  int64_t cum = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    cum += buckets_[b];
+    if (cum >= target) {
+      return BucketUpperBound(static_cast<int>(b));
+    }
+  }
+  return stats_.max();
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf() const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0) {
+    return out;
+  }
+  int64_t cum = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    cum += buckets_[b];
+    out.emplace_back(BucketUpperBound(static_cast<int>(b)),
+                     static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+TimeSeries::TimeSeries(Duration interval, Duration horizon)
+    : interval_(std::max<Duration>(1, interval)),
+      slots_(static_cast<size_t>((horizon + interval_ - 1) / interval_), 0.0) {}
+
+void TimeSeries::Add(Time t, double amount) {
+  if (t < 0) {
+    return;
+  }
+  const auto slot = static_cast<size_t>(t / interval_);
+  if (slot < slots_.size()) {
+    slots_[slot] += amount;
+  }
+}
+
+double TimeSeries::ValueAt(size_t i) const {
+  return i < slots_.size() ? slots_[i] : 0.0;
+}
+
+double TimeSeries::RateAt(size_t i) const {
+  return ValueAt(i) / ToSeconds(interval_);
+}
+
+double TimeSeries::Total() const {
+  double sum = 0;
+  for (double v : slots_) {
+    sum += v;
+  }
+  return sum;
+}
+
+double TimeSeries::MeanRate(size_t from_slot, size_t to_slot) const {
+  to_slot = std::min(to_slot, slots_.size());
+  if (from_slot >= to_slot) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (size_t i = from_slot; i < to_slot; ++i) {
+    sum += slots_[i];
+  }
+  return sum / (static_cast<double>(to_slot - from_slot) * ToSeconds(interval_));
+}
+
+double JainFairnessIndex(const std::vector<double>& allocations) {
+  if (allocations.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+std::string FormatRow(const std::string& label, const std::vector<double>& values,
+                      int width, int precision) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-14s", label.c_str());
+  out += buf;
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dcc

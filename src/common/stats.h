@@ -1,0 +1,107 @@
+// Statistics collection used by experiments: online moments, quantile
+// histograms (for the Fig. 11 latency CDF), and per-second time series (for
+// the Fig. 8/9 effective-QPS plots).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace dcc {
+
+// Welford-style online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void Add(double x);
+  // Merges another accumulator's observations into this one.
+  void Merge(const OnlineStats& other);
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponential-bucket histogram for latency-style values. Buckets grow
+// geometrically from `min_value` with ratio `growth`, giving a bounded
+// relative quantile error (~(growth-1)/2) at O(#buckets) memory.
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1.0, double growth = 1.05,
+                     int max_buckets = 512);
+
+  void Add(double value);
+  // Merges another histogram with identical bucket configuration.
+  void Merge(const Histogram& other);
+  int64_t count() const { return count_; }
+  double Quantile(double q) const;  // q in [0, 1]
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  // Emits (value, cumulative_fraction) pairs suitable for plotting a CDF,
+  // one per non-empty bucket.
+  std::vector<std::pair<double, double>> Cdf() const;
+
+ private:
+  int BucketFor(double value) const;
+  double BucketUpperBound(int b) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  OnlineStats stats_;
+};
+
+// Fixed-width time series of per-interval counts, e.g. "effective QPS per
+// second for 60 seconds" as plotted in Fig. 8.
+class TimeSeries {
+ public:
+  // Records events into `interval`-wide slots covering [0, horizon).
+  TimeSeries(Duration interval, Duration horizon);
+
+  void Add(Time t, double amount = 1.0);
+
+  // Value of slot `i` normalized to a per-second rate.
+  double RateAt(size_t i) const;
+  double ValueAt(size_t i) const;
+  size_t num_slots() const { return slots_.size(); }
+  Duration interval() const { return interval_; }
+
+  // Sum over all slots.
+  double Total() const;
+
+  // Mean per-second rate over slots [from_slot, to_slot).
+  double MeanRate(size_t from_slot, size_t to_slot) const;
+
+ private:
+  Duration interval_;
+  std::vector<double> slots_;
+};
+
+// Renders a row of numbers with a fixed-width label, used by the bench
+// harnesses to print paper-style tables.
+std::string FormatRow(const std::string& label, const std::vector<double>& values,
+                      int width = 8, int precision = 2);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+// Used by the scheduler ablation bench to compare FQ designs.
+double JainFairnessIndex(const std::vector<double>& allocations);
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_STATS_H_

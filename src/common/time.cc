@@ -1,0 +1,19 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace dcc {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMilliseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace dcc

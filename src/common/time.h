@@ -1,0 +1,50 @@
+// Virtual time primitives shared by the simulator and all DCC components.
+//
+// Every latency-sensitive component in this codebase (token buckets, the
+// MOPI-FQ scheduler, anomaly monitoring windows, ...) takes explicit `Time`
+// arguments instead of reading a global clock. This keeps the components
+// deterministic under the discrete-event simulator and equally usable with a
+// wall clock in a real deployment.
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcc {
+
+// A point in virtual time, in microseconds since the start of a simulation.
+using Time = int64_t;
+
+// A span of virtual time, in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+// A `Time` value that compares after every reachable simulation instant.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Duration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+constexpr Duration SecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kSecond));
+}
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMilliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// Renders a duration as a human-readable string, e.g. "1.500ms" or "2.000s".
+std::string FormatDuration(Duration d);
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_TIME_H_

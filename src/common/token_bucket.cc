@@ -1,0 +1,70 @@
+#include "src/common/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcc {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst, Time now)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst),
+      tokens_(burst),
+      last_refill_(now) {}
+
+void TokenBucket::Refill(Time now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed_sec = ToSeconds(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(Time now, double tokens) {
+  if (unlimited()) {
+    return true;
+  }
+  Refill(now);
+  if (tokens_ + 1e-9 < tokens) {
+    return false;
+  }
+  tokens_ -= tokens;
+  return true;
+}
+
+bool TokenBucket::CanConsume(Time now, double tokens) const {
+  if (unlimited()) {
+    return true;
+  }
+  TokenBucket copy = *this;
+  copy.Refill(now);
+  return copy.tokens_ + 1e-9 >= tokens;
+}
+
+Time TokenBucket::NextAvailable(Time now, double tokens) const {
+  if (unlimited()) {
+    return now;
+  }
+  TokenBucket copy = *this;
+  copy.Refill(now);
+  if (copy.tokens_ + 1e-9 >= tokens) {
+    return now;
+  }
+  const double deficit = tokens - copy.tokens_;
+  const double wait_sec = deficit / rate_per_sec_;
+  return now + static_cast<Duration>(std::ceil(wait_sec * kSecond));
+}
+
+double TokenBucket::Available(Time now) const {
+  TokenBucket copy = *this;
+  copy.Refill(now);
+  return copy.tokens_;
+}
+
+void TokenBucket::SetRate(double rate_per_sec, double burst) {
+  rate_per_sec_ = rate_per_sec;
+  burst_ = burst;
+  tokens_ = std::min(tokens_, burst_);
+}
+
+}  // namespace dcc

@@ -1,0 +1,55 @@
+// Token-bucket rate limiter.
+//
+// DCC uses token buckets in two roles (paper §3.2.1): to model the capacity of
+// each logical inter-server output channel inside MOPI-FQ, and to implement
+// rate-limit policing of convicted clients. The same type also backs the
+// ingress/egress rate limits of the simulated DNS servers.
+
+#ifndef SRC_COMMON_TOKEN_BUCKET_H_
+#define SRC_COMMON_TOKEN_BUCKET_H_
+
+#include "src/common/time.h"
+
+namespace dcc {
+
+class TokenBucket {
+ public:
+  // A bucket refilling at `rate_per_sec` tokens/second, holding at most
+  // `burst` tokens. A non-positive rate means "unlimited": TryConsume always
+  // succeeds.
+  TokenBucket(double rate_per_sec, double burst, Time now = 0);
+
+  // Consumes `tokens` if available at `now`; returns whether it succeeded.
+  bool TryConsume(Time now, double tokens = 1.0);
+
+  // Returns whether `tokens` could be consumed at `now` without consuming.
+  bool CanConsume(Time now, double tokens = 1.0) const;
+
+  // Earliest time at or after `now` when `tokens` will be available. Returns
+  // `now` if they already are. Used by MOPI-FQ to re-schedule congested
+  // output channels in `out_seq`.
+  Time NextAvailable(Time now, double tokens = 1.0) const;
+
+  // Current token count after refilling to `now`.
+  double Available(Time now) const;
+
+  // Reconfigures the refill rate, keeping accumulated tokens (clamped to the
+  // new burst).
+  void SetRate(double rate_per_sec, double burst);
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
+  bool unlimited() const { return rate_per_sec_ <= 0; }
+
+ private:
+  void Refill(Time now);
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  Time last_refill_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_COMMON_TOKEN_BUCKET_H_

@@ -1,0 +1,194 @@
+#include "src/dcc/anomaly.h"
+
+#include <algorithm>
+
+namespace dcc {
+
+AnomalyMonitor::AnomalyMonitor(const AnomalyConfig& config) : config_(config) {}
+
+AnomalyMonitor::ClientState& AnomalyMonitor::StateFor(SourceId client, Time now) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    ClientState state{
+        SlidingWindowCounter(config_.window, config_.window_buckets),
+        SlidingWindowCounter(config_.window, config_.window_buckets),
+        SlidingWindowRatio(config_.window, config_.window_buckets),
+        {},
+        0,
+        now,
+        now,
+        false,
+        0,
+        0,
+        AnomalyReason::kNone};
+    it = clients_.try_emplace(client, std::move(state)).first;
+  }
+  it->second.last_active = now;
+  return it->second;
+}
+
+void AnomalyMonitor::RecordRequest(SourceId client, Time now) {
+  StateFor(client, now).requests.Add(now);
+}
+
+void AnomalyMonitor::RecordClientResponse(SourceId client, Rcode rcode, Time now) {
+  ClientState& state = StateFor(client, now);
+  // The NX ratio is taken over *answered* responses; failures caused by
+  // congestion (SERVFAIL) would otherwise dilute the ratio exactly when the
+  // attack succeeds.
+  if (rcode == Rcode::kNoError || rcode == Rcode::kNxDomain) {
+    state.nx.AddTotal(now);
+  }
+  if (rcode == Rcode::kNxDomain) {
+    state.nx.AddHit(now);
+  }
+}
+
+void AnomalyMonitor::RecordAttributedQuery(SourceId client, uint32_t request_key,
+                                           Time now) {
+  ClientState& state = StateFor(client, now);
+  state.queries.Add(now);
+  const int count = ++state.request_queries[request_key];
+  state.max_request_queries = std::max(state.max_request_queries, count);
+}
+
+int AnomalyMonitor::RequestQueryCount(SourceId client, uint32_t request_key) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return 0;
+  }
+  auto rit = it->second.request_queries.find(request_key);
+  return rit != it->second.request_queries.end() ? rit->second : 0;
+}
+
+void AnomalyMonitor::RecordExternalAlarm(SourceId client, AnomalyReason reason, Time now) {
+  ClientState& state = StateFor(client, now);
+  if (!state.suspicious) {
+    state.suspicious = true;
+    state.suspicion_start = now;
+    state.alarms = 0;
+  }
+  ++state.alarms;
+  state.reason = reason;
+}
+
+AnomalyReason AnomalyMonitor::CheckMetrics(const ClientState& state, Time now) const {
+  const int64_t responses = state.nx.Total(now);
+  if (responses >= static_cast<int64_t>(
+                       static_cast<double>(config_.nx_min_responses) * sensitivity_) &&
+      state.nx.Ratio(now) > config_.nx_ratio_threshold * sensitivity_) {
+    return AnomalyReason::kNxDomainRatio;
+  }
+  // Per-request amplification: any single request fanned out beyond the
+  // threshold within this window.
+  if (static_cast<double>(state.max_request_queries) >
+      config_.amplification_threshold * sensitivity_) {
+    return AnomalyReason::kAmplification;
+  }
+  const int64_t requests = state.requests.Sum(now);
+  const int64_t queries = state.queries.Sum(now);
+  if (requests >= static_cast<int64_t>(
+                      static_cast<double>(config_.amp_min_requests) * sensitivity_) &&
+      static_cast<double>(queries) >
+          config_.amplification_threshold * sensitivity_ * static_cast<double>(requests)) {
+    return AnomalyReason::kAmplification;
+  }
+  return AnomalyReason::kNone;
+}
+
+std::vector<AnomalyMonitor::Event> AnomalyMonitor::EvaluateWindows(Time now) {
+  std::vector<Event> events;
+  for (auto& [client, state] : clients_) {
+    // Release suspicions that outlived the period without conviction.
+    if (state.suspicious && now - state.suspicion_start > config_.suspicion_period) {
+      state.suspicious = false;
+      state.alarms = 0;
+      state.reason = AnomalyReason::kNone;
+    }
+    if (now - state.last_window_eval < config_.window) {
+      continue;
+    }
+    state.last_window_eval = now;
+    const AnomalyReason reason = CheckMetrics(state, now);
+    // Per-request counters are window-scoped.
+    state.request_queries.clear();
+    state.max_request_queries = 0;
+    if (reason == AnomalyReason::kNone) {
+      continue;
+    }
+    if (!state.suspicious) {
+      state.suspicious = true;
+      state.suspicion_start = now;
+      state.alarms = 0;
+    }
+    ++state.alarms;
+    state.reason = reason;
+    Event event;
+    event.client = client;
+    event.reason = reason;
+    event.convicted = state.alarms >= config_.alarms_to_convict;
+    event.countdown = std::max(0, config_.alarms_to_convict - state.alarms);
+    events.push_back(event);
+    if (event.convicted) {
+      // Reset suspicion; the caller enforces a policy from here on.
+      state.suspicious = false;
+      state.alarms = 0;
+    }
+  }
+  return events;
+}
+
+bool AnomalyMonitor::IsSuspicious(SourceId client, Time now) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() && it->second.suspicious &&
+         now - it->second.suspicion_start <= config_.suspicion_period;
+}
+
+int AnomalyMonitor::CountdownFor(SourceId client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return config_.alarms_to_convict;
+  }
+  return std::max(0, config_.alarms_to_convict - it->second.alarms);
+}
+
+Duration AnomalyMonitor::SuspicionRemaining(SourceId client, Time now) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || !it->second.suspicious) {
+    return 0;
+  }
+  return std::max<Duration>(
+      0, it->second.suspicion_start + config_.suspicion_period - now);
+}
+
+AnomalyReason AnomalyMonitor::ReasonFor(SourceId client) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() ? it->second.reason : AnomalyReason::kNone;
+}
+
+void AnomalyMonitor::SetSensitivity(double factor) {
+  sensitivity_ = std::clamp(factor, 0.1, 1.0);
+}
+
+void AnomalyMonitor::PurgeIdle(Time now, Duration idle) {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (it->second.last_active + idle < now && !it->second.suspicious) {
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t AnomalyMonitor::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [client, state] : clients_) {
+    bytes += sizeof(SourceId) + sizeof(ClientState) + 2 * sizeof(void*) +
+             3 * static_cast<size_t>(config_.window_buckets) * sizeof(int64_t);
+    bytes += state.request_queries.size() *
+             (sizeof(uint32_t) + sizeof(int) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace dcc

@@ -1,0 +1,119 @@
+// Anomaly monitoring (paper §3.2.2).
+//
+// Tracks per-client metrics over a sliding window — request rate, NXDOMAIN
+// response share, attributed-query amplification — and raises an alarm when
+// any metric crosses its threshold at a window boundary. A first alarm puts
+// the client in a *suspicious* state; reaching `alarms_to_convict` alarms
+// within the suspicion period convicts it (the caller then imposes a
+// pre-queue policy). A suspicion that ends without conviction is released.
+
+#ifndef SRC_DCC_ANOMALY_H_
+#define SRC_DCC_ANOMALY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/sliding_window.h"
+#include "src/dns/edns_options.h"
+#include "src/dns/rr.h"
+#include "src/dcc/scheduler.h"
+
+namespace dcc {
+
+struct AnomalyConfig {
+  Duration window = Seconds(2);
+  int window_buckets = 8;
+  // NXDOMAIN-ratio metric (water-torture pattern): alarm when the share of
+  // NXDOMAIN responses exceeds the threshold, given enough samples.
+  double nx_ratio_threshold = 0.2;
+  int64_t nx_min_responses = 10;
+  // Amplification metric. Two detectors share `amplification_threshold`:
+  // the aggregate ratio of attributed upstream queries to client requests
+  // over the window (needs >= amp_min_requests samples), and the maximum
+  // query count attributed to any *single* request within the window. The
+  // per-request detector is what lets a resolver flag amplifying requests
+  // relayed through a forwarder whose aggregate traffic is mostly benign.
+  double amplification_threshold = 5.0;
+  int64_t amp_min_requests = 4;
+  // Conviction: this many alarms within one suspicion period.
+  int alarms_to_convict = 10;
+  Duration suspicion_period = Seconds(60);
+};
+
+class AnomalyMonitor {
+ public:
+  explicit AnomalyMonitor(const AnomalyConfig& config);
+
+  // --- metric feeds ---------------------------------------------------------
+  void RecordRequest(SourceId client, Time now);
+  void RecordClientResponse(SourceId client, Rcode rcode, Time now);
+  // `request_key` identifies the originating request (attribution port+id);
+  // pass 0 when unknown.
+  void RecordAttributedQuery(SourceId client, uint32_t request_key, Time now);
+  // An upstream DCC instance signaled this client as anomalous (§3.3.1);
+  // counts as an alarm outside the window machinery.
+  void RecordExternalAlarm(SourceId client, AnomalyReason reason, Time now);
+
+  // Queries attributed to (client, request_key) in the current window; lets
+  // the shim decide whether a specific response belongs to an amplifying
+  // request before attaching an anomaly signal to it.
+  int RequestQueryCount(SourceId client, uint32_t request_key) const;
+
+  // --- window evaluation ----------------------------------------------------
+  struct Event {
+    SourceId client = 0;
+    AnomalyReason reason = AnomalyReason::kNone;
+    bool convicted = false;  // Alarm count reached the conviction threshold.
+    int countdown = 0;       // Remaining alarms until conviction.
+  };
+
+  // Evaluates all clients whose window has elapsed; returns this round's
+  // alarm/conviction events. Also releases expired suspicions. Call
+  // periodically (at least once per window).
+  std::vector<Event> EvaluateWindows(Time now);
+
+  // --- suspicion queries (for signal generation) ----------------------------
+  bool IsSuspicious(SourceId client, Time now) const;
+  int CountdownFor(SourceId client) const;
+  Duration SuspicionRemaining(SourceId client, Time now) const;
+  AnomalyReason ReasonFor(SourceId client) const;
+
+  // Scales all thresholds by `factor` (<1 = more sensitive); used when an
+  // upstream policing signal indicates this instance failed to catch a
+  // culprit (§3.3.2).
+  void SetSensitivity(double factor);
+
+  void PurgeIdle(Time now, Duration idle);
+  size_t TrackedClients() const { return clients_.size(); }
+  size_t MemoryFootprint() const;
+
+ private:
+  struct ClientState {
+    SlidingWindowCounter requests;
+    SlidingWindowCounter queries;
+    SlidingWindowRatio nx;
+    // Queries attributed per request within the current window.
+    std::unordered_map<uint32_t, int> request_queries;
+    int max_request_queries = 0;
+    Time last_window_eval = 0;
+    Time last_active = 0;
+    // Suspicion state.
+    bool suspicious = false;
+    Time suspicion_start = 0;
+    int alarms = 0;
+    AnomalyReason reason = AnomalyReason::kNone;
+  };
+
+  ClientState& StateFor(SourceId client, Time now);
+  AnomalyReason CheckMetrics(const ClientState& state, Time now) const;
+
+  AnomalyConfig config_;
+  double sensitivity_ = 1.0;
+  std::unordered_map<SourceId, ClientState> clients_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_DCC_ANOMALY_H_

@@ -1,0 +1,401 @@
+#include "src/dcc/baseline_schedulers.h"
+
+#include <algorithm>
+
+#include "src/dcc/mopi_fq.h"
+
+namespace dcc {
+namespace {
+
+// Round-robin advance over an ordered map: returns iterator at or after
+// `cursor`, wrapping to begin().
+template <typename MapT, typename KeyT>
+typename MapT::iterator RrBegin(MapT& m, KeyT cursor) {
+  auto it = m.lower_bound(cursor);
+  if (it == m.end()) {
+    it = m.begin();
+  }
+  return it;
+}
+
+}  // namespace
+
+TokenBucket& BaselineSchedulerBase::Bucket(OutputId output, Time now) {
+  auto [it, inserted] = buckets_.try_emplace(
+      output, TokenBucket(config_.default_channel_qps, config_.channel_burst, now));
+  return it->second;
+}
+
+void BaselineSchedulerBase::SetChannelCapacity(OutputId output, double qps) {
+  auto it = buckets_.find(output);
+  if (it == buckets_.end()) {
+    buckets_.emplace(output, TokenBucket(qps, config_.channel_burst, 0));
+  } else {
+    it->second.SetRate(qps, config_.channel_burst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SingleFifoScheduler
+// ---------------------------------------------------------------------------
+
+EnqueueOutcome SingleFifoScheduler::Enqueue(const SchedMessage& msg, Time now) {
+  Bucket(msg.output, now);
+  auto [it, inserted] = queues_.try_emplace(msg.output);
+  if (inserted) {
+    rr_order_.push_back(msg.output);
+  }
+  if (it->second.size() >= static_cast<size_t>(config_.max_queue_depth)) {
+    return {EnqueueResult::kChannelCongested, std::nullopt};
+  }
+  it->second.push_back(msg);
+  ++total_;
+  return {EnqueueResult::kSuccess, std::nullopt};
+}
+
+std::optional<SchedMessage> SingleFifoScheduler::Dequeue(Time now) {
+  if (rr_order_.empty()) {
+    return std::nullopt;
+  }
+  for (size_t step = 0; step < rr_order_.size(); ++step) {
+    const size_t i = (rr_next_ + step) % rr_order_.size();
+    auto it = queues_.find(rr_order_[i]);
+    if (it == queues_.end() || it->second.empty()) {
+      continue;
+    }
+    if (!Bucket(rr_order_[i], now).TryConsume(now)) {
+      continue;
+    }
+    SchedMessage msg = it->second.front();
+    it->second.pop_front();
+    --total_;
+    rr_next_ = (i + 1) % rr_order_.size();
+    return msg;
+  }
+  return std::nullopt;
+}
+
+Time SingleFifoScheduler::NextReadyTime(Time now) {
+  Time best = kTimeInfinity;
+  for (const auto& [output, q] : queues_) {
+    if (q.empty()) {
+      continue;
+    }
+    auto it = buckets_.find(output);
+    const Time t = it != buckets_.end() ? it->second.NextAvailable(now) : now;
+    best = std::min(best, std::max(t, now));
+    if (best == now) {
+      break;
+    }
+  }
+  return best;
+}
+
+size_t SingleFifoScheduler::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [output, q] : queues_) {
+    bytes += sizeof(OutputId) + sizeof(q) + q.size() * sizeof(SchedMessage);
+  }
+  bytes += buckets_.size() * (sizeof(OutputId) + sizeof(TokenBucket));
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// InputCentricFq
+// ---------------------------------------------------------------------------
+
+EnqueueOutcome InputCentricFq::Enqueue(const SchedMessage& msg, Time now) {
+  Bucket(msg.output, now);
+  auto& q = queues_[msg.source];
+  if (q.size() >= static_cast<size_t>(config_.max_queue_depth)) {
+    // The defining flaw of input-centric queuing: a source queue filled by a
+    // congested output also rejects messages bound for healthy outputs.
+    return {EnqueueResult::kChannelCongested, std::nullopt};
+  }
+  q.push_back(msg);
+  ++total_;
+  return {EnqueueResult::kSuccess, std::nullopt};
+}
+
+std::optional<SchedMessage> InputCentricFq::Dequeue(Time now) {
+  if (queues_.empty()) {
+    return std::nullopt;
+  }
+  auto it = RrBegin(queues_, rr_cursor_);
+  for (size_t step = 0; step < queues_.size(); ++step) {
+    auto& q = it->second;
+    if (!q.empty()) {
+      if (Bucket(q.front().output, now).TryConsume(now)) {
+        SchedMessage msg = q.front();
+        q.pop_front();
+        --total_;
+        rr_cursor_ = it->first + 1;
+        return msg;
+      }
+      if (leapfrog_) {
+        // Skip past blocked heads to any message whose channel is open.
+        for (auto mit = q.begin() + 1; mit != q.end(); ++mit) {
+          if (Bucket(mit->output, now).TryConsume(now)) {
+            SchedMessage msg = *mit;
+            q.erase(mit);
+            --total_;
+            rr_cursor_ = it->first + 1;
+            return msg;
+          }
+        }
+      }
+    }
+    ++it;
+    if (it == queues_.end()) {
+      it = queues_.begin();
+    }
+  }
+  return std::nullopt;
+}
+
+Time InputCentricFq::NextReadyTime(Time now) {
+  Time best = kTimeInfinity;
+  for (const auto& [source, q] : queues_) {
+    if (q.empty()) {
+      continue;
+    }
+    if (leapfrog_) {
+      for (const auto& m : q) {
+        auto bit = buckets_.find(m.output);
+        const Time t = bit != buckets_.end() ? bit->second.NextAvailable(now) : now;
+        best = std::min(best, std::max(t, now));
+      }
+    } else {
+      auto bit = buckets_.find(q.front().output);
+      const Time t = bit != buckets_.end() ? bit->second.NextAvailable(now) : now;
+      best = std::min(best, std::max(t, now));
+    }
+    if (best == now) {
+      break;
+    }
+  }
+  return best;
+}
+
+size_t InputCentricFq::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [source, q] : queues_) {
+    bytes += sizeof(SourceId) + sizeof(q) + q.size() * sizeof(SchedMessage);
+  }
+  bytes += buckets_.size() * (sizeof(OutputId) + sizeof(TokenBucket));
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// IoIsolatedFq
+// ---------------------------------------------------------------------------
+
+EnqueueOutcome IoIsolatedFq::Enqueue(const SchedMessage& msg, Time now) {
+  Bucket(msg.output, now);
+  PerOutput& out = outputs_[msg.output];
+  auto& q = out.per_source[msg.source];
+  if (q.size() >= static_cast<size_t>(config_.max_queue_depth)) {
+    return {EnqueueResult::kChannelCongested, std::nullopt};
+  }
+  q.push_back(msg);
+  ++out.depth;
+  ++total_;
+  return {EnqueueResult::kSuccess, std::nullopt};
+}
+
+std::optional<SchedMessage> IoIsolatedFq::Dequeue(Time now) {
+  if (outputs_.empty()) {
+    return std::nullopt;
+  }
+  auto oit = RrBegin(outputs_, out_cursor_);
+  for (size_t ostep = 0; ostep < outputs_.size(); ++ostep) {
+    PerOutput& out = oit->second;
+    if (out.depth > 0 && Bucket(oit->first, now).TryConsume(now)) {
+      auto sit = RrBegin(out.per_source, out.rr_cursor);
+      for (size_t sstep = 0; sstep < out.per_source.size(); ++sstep) {
+        if (!sit->second.empty()) {
+          SchedMessage msg = sit->second.front();
+          sit->second.pop_front();
+          --out.depth;
+          --total_;
+          out.rr_cursor = sit->first + 1;
+          out_cursor_ = oit->first + 1;
+          if (sit->second.empty()) {
+            out.per_source.erase(sit);
+          }
+          return msg;
+        }
+        ++sit;
+        if (sit == out.per_source.end()) {
+          sit = out.per_source.begin();
+        }
+      }
+    }
+    ++oit;
+    if (oit == outputs_.end()) {
+      oit = outputs_.begin();
+    }
+  }
+  return std::nullopt;
+}
+
+Time IoIsolatedFq::NextReadyTime(Time now) {
+  Time best = kTimeInfinity;
+  for (const auto& [output, out] : outputs_) {
+    if (out.depth == 0) {
+      continue;
+    }
+    auto bit = buckets_.find(output);
+    const Time t = bit != buckets_.end() ? bit->second.NextAvailable(now) : now;
+    best = std::min(best, std::max(t, now));
+    if (best == now) {
+      break;
+    }
+  }
+  return best;
+}
+
+size_t IoIsolatedFq::QueueObjectCount() const {
+  size_t count = 0;
+  for (const auto& [output, out] : outputs_) {
+    count += out.per_source.size();
+  }
+  return count;
+}
+
+size_t IoIsolatedFq::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [output, out] : outputs_) {
+    bytes += sizeof(OutputId) + sizeof(PerOutput);
+    for (const auto& [source, q] : out.per_source) {
+      bytes += sizeof(SourceId) + sizeof(q) + q.size() * sizeof(SchedMessage);
+    }
+  }
+  bytes += buckets_.size() * (sizeof(OutputId) + sizeof(TokenBucket));
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// OutputCentricFq
+// ---------------------------------------------------------------------------
+
+EnqueueOutcome OutputCentricFq::Enqueue(const SchedMessage& msg, Time now) {
+  Bucket(msg.output, now);
+  auto [oit, inserted] = outputs_.try_emplace(msg.output);
+  Calendar& cal = oit->second;
+  if (inserted) {
+    // This design point pre-allocates full per-queue storage up front.
+    cal.reserve.reserve(static_cast<size_t>(config_.max_queue_depth));
+  }
+  int32_t src_next = cal.current_round;
+  auto sit = cal.source_latest.find(msg.source);
+  if (sit != cal.source_latest.end() && sit->second >= cal.current_round) {
+    src_next = sit->second + 1;
+  }
+  if (src_next - cal.current_round >= max_rounds_) {
+    return {EnqueueResult::kClientOverspeed, std::nullopt};
+  }
+  if (cal.depth >= config_.max_queue_depth) {
+    return {EnqueueResult::kChannelCongested, std::nullopt};
+  }
+  const auto slot = static_cast<size_t>(src_next - cal.current_round);
+  while (cal.rounds.size() <= slot) {
+    cal.rounds.emplace_back();
+  }
+  cal.rounds[slot].push_back(msg);
+  cal.source_latest[msg.source] = src_next;
+  ++cal.depth;
+  ++total_;
+  return {EnqueueResult::kSuccess, std::nullopt};
+}
+
+std::optional<SchedMessage> OutputCentricFq::Dequeue(Time now) {
+  if (outputs_.empty()) {
+    return std::nullopt;
+  }
+  auto oit = RrBegin(outputs_, out_cursor_);
+  for (size_t step = 0; step < outputs_.size(); ++step) {
+    Calendar& cal = oit->second;
+    if (cal.depth > 0 && Bucket(oit->first, now).TryConsume(now)) {
+      while (!cal.rounds.empty() && cal.rounds.front().empty()) {
+        cal.rounds.pop_front();
+        ++cal.current_round;
+      }
+      SchedMessage msg = cal.rounds.front().front();
+      cal.rounds.front().pop_front();
+      --cal.depth;
+      --total_;
+      if (cal.depth == 0) {
+        cal.rounds.clear();
+        cal.source_latest.clear();
+      }
+      out_cursor_ = oit->first + 1;
+      return msg;
+    }
+    ++oit;
+    if (oit == outputs_.end()) {
+      oit = outputs_.begin();
+    }
+  }
+  return std::nullopt;
+}
+
+Time OutputCentricFq::NextReadyTime(Time now) {
+  Time best = kTimeInfinity;
+  for (const auto& [output, cal] : outputs_) {
+    if (cal.depth == 0) {
+      continue;
+    }
+    auto bit = buckets_.find(output);
+    const Time t = bit != buckets_.end() ? bit->second.NextAvailable(now) : now;
+    best = std::min(best, std::max(t, now));
+    if (best == now) {
+      break;
+    }
+  }
+  return best;
+}
+
+size_t OutputCentricFq::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [output, cal] : outputs_) {
+    bytes += sizeof(OutputId) + sizeof(Calendar);
+    bytes += cal.reserve.capacity() * sizeof(SchedMessage);
+    for (const auto& round : cal.rounds) {
+      bytes += round.size() * sizeof(SchedMessage);
+    }
+    bytes += cal.source_latest.size() *
+             (sizeof(SourceId) + sizeof(int32_t) + 2 * sizeof(void*));
+  }
+  bytes += buckets_.size() * (sizeof(OutputId) + sizeof(TokenBucket));
+  return bytes;
+}
+
+std::unique_ptr<Scheduler> MakeSchedulerByName(const std::string& name,
+                                               const BaselineConfig& config) {
+  if (name == "mopi") {
+    MopiFqConfig mopi;
+    mopi.max_poq_depth = config.max_queue_depth;
+    mopi.default_channel_qps = config.default_channel_qps;
+    mopi.channel_burst = config.channel_burst;
+    return std::make_unique<MopiFq>(mopi);
+  }
+  if (name == "fifo") {
+    return std::make_unique<SingleFifoScheduler>(config);
+  }
+  if (name == "input") {
+    return std::make_unique<InputCentricFq>(config, /*leapfrog=*/false);
+  }
+  if (name == "leapfrog") {
+    return std::make_unique<InputCentricFq>(config, /*leapfrog=*/true);
+  }
+  if (name == "isolated") {
+    return std::make_unique<IoIsolatedFq>(config);
+  }
+  if (name == "output") {
+    return std::make_unique<OutputCentricFq>(config, /*max_rounds=*/75);
+  }
+  return nullptr;
+}
+
+}  // namespace dcc

@@ -1,0 +1,159 @@
+// Baseline scheduler designs from the paper's design-space walk (§4.2,
+// Fig. 7). These exist to quantify, in tests and ablation benches, exactly
+// the deficiencies the paper attributes to each point in the space:
+//
+//  * SingleFifoScheduler  — what a vanilla resolver effectively does: one
+//    global FIFO per output with tail drop and no per-source fairness.
+//  * InputCentricFq       — Nagle's per-source FIFOs with round-robin
+//    service; suffers head-of-line blocking across outputs (Fig. 7a top).
+//  * InputCentricLeapfrogFq — same, but the server may leap over blocked
+//    heads; still drops cross-output messages when a queue fills (Fig. 7a
+//    bottom).
+//  * IoIsolatedFq         — one FIFO per (source, output) pair; fair but
+//    O(|S|x|O|) state (Fig. 7b).
+//  * OutputCentricFq      — per-output calendar queues with per-queue
+//    pre-allocated storage and no cross-queue arrival ordering (Fig. 7c
+//    without MOPI's shared pool and out_seq).
+//
+// All implement the Scheduler interface from src/dcc/scheduler.h.
+
+#ifndef SRC_DCC_BASELINE_SCHEDULERS_H_
+#define SRC_DCC_BASELINE_SCHEDULERS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/token_bucket.h"
+#include "src/dcc/scheduler.h"
+
+namespace dcc {
+
+struct BaselineConfig {
+  int max_queue_depth = 100;   // Per-queue capacity.
+  double default_channel_qps = 100.0;
+  double channel_burst = 8.0;
+};
+
+// Shared plumbing: per-output token buckets.
+class BaselineSchedulerBase : public Scheduler {
+ public:
+  explicit BaselineSchedulerBase(const BaselineConfig& config) : config_(config) {}
+
+  void SetChannelCapacity(OutputId output, double qps) override;
+
+ protected:
+  TokenBucket& Bucket(OutputId output, Time now);
+
+  BaselineConfig config_;
+  std::unordered_map<OutputId, TokenBucket> buckets_;
+};
+
+// One FIFO per output channel, tail-dropped; no notion of source at all.
+class SingleFifoScheduler : public BaselineSchedulerBase {
+ public:
+  explicit SingleFifoScheduler(const BaselineConfig& config)
+      : BaselineSchedulerBase(config) {}
+
+  EnqueueOutcome Enqueue(const SchedMessage& msg, Time now) override;
+  std::optional<SchedMessage> Dequeue(Time now) override;
+  Time NextReadyTime(Time now) override;
+  size_t QueuedCount() const override { return total_; }
+  size_t MemoryFootprint() const override;
+
+ private:
+  std::unordered_map<OutputId, std::deque<SchedMessage>> queues_;
+  std::vector<OutputId> rr_order_;
+  size_t rr_next_ = 0;
+  size_t total_ = 0;
+};
+
+// Nagle FQ: one FIFO per *source*, round-robin over sources. `leapfrog`
+// lets the scheduler skip a source whose head message is for a congested
+// output (Fig. 7a bottom); without it the head blocks the whole queue.
+class InputCentricFq : public BaselineSchedulerBase {
+ public:
+  InputCentricFq(const BaselineConfig& config, bool leapfrog)
+      : BaselineSchedulerBase(config), leapfrog_(leapfrog) {}
+
+  EnqueueOutcome Enqueue(const SchedMessage& msg, Time now) override;
+  std::optional<SchedMessage> Dequeue(Time now) override;
+  Time NextReadyTime(Time now) override;
+  size_t QueuedCount() const override { return total_; }
+  size_t MemoryFootprint() const override;
+
+ private:
+  bool leapfrog_;
+  std::map<SourceId, std::deque<SchedMessage>> queues_;
+  SourceId rr_cursor_ = 0;  // Next source at or after this id is served.
+  size_t total_ = 0;
+};
+
+// One FIFO per (source, output); round-robin over sources within each
+// output, outputs served in round-robin. Fair but O(|S| x |O|) queues.
+class IoIsolatedFq : public BaselineSchedulerBase {
+ public:
+  explicit IoIsolatedFq(const BaselineConfig& config)
+      : BaselineSchedulerBase(config) {}
+
+  EnqueueOutcome Enqueue(const SchedMessage& msg, Time now) override;
+  std::optional<SchedMessage> Dequeue(Time now) override;
+  Time NextReadyTime(Time now) override;
+  size_t QueuedCount() const override { return total_; }
+  size_t MemoryFootprint() const override;
+  size_t QueueObjectCount() const;  // Number of (source, output) FIFOs alive.
+
+ private:
+  struct PerOutput {
+    std::map<SourceId, std::deque<SchedMessage>> per_source;
+    SourceId rr_cursor = 0;
+    int depth = 0;
+  };
+  std::map<OutputId, PerOutput> outputs_;
+  OutputId out_cursor_ = 0;
+  size_t total_ = 0;
+};
+
+// Per-output calendar queue (round-tracked FIFO as in MOPI-FQ) but with
+// per-queue pre-allocated storage and plain round-robin across outputs —
+// i.e. Fig. 7c without the shared pool or arrival-ordered out_seq.
+class OutputCentricFq : public BaselineSchedulerBase {
+ public:
+  OutputCentricFq(const BaselineConfig& config, int max_rounds)
+      : BaselineSchedulerBase(config), max_rounds_(max_rounds) {}
+
+  EnqueueOutcome Enqueue(const SchedMessage& msg, Time now) override;
+  std::optional<SchedMessage> Dequeue(Time now) override;
+  Time NextReadyTime(Time now) override;
+  size_t QueuedCount() const override { return total_; }
+  size_t MemoryFootprint() const override;
+
+ private:
+  struct Calendar {
+    // messages[i] = FIFO of round (current_round + i).
+    std::deque<std::deque<SchedMessage>> rounds;
+    std::unordered_map<SourceId, int32_t> source_latest;  // Absolute rounds.
+    int32_t current_round = 0;
+    int depth = 0;
+    // Pre-allocated per-queue storage, modeling the design point's cost.
+    std::vector<SchedMessage> reserve;
+  };
+  std::map<OutputId, Calendar> outputs_;
+  OutputId out_cursor_ = 0;
+  int max_rounds_;
+  size_t total_ = 0;
+};
+
+// Factory used by benches: "mopi", "fifo", "input", "leapfrog", "isolated",
+// "output". Returns nullptr for unknown names.
+std::unique_ptr<Scheduler> MakeSchedulerByName(const std::string& name,
+                                               const BaselineConfig& config);
+
+}  // namespace dcc
+
+#endif  // SRC_DCC_BASELINE_SCHEDULERS_H_

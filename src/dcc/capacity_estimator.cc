@@ -1,0 +1,93 @@
+#include "src/dcc/capacity_estimator.h"
+
+#include <algorithm>
+
+namespace dcc {
+
+CapacityEstimator::CapacityEstimator(const CapacityEstimatorConfig& config)
+    : config_(config) {}
+
+CapacityEstimator::ChannelState& CapacityEstimator::StateFor(OutputId output,
+                                                             Time now) {
+  auto [it, inserted] = channels_.try_emplace(output);
+  ChannelState& state = it->second;
+  if (inserted) {
+    state.estimate = config_.initial_qps;
+    state.window_start = now;
+  }
+  state.last_active = now;
+  return state;
+}
+
+void CapacityEstimator::Seed(OutputId output, double qps) {
+  ChannelState& state = StateFor(output, 0);
+  state.estimate = std::clamp(qps, config_.min_qps, config_.max_qps);
+}
+
+void CapacityEstimator::RecordAnswered(OutputId output, Time now) {
+  ++StateFor(output, now).answered;
+}
+
+void CapacityEstimator::RecordLost(OutputId output, Time now) {
+  ++StateFor(output, now).lost;
+}
+
+std::vector<std::pair<OutputId, double>> CapacityEstimator::Tick(Time now) {
+  std::vector<std::pair<OutputId, double>> updates;
+  if (!config_.enabled) {
+    return updates;
+  }
+  for (auto& [output, state] : channels_) {
+    if (now - state.window_start < config_.window) {
+      continue;
+    }
+    const int64_t concluded = state.answered + state.lost;
+    const double old_estimate = state.estimate;
+    if (concluded >= config_.min_samples) {
+      const double loss =
+          static_cast<double>(state.lost) / static_cast<double>(concluded);
+      const double offered = static_cast<double>(concluded) / ToSeconds(config_.window);
+      if (loss > config_.loss_threshold) {
+        // The upstream dropped part of the window: the real limit lies near
+        // the delivered rate; converge towards it multiplicatively.
+        const double delivered =
+            static_cast<double>(state.answered) / ToSeconds(config_.window);
+        state.estimate = std::max(
+            config_.min_qps,
+            std::min(state.estimate, delivered / config_.decrease_factor) *
+                config_.decrease_factor);
+      } else if (offered > config_.utilization_threshold * state.estimate) {
+        // Clean and saturated: probe upward.
+        state.estimate = std::min(config_.max_qps, state.estimate + config_.increase_qps);
+      }
+    }
+    state.answered = 0;
+    state.lost = 0;
+    state.window_start = now;
+    if (state.estimate != old_estimate) {
+      updates.emplace_back(output, state.estimate);
+    }
+  }
+  return updates;
+}
+
+double CapacityEstimator::EstimateFor(OutputId output) const {
+  auto it = channels_.find(output);
+  return it != channels_.end() ? it->second.estimate : config_.initial_qps;
+}
+
+void CapacityEstimator::PurgeIdle(Time now, Duration idle) {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->second.last_active + idle < now) {
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t CapacityEstimator::MemoryFootprint() const {
+  return channels_.size() * (sizeof(OutputId) + sizeof(ChannelState) + 2 * sizeof(void*));
+}
+
+}  // namespace dcc

@@ -1,0 +1,87 @@
+// Channel-capacity estimation (paper §3.2.1, footnote 1).
+//
+// DCC needs each inter-server channel's capacity (the minimum of the two
+// ends' rate limits). The paper suggests probing, operator-published
+// parameters, or in-band negotiation; this component implements the probing
+// option as an AIMD control loop over observed channel behavior:
+//
+//   * the DCC shim reports each query's fate per channel: answered (the
+//     upstream responded) or lost (its per-request state expired unanswered
+//     — the upstream's rate limiter silently dropped it);
+//   * windows with sustained loss => multiplicative decrease towards the
+//     delivered rate; clean, highly-utilized windows => additive increase.
+//
+// The estimate feeds MOPI-FQ's token buckets, closing the classic
+// congestion-control loop at the DNS layer.
+
+#ifndef SRC_DCC_CAPACITY_ESTIMATOR_H_
+#define SRC_DCC_CAPACITY_ESTIMATOR_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/dcc/scheduler.h"
+
+namespace dcc {
+
+struct CapacityEstimatorConfig {
+  bool enabled = false;
+  double initial_qps = 100.0;
+  double min_qps = 10.0;
+  double max_qps = 1e6;
+  // Loss rate above which a window counts as congested.
+  double loss_threshold = 0.10;
+  // Multiplicative decrease on congestion.
+  double decrease_factor = 0.7;
+  // Additive increase per clean, utilized window.
+  double increase_qps = 10.0;
+  // Utilization (sent / estimate) above which we probe upward.
+  double utilization_threshold = 0.85;
+  // Minimum samples per window for a loss verdict.
+  int64_t min_samples = 8;
+  Duration window = Seconds(1);
+};
+
+class CapacityEstimator {
+ public:
+  explicit CapacityEstimator(const CapacityEstimatorConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+
+  // Seeds (or overrides) a channel's estimate, e.g. from operator config.
+  void Seed(OutputId output, double qps);
+
+  void RecordAnswered(OutputId output, Time now);
+  void RecordLost(OutputId output, Time now);
+
+  // Advances window accounting; returns (channel, new estimate) pairs for
+  // every channel whose estimate changed this tick.
+  std::vector<std::pair<OutputId, double>> Tick(Time now);
+
+  // Current estimate (initial_qps for unknown channels).
+  double EstimateFor(OutputId output) const;
+
+  void PurgeIdle(Time now, Duration idle);
+  size_t TrackedChannels() const { return channels_.size(); }
+  size_t MemoryFootprint() const;
+
+ private:
+  struct ChannelState {
+    double estimate = 0;
+    int64_t answered = 0;
+    int64_t lost = 0;
+    Time window_start = 0;
+    Time last_active = 0;
+  };
+
+  ChannelState& StateFor(OutputId output, Time now);
+
+  CapacityEstimatorConfig config_;
+  std::unordered_map<OutputId, ChannelState> channels_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_DCC_CAPACITY_ESTIMATOR_H_

@@ -1,0 +1,497 @@
+#include "src/dcc/dcc_node.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/dns/codec.h"
+
+namespace dcc {
+
+DccNode::DccNode(Network& network, HostAddress addr, const DccConfig& config)
+    : config_(config),
+      scheduler_(config.scheduler),
+      monitor_(config.anomaly),
+      policer_(),
+      capacity_estimator_(config.capacity) {
+  network.RegisterNode(this, addr);
+}
+
+void DccNode::SetChannelCapacity(HostAddress server, double qps) {
+  scheduler_.SetChannelCapacity(server, qps);
+  if (capacity_estimator_.enabled()) {
+    capacity_estimator_.Seed(server, qps);
+  }
+}
+
+void DccNode::SetClientShare(HostAddress client, double share) {
+  scheduler_.SetSourceShare(client, share);
+}
+
+void DccNode::Start() {
+  loop().SchedulePeriodic(config_.purge_interval, [this]() { PeriodicMaintenance(); });
+}
+
+DccNode::ClientSignalState& DccNode::SignalStateFor(SourceId client) {
+  ClientSignalState& state = client_signals_[client];
+  state.last_active = now();
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Incoming traffic (network -> resolver)
+// ---------------------------------------------------------------------------
+
+void DccNode::OnDatagram(const Datagram& dgram) {
+  if (server_ == nullptr) {
+    return;
+  }
+  auto decoded = DecodeMessage(dgram.payload);
+  if (!decoded.has_value()) {
+    server_->HandleDatagram(dgram);
+    return;
+  }
+  if (decoded->IsQuery() && dgram.dst.port == kDnsPort) {
+    HandleIncomingQuery(dgram, std::move(*decoded));
+  } else if (decoded->IsResponse()) {
+    HandleIncomingAnswer(dgram, std::move(*decoded));
+  } else {
+    server_->HandleDatagram(dgram);
+  }
+}
+
+void DccNode::HandleIncomingQuery(const Datagram& dgram, Message /*msg*/) {
+  // Client request: account it for anomaly metrics and pass through — the
+  // resolver's fast path (cache hits) is untouched by DCC (§3.2).
+  monitor_.RecordRequest(AggregateClient(dgram.src.addr), now());
+  server_->HandleDatagram(dgram);
+}
+
+void DccNode::HandleIncomingAnswer(const Datagram& dgram, Message msg) {
+  if (capacity_estimator_.enabled()) {
+    capacity_estimator_.RecordAnswered(dgram.src.addr, now());
+  }
+  const uint64_t key = PendingKey(dgram.dst.port, msg.header.id);
+  SourceId culprit = dgram.dst.addr;  // Fallback: attribute to ourselves.
+  auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    if (it->second.has_attribution) {
+      culprit = AggregateClient(it->second.attribution.client_addr);
+    }
+    pending_.erase(it);
+  }
+
+  if (config_.signaling_enabled) {
+    ProcessUpstreamSignals(msg, culprit);
+  }
+  const size_t stripped = StripDccOptions(msg);
+  if (stripped == 0 && it == pending_.end()) {
+    // Untouched message with no tracked state: deliver as-is.
+    server_->HandleDatagram(dgram);
+    return;
+  }
+  Datagram clean = dgram;
+  clean.payload = EncodeMessage(msg);
+  server_->HandleDatagram(clean);
+}
+
+void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
+  // §3.3.4 processing priority: policing > anomaly > congestion.
+  if (auto policing = GetPolicingSignal(answer); policing.has_value()) {
+    ++signals_processed_;
+    // We are being policed upstream: warn the culprit's path and raise
+    // monitoring sensitivity, since we failed to catch it ourselves.
+    SignalStateFor(culprit).relay_policing = *policing;
+    monitor_.SetSensitivity(0.5);
+  }
+  if (auto anomaly = GetAnomalySignal(answer); anomaly.has_value()) {
+    ++signals_processed_;
+    if (anomaly->countdown <= config_.countdown_police_threshold) {
+      // Impending policing from upstream: control the culprit now (§3.3.1).
+      policer_.Impose(culprit, config_.signal_policy, /*rate_qps=*/0,
+                      config_.signal_policy_duration, AnomalyReason::kUpstreamSignal,
+                      now());
+      ++convictions_;
+      PolicingSignal local;
+      local.policy = config_.signal_policy;
+      local.expiry_remaining_ms = static_cast<uint32_t>(
+          config_.signal_policy_duration / kMillisecond);
+      SignalStateFor(culprit).relay_policing = local;
+    } else {
+      AnomalySignal relayed = *anomaly;
+      relayed.countdown = static_cast<uint16_t>(
+          relayed.countdown > config_.countdown_relay_decrement
+              ? relayed.countdown - config_.countdown_relay_decrement
+              : 1);
+      SignalStateFor(culprit).relay_anomaly = relayed;
+      monitor_.RecordExternalAlarm(culprit, AnomalyReason::kUpstreamSignal, now());
+    }
+  }
+  if (auto congestion = GetCongestionSignal(answer); congestion.has_value()) {
+    ++signals_processed_;
+    SignalStateFor(culprit).relay_congestion = *congestion;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing traffic (resolver -> network)
+// ---------------------------------------------------------------------------
+
+void DccNode::Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+  auto decoded = DecodeMessage(payload);
+  if (!decoded.has_value()) {
+    SendDatagram(src_port, dst, std::move(payload));
+    return;
+  }
+  if (decoded->IsQuery() && dst.port == kDnsPort) {
+    HandleOutgoingQuery(src_port, dst, std::move(*decoded));
+  } else if (decoded->IsResponse()) {
+    HandleOutgoingResponse(src_port, dst, std::move(*decoded));
+  } else {
+    SendDatagram(src_port, dst, std::move(payload));
+  }
+}
+
+SourceId DccNode::AggregateClient(SourceId client) const {
+  const int bits = config_.client_prefix_bits;
+  if (bits >= 32 || bits <= 0) {
+    return client;
+  }
+  return client & ~((1u << (32 - bits)) - 1u);
+}
+
+SourceId DccNode::AttributionSource(const Message& query, Attribution* attribution,
+                                    bool* has_attribution) const {
+  if (auto attr = GetAttribution(query); attr.has_value()) {
+    *attribution = *attr;
+    *has_attribution = true;
+    return AggregateClient(attr->client_addr);
+  }
+  *has_attribution = false;
+  // Unattributed resolver-internal query (e.g. prefetch): bucket under the
+  // resolver's own address.
+  return address();
+}
+
+void DccNode::FailQuery(const QueuedQuery& queued, EnqueueResult reason) {
+  // Synthesize SERVFAIL to the wrapped resolver so it fails fast instead of
+  // waiting out a timeout (§3.2.1).
+  Message response = MakeResponse(queued.query, Rcode::kServFail);
+  response.header.qr = true;
+  Datagram dgram;
+  dgram.src = queued.dst;  // Appears to come from the intended upstream.
+  dgram.dst = Endpoint{address(), queued.src_port};
+  dgram.payload = EncodeMessage(response);
+  ++servfails_synthesized_;
+  if (queued.has_attribution &&
+      (reason == EnqueueResult::kChannelCongested ||
+       reason == EnqueueResult::kQueueOverflow ||
+       reason == EnqueueResult::kClientOverspeed)) {
+    ClientSignalState& state = SignalStateFor(queued.attribution.client_addr);
+    ++state.congestion_drops;
+    state.last_drop_output = queued.dst.addr;
+  }
+  // Deliver asynchronously to keep resolver re-entrancy simple.
+  loop().ScheduleAfter(0, [this, dgram]() {
+    if (server_ != nullptr) {
+      server_->HandleDatagram(dgram);
+    }
+  });
+}
+
+void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) {
+  Attribution attribution;
+  bool has_attribution = false;
+  const SourceId source = AttributionSource(msg, &attribution, &has_attribution);
+
+  // Pre-queue policing (§3.2.3).
+  if (!policer_.AllowQuery(source, now())) {
+    QueuedQuery rejected;
+    rejected.query = msg;
+    rejected.src_port = src_port;
+    rejected.dst = dst;
+    rejected.attribution = attribution;
+    rejected.has_attribution = has_attribution;
+    Message response = MakeResponse(rejected.query, Rcode::kServFail);
+    Datagram dgram;
+    dgram.src = dst;
+    dgram.dst = Endpoint{address(), src_port};
+    dgram.payload = EncodeMessage(response);
+    ++servfails_synthesized_;
+    loop().ScheduleAfter(0, [this, dgram]() {
+      if (server_ != nullptr) {
+        server_->HandleDatagram(dgram);
+      }
+    });
+    return;
+  }
+
+  const uint32_t request_key =
+      has_attribution ? (static_cast<uint32_t>(attribution.client_port) << 16) |
+                            attribution.request_id
+                      : 0;
+  monitor_.RecordAttributedQuery(source, request_key, now());
+
+  StripDccOptions(msg);
+  const uint64_t cookie = next_cookie_++;
+  QueuedQuery& queued = queued_[cookie];
+  queued.query = std::move(msg);
+  queued.src_port = src_port;
+  queued.dst = dst;
+  queued.attribution = attribution;
+  queued.has_attribution = has_attribution;
+
+  SchedMessage sched;
+  sched.source = source;
+  sched.output = dst.addr;
+  sched.arrival = now();
+  sched.cookie = cookie;
+  const EnqueueOutcome outcome = scheduler_.Enqueue(sched, now());
+  if (outcome.evicted.has_value()) {
+    ++evictions_;
+    auto evicted = queued_.extract(outcome.evicted->cookie);
+    if (!evicted.empty()) {
+      FailQuery(evicted.mapped(), EnqueueResult::kChannelCongested);
+    }
+  }
+  switch (outcome.result) {
+    case EnqueueResult::kSuccess:
+      ++queries_scheduled_;
+      Drain();
+      return;
+    case EnqueueResult::kChannelCongested:
+      ++enqueue_congested_;
+      break;
+    case EnqueueResult::kQueueOverflow:
+      ++enqueue_overflow_;
+      break;
+    case EnqueueResult::kClientOverspeed:
+      ++enqueue_overspeed_;
+      break;
+  }
+  auto failed = queued_.extract(cookie);
+  if (!failed.empty()) {
+    FailQuery(failed.mapped(), outcome.result);
+  }
+}
+
+void DccNode::Drain() {
+  while (auto msg = scheduler_.Dequeue(now())) {
+    auto node = queued_.extract(msg->cookie);
+    if (node.empty()) {
+      continue;
+    }
+    QueuedQuery& queued = node.mapped();
+    PendingInfo& info =
+        pending_[PendingKey(queued.src_port, queued.query.header.id)];
+    info.attribution = queued.attribution;
+    info.has_attribution = queued.has_attribution;
+    info.created = now();
+    info.output = queued.dst.addr;
+    SendDatagram(queued.src_port, queued.dst, EncodeMessage(queued.query));
+    ++queries_sent_;
+  }
+  const Time next = scheduler_.NextReadyTime(now());
+  if (next != kTimeInfinity) {
+    ScheduleDrainAt(next);
+  }
+}
+
+void DccNode::ScheduleDrainAt(Time t) {
+  t = std::max(t, now() + 1);
+  if (drain_scheduled_for_ <= t) {
+    return;
+  }
+  drain_scheduled_for_ = t;
+  loop().ScheduleAt(t, [this, t]() {
+    if (drain_scheduled_for_ == t) {
+      drain_scheduled_for_ = kTimeInfinity;
+    }
+    Drain();
+  });
+}
+
+void DccNode::HandleOutgoingResponse(uint16_t src_port, Endpoint dst, Message msg) {
+  const SourceId client = AggregateClient(dst.addr);
+  monitor_.RecordClientResponse(client, msg.header.rcode, now());
+  if (config_.signaling_enabled) {
+    AttachSignals(msg, client, dst.port);
+  }
+  SendDatagram(src_port, dst, EncodeMessage(msg));
+}
+
+void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_port) {
+  auto it = client_signals_.find(client);
+  ClientSignalState* state = it != client_signals_.end() ? &it->second : nullptr;
+  const Time t = now();
+
+  // Policing signal: upstream-relayed preferred, else local active policy
+  // with recent policing drops (§3.3.2).
+  if (state != nullptr && state->relay_policing.has_value()) {
+    SetOption(response, EncodePolicingSignal(*state->relay_policing));
+    if (config_.emit_extended_errors) {
+      SetOption(response, EncodeExtendedError(
+                              {state->relay_policing->policy == PolicyType::kBlock
+                                   ? kEdeBlocked
+                                   : kEdeProhibited,
+                               "dcc: policed upstream"}));
+    }
+    state->relay_policing.reset();
+    ++signals_attached_;
+  } else if (const ActivePolicy* policy = policer_.Get(client, t); policy != nullptr) {
+    if (policer_.TakeDropCount(client) > 0 ||
+        response.header.rcode == Rcode::kServFail) {
+      PolicingSignal signal;
+      signal.policy = policy->type;
+      signal.expiry_remaining_ms =
+          static_cast<uint32_t>(std::max<Duration>(0, policy->expires - t) / kMillisecond);
+      SetOption(response, EncodePolicingSignal(signal));
+      if (config_.emit_extended_errors) {
+        SetOption(response,
+                  EncodeExtendedError({policy->type == PolicyType::kBlock
+                                           ? kEdeBlocked
+                                           : kEdeProhibited,
+                                       "dcc: policed"}));
+      }
+      ++signals_attached_;
+    }
+  }
+
+  // Anomaly signal: relayed preferred, else local suspicion (§3.3.1). The
+  // local signal goes only on responses to *anomalous* requests — NXDOMAIN
+  // answers for an NX-ratio suspicion, failed requests otherwise — so a
+  // downstream resolver can map it to the real culprit instead of an
+  // innocent client whose answer happens to pass through.
+  const AnomalyReason local_reason = monitor_.ReasonFor(client);
+  bool response_is_anomalous = false;
+  switch (local_reason) {
+    case AnomalyReason::kNxDomainRatio:
+      response_is_anomalous = response.header.rcode == Rcode::kNxDomain;
+      break;
+    case AnomalyReason::kAmplification: {
+      // Only requests that actually fanned out carry the signal; a benign
+      // request that merely failed under congestion must not be framed.
+      const uint32_t request_key =
+          (static_cast<uint32_t>(client_port) << 16) | response.header.id;
+      response_is_anomalous =
+          static_cast<double>(monitor_.RequestQueryCount(client, request_key)) >
+          config_.anomaly.amplification_threshold;
+      break;
+    }
+    default:
+      response_is_anomalous = response.header.rcode == Rcode::kServFail;
+      break;
+  }
+  if (state != nullptr && state->relay_anomaly.has_value()) {
+    SetOption(response, EncodeAnomalySignal(*state->relay_anomaly));
+    state->relay_anomaly.reset();
+    ++signals_attached_;
+  } else if (monitor_.IsSuspicious(client, t) && response_is_anomalous) {
+    AnomalySignal signal;
+    signal.reason = local_reason;
+    signal.policy = signal.reason == AnomalyReason::kNxDomainRatio
+                        ? PolicyType::kRateLimit
+                        : PolicyType::kBlock;
+    signal.suspicion_remaining_ms =
+        static_cast<uint32_t>(monitor_.SuspicionRemaining(client, t) / kMillisecond);
+    signal.countdown = static_cast<uint16_t>(monitor_.CountdownFor(client));
+    SetOption(response, EncodeAnomalySignal(signal));
+    ++signals_attached_;
+  }
+
+  // Congestion signal: relayed preferred, else local scheduler drops
+  // (§3.3.3). Local signals accompany the failed request's response.
+  if (state != nullptr && state->relay_congestion.has_value()) {
+    SetOption(response, EncodeCongestionSignal(*state->relay_congestion));
+    state->relay_congestion.reset();
+    ++signals_attached_;
+  } else if (state != nullptr && state->congestion_drops > 0 &&
+             response.header.rcode == Rcode::kServFail) {
+    CongestionSignal signal;
+    signal.dropped_queries = static_cast<uint32_t>(state->congestion_drops);
+    const size_t active = std::max<size_t>(
+        1, scheduler_.ActiveOutputCount() > 0 ? monitor_.TrackedClients() : 1);
+    signal.allocated_qps = static_cast<uint32_t>(
+        config_.scheduler.default_channel_qps / static_cast<double>(active));
+    SetOption(response, EncodeCongestionSignal(signal));
+    if (config_.emit_extended_errors && !GetExtendedError(response).has_value()) {
+      SetOption(response,
+                EncodeExtendedError({kEdeNetworkError, "dcc: channel congested"}));
+    }
+    state->congestion_drops = 0;
+    ++signals_attached_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void DccNode::PeriodicMaintenance() {
+  const Time t = now();
+  // Window evaluation: convict clients that crossed the alarm threshold.
+  for (const auto& event : monitor_.EvaluateWindows(t)) {
+    if (!event.convicted) {
+      continue;
+    }
+    ++convictions_;
+    if (event.reason == AnomalyReason::kNxDomainRatio) {
+      policer_.Impose(event.client, PolicyType::kRateLimit, config_.nx_policy_qps,
+                      config_.nx_policy_duration, event.reason, t);
+    } else {
+      policer_.Impose(event.client, PolicyType::kBlock, /*rate_qps=*/0,
+                      config_.amp_policy_duration, event.reason, t);
+    }
+  }
+  policer_.Purge(t);
+  monitor_.PurgeIdle(t, config_.state_idle_timeout);
+  scheduler_.PurgeIdle(t, config_.state_idle_timeout);
+  if (capacity_estimator_.enabled()) {
+    for (const auto& [output, qps] : capacity_estimator_.Tick(t)) {
+      scheduler_.SetChannelCapacity(output, qps);
+    }
+    capacity_estimator_.PurgeIdle(t, config_.state_idle_timeout);
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.created + config_.pending_query_ttl < t) {
+      // The query concluded unanswered: evidence of upstream rate limiting.
+      if (capacity_estimator_.enabled()) {
+        capacity_estimator_.RecordLost(it->second.output, t);
+      }
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = client_signals_.begin(); it != client_signals_.end();) {
+    ClientSignalState& state = it->second;
+    const bool has_signal = state.relay_anomaly.has_value() ||
+                            state.relay_policing.has_value() ||
+                            state.relay_congestion.has_value() ||
+                            state.congestion_drops > 0;
+    if (!has_signal && state.last_active + config_.state_idle_timeout < t) {
+      it = client_signals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t DccNode::MemoryFootprint() const {
+  size_t bytes = scheduler_.MemoryFootprint();
+  bytes += monitor_.MemoryFootprint();
+  bytes += policer_.MemoryFootprint();
+  bytes += capacity_estimator_.MemoryFootprint();
+  bytes += pending_.size() * (sizeof(uint64_t) + sizeof(PendingInfo) + 2 * sizeof(void*));
+  bytes += client_signals_.size() *
+           (sizeof(SourceId) + sizeof(ClientSignalState) + 2 * sizeof(void*));
+  for (const auto& [cookie, queued] : queued_) {
+    bytes += sizeof(uint64_t) + sizeof(QueuedQuery) + queued.query.Q().qname.WireLength();
+  }
+  return bytes;
+}
+
+size_t DccNode::PerClientStateCount() const {
+  return monitor_.TrackedClients() + client_signals_.size();
+}
+
+}  // namespace dcc

@@ -1,0 +1,134 @@
+// MOPI-FQ: multi-output pseudo-isolated fair queuing (paper §4.2, App. B).
+//
+// One flattened calendar queue per active output channel, all carved out of a
+// single fixed-capacity pool of linkable entries; an ordered output sequence
+// (`out_seq`) preserves cross-queue arrival order and skips congested
+// channels. Space is O(|O| + q); enqueue and dequeue are O(log |O|).
+//
+// Per-queue structure: entries form a doubly linked list logically divided
+// into scheduling rounds [current_round, latest_round]. Each source
+// contributes at most `share` messages per round (1 by default), which is
+// what makes draining rounds in order equivalent to the water-filling
+// procedure and yields max-min fairness per channel (Theorem B.1).
+
+#ifndef SRC_DCC_MOPI_FQ_H_
+#define SRC_DCC_MOPI_FQ_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/token_bucket.h"
+#include "src/dcc/scheduler.h"
+
+namespace dcc {
+
+struct MopiFqConfig {
+  // Overall entry-pool capacity (MAX_CAPACITY). The paper's evaluation uses
+  // 100000.
+  size_t pool_capacity = 100000;
+  // Per-output queue depth limit (MAX_POQ_DEPTH); 100 in the evaluation.
+  int max_poq_depth = 100;
+  // Maximum rounds a source may run ahead of the current round (MAX_ROUND);
+  // 75 in the evaluation.
+  int max_rounds = 75;
+  // Capacity assumed for channels without an explicit SetChannelCapacity
+  // call, in queries/second.
+  double default_channel_qps = 100.0;
+  // Token-bucket burst for channel capacity enforcement.
+  double channel_burst = 8.0;
+};
+
+class MopiFq : public Scheduler {
+ public:
+  explicit MopiFq(const MopiFqConfig& config);
+
+  EnqueueOutcome Enqueue(const SchedMessage& msg, Time now) override;
+  std::optional<SchedMessage> Dequeue(Time now) override;
+  Time NextReadyTime(Time now) override;
+  size_t QueuedCount() const override { return total_depth_; }
+  size_t MemoryFootprint() const override;
+  void SetChannelCapacity(OutputId output, double qps) override;
+  void SetSourceShare(SourceId source, double share) override;
+  void PurgeIdle(Time now, Duration idle) override;
+
+  // Introspection for tests and the Fig. 10 state report.
+  size_t ActiveOutputCount() const { return poq_tracker_.size(); }
+  // Channels with rate-limiter state (includes currently-empty queues).
+  size_t TrackedChannelCount() const { return rate_lim_.size(); }
+  int QueueDepth(OutputId output) const;
+  const MopiFqConfig& config() const { return config_; }
+
+  // Validates internal invariants (list structure, depths, round tracking);
+  // aborts via assert on violation. Test-only.
+  void CheckInvariants() const;
+
+ private:
+  using SeqKey = std::pair<Time, OutputId>;
+
+  struct Entry {
+    int32_t next = -1;
+    int32_t prev = -1;
+    int32_t round = 0;
+    SchedMessage msg;
+  };
+
+  // Per-source, per-output round bookkeeping (`source_latest` in Fig. 13,
+  // extended with the round quota of Appendix B.1.3).
+  struct SourceState {
+    int32_t latest_round = 0;
+    int32_t queued = 0;      // Messages currently queued for this output.
+    double quota_left = 0;   // Remaining slots in `latest_round`.
+  };
+
+  struct PoqState {
+    int depth = 0;
+    int32_t head = -1;
+    int32_t tail = -1;
+    int32_t current_round = 0;
+    int32_t latest_round = -1;  // current_round - 1 when empty.
+    // Ring buffer: index (round % max_rounds) -> tail entry of that round,
+    // -1 when the round holds no messages.
+    std::vector<int32_t> round_tails;
+    std::unordered_map<SourceId, SourceState> source_latest;
+    SeqKey seq_key{0, 0};  // Current position in out_seq_.
+  };
+
+  struct ChannelState {
+    TokenBucket bucket;
+    Time last_active = 0;
+  };
+
+  int32_t AllocEntry();
+  void FreeEntry(int32_t idx);
+
+  PoqState& ActivateOutput(OutputId output, Time arrival);
+  ChannelState& Channel(OutputId output, Time now);
+
+  // Unlinks the queue tail (a latest-round message) and returns it.
+  SchedMessage EvictFromLatestRound(OutputId output, PoqState& poq);
+
+  // Removes entry `idx` from `poq`'s list and fixes round bookkeeping.
+  void Unlink(PoqState& poq, int32_t idx);
+
+  double ShareOf(SourceId source) const;
+
+  MopiFqConfig config_;
+  std::vector<Entry> pool_;
+  int32_t free_head_ = -1;
+  size_t total_depth_ = 0;
+
+  std::unordered_map<OutputId, PoqState> poq_tracker_;
+  std::unordered_map<OutputId, ChannelState> rate_lim_;
+  std::unordered_map<SourceId, double> shares_;
+  // Outputs ordered by the arrival time of their queue-head message, or by
+  // the predicted re-availability time when congested.
+  std::set<SeqKey> out_seq_;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_DCC_MOPI_FQ_H_

@@ -1,0 +1,84 @@
+#include "src/dcc/policer.h"
+
+namespace dcc {
+
+void PreQueuePolicer::Impose(SourceId client, PolicyType type, double rate_qps,
+                             Duration duration, AnomalyReason reason, Time now) {
+  Entry& entry = entries_[client];
+  entry.policy.type = type;
+  entry.policy.rate_qps = rate_qps;
+  entry.policy.expires = now + duration;
+  entry.policy.reason = reason;
+  if (type == PolicyType::kRateLimit) {
+    entry.bucket = TokenBucket(rate_qps, rate_qps / 10 + 1, now);
+  }
+}
+
+bool PreQueuePolicer::AllowQuery(SourceId client, Time now) {
+  auto it = entries_.find(client);
+  if (it == entries_.end() || it->second.policy.expires <= now) {
+    return true;
+  }
+  Entry& entry = it->second;
+  switch (entry.policy.type) {
+    case PolicyType::kNone:
+      return true;
+    case PolicyType::kBlock:
+      ++entry.dropped_since_signal;
+      ++total_dropped_;
+      return false;
+    case PolicyType::kRateLimit:
+      if (entry.bucket.TryConsume(now)) {
+        return true;
+      }
+      ++entry.dropped_since_signal;
+      ++total_dropped_;
+      return false;
+  }
+  return true;
+}
+
+const ActivePolicy* PreQueuePolicer::Get(SourceId client, Time now) const {
+  auto it = entries_.find(client);
+  if (it == entries_.end() || it->second.policy.expires <= now ||
+      it->second.policy.type == PolicyType::kNone) {
+    return nullptr;
+  }
+  return &it->second.policy;
+}
+
+uint64_t PreQueuePolicer::TakeDropCount(SourceId client) {
+  auto it = entries_.find(client);
+  if (it == entries_.end()) {
+    return 0;
+  }
+  const uint64_t count = it->second.dropped_since_signal;
+  it->second.dropped_since_signal = 0;
+  return count;
+}
+
+size_t PreQueuePolicer::PolicedCount(Time now) const {
+  size_t count = 0;
+  for (const auto& [client, entry] : entries_) {
+    if (entry.policy.expires > now && entry.policy.type != PolicyType::kNone) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void PreQueuePolicer::Purge(Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.policy.expires <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t PreQueuePolicer::MemoryFootprint() const {
+  return entries_.size() * (sizeof(SourceId) + sizeof(Entry) + 2 * sizeof(void*));
+}
+
+}  // namespace dcc

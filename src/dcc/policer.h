@@ -1,0 +1,61 @@
+// Pre-queue policing (paper §3.2.3).
+//
+// Enforces a defensive policy on a convicted client's *attributed queries*
+// before they reach the MOPI-FQ scheduler. Cached answers are unaffected —
+// this is the difference from a vanilla resolver's ingress policing.
+
+#ifndef SRC_DCC_POLICER_H_
+#define SRC_DCC_POLICER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/token_bucket.h"
+#include "src/dns/edns_options.h"
+#include "src/dcc/scheduler.h"
+
+namespace dcc {
+
+struct ActivePolicy {
+  PolicyType type = PolicyType::kNone;
+  double rate_qps = 0;
+  Time expires = 0;
+  AnomalyReason reason = AnomalyReason::kNone;
+};
+
+class PreQueuePolicer {
+ public:
+  // Imposes (or replaces) a policy on `client` for `duration`.
+  void Impose(SourceId client, PolicyType type, double rate_qps, Duration duration,
+              AnomalyReason reason, Time now);
+
+  // Whether a query attributed to `client` may proceed to scheduling;
+  // consumes a rate-limit token when applicable and counts drops.
+  bool AllowQuery(SourceId client, Time now);
+
+  // Active policy for `client`, or nullptr if none / expired.
+  const ActivePolicy* Get(SourceId client, Time now) const;
+  bool IsPoliced(SourceId client, Time now) const { return Get(client, now) != nullptr; }
+
+  // Queries dropped by policing for `client` since the counter was last
+  // taken; used to decide when to attach a policing signal.
+  uint64_t TakeDropCount(SourceId client);
+
+  uint64_t total_dropped() const { return total_dropped_; }
+  size_t PolicedCount(Time now) const;
+  void Purge(Time now);
+  size_t MemoryFootprint() const;
+
+ private:
+  struct Entry {
+    ActivePolicy policy;
+    TokenBucket bucket{0, 0};
+    uint64_t dropped_since_signal = 0;
+  };
+  std::unordered_map<SourceId, Entry> entries_;
+  uint64_t total_dropped_ = 0;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_DCC_POLICER_H_

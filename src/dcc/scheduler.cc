@@ -1,0 +1,70 @@
+#include "src/dcc/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dcc {
+
+const char* EnqueueResultName(EnqueueResult result) {
+  switch (result) {
+    case EnqueueResult::kSuccess:
+      return "SUCCESS";
+    case EnqueueResult::kClientOverspeed:
+      return "FAIL_CLIENT_OVERSPEED";
+    case EnqueueResult::kChannelCongested:
+      return "FAIL_CHANNEL_CONGESTED";
+    case EnqueueResult::kQueueOverflow:
+      return "FAIL_QUEUE_OVERFLOW";
+  }
+  return "?";
+}
+
+void Scheduler::SetSourceShare(SourceId /*source*/, double /*share*/) {}
+void Scheduler::PurgeIdle(Time /*now*/, Duration /*idle*/) {}
+
+std::vector<double> WaterFilling(double capacity, const std::vector<double>& demands) {
+  return WeightedWaterFilling(capacity, demands,
+                              std::vector<double>(demands.size(), 1.0));
+}
+
+std::vector<double> WeightedWaterFilling(double capacity,
+                                         const std::vector<double>& demands,
+                                         const std::vector<double>& shares) {
+  const size_t n = demands.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0 || capacity <= 0) {
+    return alloc;
+  }
+  // Progressive filling: raise a common water level `w`; source i receives
+  // min(demand_i, w * share_i). Iterate by repeatedly satisfying the source
+  // whose demand/share ratio is lowest.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return demands[a] / shares[a] < demands[b] / shares[b];
+  });
+  double remaining = capacity;
+  double active_share = 0.0;
+  for (size_t i : order) {
+    active_share += shares[i];
+  }
+  for (size_t idx = 0; idx < n; ++idx) {
+    const size_t i = order[idx];
+    // Rate this source would get if all remaining capacity were split by
+    // share among still-unsatisfied sources.
+    const double fair = remaining * shares[i] / active_share;
+    if (demands[i] <= fair) {
+      alloc[i] = demands[i];
+    } else {
+      alloc[i] = fair;
+    }
+    remaining -= alloc[i];
+    active_share -= shares[i];
+    if (remaining <= 0) {
+      remaining = 0;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace dcc

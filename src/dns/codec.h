@@ -1,0 +1,29 @@
+// DNS wire-format codec (RFC 1035 §4.1) with name compression and EDNS(0).
+//
+// The simulator carries serialized messages across links, so every hop
+// exercises this codec exactly as a real deployment would. Decoding is
+// defensive: any malformed input yields std::nullopt rather than UB.
+
+#ifndef SRC_DNS_CODEC_H_
+#define SRC_DNS_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/dns/message.h"
+
+namespace dcc {
+
+// Serializes `msg` to wire format. Name compression is applied to owner
+// names and to NS/CNAME/SOA rdata names.
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+// Parses a wire-format message. Returns nullopt on any syntactic error
+// (truncation, bad compression pointers, label overruns, nested OPT, ...).
+std::optional<Message> DecodeMessage(std::span<const uint8_t> wire);
+
+}  // namespace dcc
+
+#endif  // SRC_DNS_CODEC_H_

@@ -1,0 +1,72 @@
+#include "src/dns/message.h"
+
+namespace dcc {
+
+const EdnsOption* Edns::Find(uint16_t code) const {
+  for (const auto& opt : options) {
+    if (opt.code == code) {
+      return &opt;
+    }
+  }
+  return nullptr;
+}
+
+size_t Edns::Remove(uint16_t code) {
+  size_t removed = 0;
+  for (auto it = options.begin(); it != options.end();) {
+    if (it->code == code) {
+      it = options.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Edns& Message::EnsureEdns() {
+  if (!edns.has_value()) {
+    edns.emplace();
+  }
+  return *edns;
+}
+
+std::string Message::ToString() const {
+  std::string out = IsQuery() ? "query" : "response";
+  out += " id=" + std::to_string(header.id);
+  if (IsResponse()) {
+    out += " ";
+    out += RcodeName(header.rcode);
+  }
+  for (const auto& q : question) {
+    out += " " + q.qname.ToString() + "/" + RecordTypeName(q.qtype);
+  }
+  out += " an=" + std::to_string(answers.size()) +
+         " ns=" + std::to_string(authority.size()) +
+         " ar=" + std::to_string(additional.size());
+  if (edns.has_value()) {
+    out += " edns(opts=" + std::to_string(edns->options.size()) + ")";
+  }
+  return out;
+}
+
+Message MakeQuery(uint16_t id, const Name& qname, RecordType qtype, bool rd) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.qr = false;
+  msg.header.rd = rd;
+  msg.question.push_back(Question{qname, qtype});
+  return msg;
+}
+
+Message MakeResponse(const Message& query, Rcode rcode) {
+  Message msg;
+  msg.header.id = query.header.id;
+  msg.header.qr = true;
+  msg.header.rd = query.header.rd;
+  msg.header.rcode = rcode;
+  msg.question = query.question;
+  return msg;
+}
+
+}  // namespace dcc

@@ -1,0 +1,104 @@
+// Resource records and related enumerations.
+
+#ifndef SRC_DNS_RR_H_
+#define SRC_DNS_RR_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/dns/name.h"
+
+namespace dcc {
+
+// RR TYPE values (RFC 1035 and successors). Only the types exercised by the
+// paper's experiments are modeled; unknown types round-trip as opaque rdata.
+enum class RecordType : uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,   // EDNS(0) pseudo-RR; never appears in RRsets.
+  kNsec = 47,  // Modeled as (owner, next-name) intervals; no type bitmap.
+};
+
+const char* RecordTypeName(RecordType type);
+
+// Response codes (RFC 1035 §4.1.1 + EDNS extended codes).
+enum class Rcode : uint16_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+const char* RcodeName(Rcode rcode);
+
+struct SoaData {
+  Name mname;
+  Name rname;
+  uint32_t serial = 0;
+  uint32_t refresh = 0;
+  uint32_t retry = 0;
+  uint32_t expire = 0;
+  uint32_t minimum = 0;  // Negative-caching TTL (RFC 2308).
+
+  friend bool operator==(const SoaData&, const SoaData&) = default;
+};
+
+struct TxtData {
+  std::vector<std::string> strings;
+
+  friend bool operator==(const TxtData&, const TxtData&) = default;
+};
+
+// Rdata alternatives, by type:
+//   A/AAAA  -> HostAddress (the simulator uses one flat address space)
+//   NS      -> Name (nameserver host name)
+//   CNAME   -> Name (canonical name)
+//   NSEC    -> Name (next existing name; the type bitmap is not modeled)
+//   SOA     -> SoaData
+//   TXT     -> TxtData
+//   unknown -> raw bytes
+using Rdata = std::variant<HostAddress, Name, SoaData, TxtData, std::vector<uint8_t>>;
+
+struct ResourceRecord {
+  Name name;
+  RecordType type = RecordType::kA;
+  uint32_t ttl = 0;
+  Rdata rdata;
+
+  // Convenience accessors; behavior is undefined if the alternative does not
+  // match `type` (construction helpers below keep them consistent).
+  HostAddress address() const { return std::get<HostAddress>(rdata); }
+  const Name& target() const { return std::get<Name>(rdata); }
+  const SoaData& soa() const { return std::get<SoaData>(rdata); }
+  const TxtData& txt() const { return std::get<TxtData>(rdata); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+ResourceRecord MakeA(const Name& name, uint32_t ttl, HostAddress addr);
+ResourceRecord MakeNs(const Name& name, uint32_t ttl, const Name& nsdname);
+ResourceRecord MakeCname(const Name& name, uint32_t ttl, const Name& target);
+ResourceRecord MakeSoa(const Name& name, uint32_t ttl, SoaData soa);
+ResourceRecord MakeTxt(const Name& name, uint32_t ttl, std::vector<std::string> strings);
+// NSEC proving that no name exists between `name` and `next` (RFC 4034 §4,
+// without the type bitmap).
+ResourceRecord MakeNsec(const Name& name, uint32_t ttl, const Name& next);
+
+// All records in an RRset share (name, type, ttl); this alias documents
+// intent at call sites that require the invariant.
+using RrSet = std::vector<ResourceRecord>;
+
+}  // namespace dcc
+
+#endif  // SRC_DNS_RR_H_

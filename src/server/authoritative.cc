@@ -1,0 +1,180 @@
+#include "src/server/authoritative.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/dns/codec.h"
+
+namespace dcc {
+
+AuthoritativeServer::AuthoritativeServer(Transport& transport, AuthoritativeConfig config)
+    : transport_(transport), config_(config) {}
+
+void AuthoritativeServer::AddZone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+const Zone* AuthoritativeServer::FindZone(const Name& qname) const {
+  const Zone* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (qname.IsSubdomainOf(zone.apex())) {
+      if (best == nullptr || zone.apex().LabelCount() > best->apex().LabelCount()) {
+        best = &zone;
+      }
+    }
+  }
+  return best;
+}
+
+bool AuthoritativeServer::PassesRrl(HostAddress client, Rcode rcode) {
+  if (!config_.rrl.enabled) {
+    return true;
+  }
+  const Time now = transport_.now();
+  auto [it, inserted] = rrl_state_.try_emplace(
+      client, ClientRrl{TokenBucket(config_.rrl.noerror_qps, config_.rrl.burst, now),
+                        TokenBucket(config_.rrl.nxdomain_qps, config_.rrl.burst, now),
+                        0});
+  ClientRrl& state = it->second;
+  if (state.blocked_until > now) {
+    return false;
+  }
+  TokenBucket& bucket = config_.rrl.per_class && rcode == Rcode::kNxDomain
+                            ? state.nxdomain
+                            : state.noerror;
+  if (bucket.TryConsume(now)) {
+    return true;
+  }
+  if (config_.rrl.penalty > 0) {
+    state.blocked_until = now + config_.rrl.penalty;
+  }
+  return false;
+}
+
+void AuthoritativeServer::Respond(const Datagram& request_dgram, Message response) {
+  const Duration delay = config_.processing_delay;
+  const Endpoint reply_to = request_dgram.src;
+  const uint16_t local_port = request_dgram.dst.port;
+  auto wire = EncodeMessage(response);
+  if (delay > 0) {
+    transport_.loop().ScheduleAfter(delay, [this, local_port, reply_to,
+                                            wire = std::move(wire)]() mutable {
+      transport_.Send(local_port, reply_to, std::move(wire));
+    });
+  } else {
+    transport_.Send(local_port, reply_to, std::move(wire));
+  }
+  ++responses_sent_;
+}
+
+void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
+  auto decoded = DecodeMessage(dgram.payload);
+  if (!decoded.has_value() || !decoded->IsQuery() || decoded->question.empty()) {
+    return;
+  }
+  Message& query = *decoded;
+  ++queries_received_;
+  if (!per_second_queries_.empty()) {
+    const auto slot = static_cast<size_t>(transport_.now() / kSecond);
+    if (slot < per_second_queries_.size()) {
+      per_second_queries_[slot]++;
+    }
+  }
+
+  const Question& q = query.Q();
+  const Zone* zone = FindZone(q.qname);
+  Message response = MakeResponse(query, Rcode::kNoError);
+  if (query.edns.has_value()) {
+    response.EnsureEdns();
+  }
+
+  if (zone == nullptr) {
+    response.header.rcode = Rcode::kRefused;
+    Respond(dgram, std::move(response));
+    return;
+  }
+
+  const LookupResult result = zone->Lookup(q.qname, q.qtype);
+  switch (result.status) {
+    case LookupStatus::kSuccess:
+      response.header.aa = true;
+      response.answers = result.records;
+      break;
+    case LookupStatus::kCname:
+      response.header.aa = true;
+      response.answers = result.records;
+      break;
+    case LookupStatus::kNoData:
+      response.header.aa = true;
+      if (result.soa.has_value()) {
+        response.authority.push_back(*result.soa);
+      }
+      break;
+    case LookupStatus::kNxDomain:
+      response.header.aa = true;
+      response.header.rcode = Rcode::kNxDomain;
+      if (result.soa.has_value()) {
+        response.authority.push_back(*result.soa);
+      }
+      if (result.nsec.has_value()) {
+        response.authority.push_back(*result.nsec);
+      }
+      break;
+    case LookupStatus::kDelegation:
+      response.header.aa = false;
+      response.authority = result.records;
+      response.additional = result.glue;
+      break;
+    case LookupStatus::kNotInZone:
+      response.header.rcode = Rcode::kRefused;
+      break;
+  }
+
+  if (!PassesRrl(dgram.src.addr, response.header.rcode)) {
+    ++rate_limited_;
+    switch (config_.rrl.action) {
+      case RateLimitAction::kDrop:
+        return;
+      case RateLimitAction::kServFail:
+        response = MakeResponse(query, Rcode::kServFail);
+        break;
+      case RateLimitAction::kRefused:
+        response = MakeResponse(query, Rcode::kRefused);
+        break;
+    }
+  }
+  Respond(dgram, std::move(response));
+}
+
+void AuthoritativeServer::EnableQueryLog(Duration horizon) {
+  per_second_queries_.assign(static_cast<size_t>((horizon + kSecond - 1) / kSecond), 0);
+}
+
+double AuthoritativeServer::PeakQps() const {
+  int64_t peak = 0;
+  for (int64_t v : per_second_queries_) {
+    peak = std::max(peak, v);
+  }
+  return static_cast<double>(peak);
+}
+
+double AuthoritativeServer::QpsAtSecond(size_t i) const {
+  return i < per_second_queries_.size() ? static_cast<double>(per_second_queries_[i]) : 0.0;
+}
+
+double AuthoritativeServer::StableQps() const {
+  // "Most stable value that lasts over consecutive windows" (Appendix A.2):
+  // the mode over seconds with activity, approximated by the median of
+  // non-zero per-second counts.
+  std::vector<int64_t> active;
+  for (int64_t v : per_second_queries_) {
+    if (v > 0) {
+      active.push_back(v);
+    }
+  }
+  if (active.empty()) {
+    return 0.0;
+  }
+  std::sort(active.begin(), active.end());
+  return static_cast<double>(active[active.size() / 2]);
+}
+
+}  // namespace dcc

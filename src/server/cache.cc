@@ -1,0 +1,76 @@
+#include "src/server/cache.h"
+
+#include <algorithm>
+
+namespace dcc {
+
+DnsCache::DnsCache(size_t max_entries) : max_entries_(std::max<size_t>(1, max_entries)) {}
+
+const CacheEntry* DnsCache::Lookup(const Name& name, RecordType type, Time now) {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.expiry <= now) {
+    entries_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void DnsCache::EvictOneIfFull() {
+  if (entries_.size() < max_entries_) {
+    return;
+  }
+  // Unordered eviction of whatever bucket iteration yields first; cheap and
+  // adequate for experiment workloads (the cache is sized to avoid pressure).
+  entries_.erase(entries_.begin());
+}
+
+void DnsCache::StorePositive(const Name& name, RecordType type, RrSet records, Time now) {
+  uint32_t ttl = 0;
+  for (const auto& rr : records) {
+    ttl = std::max(ttl, rr.ttl);
+  }
+  EvictOneIfFull();
+  CacheEntry& entry = entries_[Key{name, type}];
+  entry.kind = CacheEntryKind::kPositive;
+  entry.records = std::move(records);
+  entry.expiry = now + static_cast<Duration>(ttl) * kSecond;
+}
+
+void DnsCache::StoreNegative(const Name& name, RecordType type, CacheEntryKind kind,
+                             uint32_t ttl, Time now) {
+  EvictOneIfFull();
+  CacheEntry& entry = entries_[Key{name, type}];
+  entry.kind = kind;
+  entry.records.clear();
+  entry.expiry = now + static_cast<Duration>(ttl) * kSecond;
+}
+
+size_t DnsCache::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    bytes += sizeof(Key) + sizeof(CacheEntry) + 2 * sizeof(void*);
+    bytes += key.name.WireLength();
+    for (const auto& rr : entry.records) {
+      bytes += sizeof(ResourceRecord) + rr.name.WireLength();
+    }
+  }
+  return bytes;
+}
+
+void DnsCache::PurgeExpired(Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expiry <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dcc

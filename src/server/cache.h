@@ -1,0 +1,76 @@
+// Resolver cache: positive RRset caching plus negative caching (RFC 2308).
+//
+// The same structure stores "infrastructure" data learned from referrals (NS
+// RRsets and glue addresses), which the iterative resolver uses to find the
+// best known zone cut for a name.
+
+#ifndef SRC_SERVER_CACHE_H_
+#define SRC_SERVER_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/dns/name.h"
+#include "src/dns/rr.h"
+
+namespace dcc {
+
+enum class CacheEntryKind {
+  kPositive,
+  kNegativeNxDomain,
+  kNegativeNoData,
+};
+
+struct CacheEntry {
+  CacheEntryKind kind = CacheEntryKind::kPositive;
+  RrSet records;  // Empty for negative entries.
+  Time expiry = 0;
+};
+
+class DnsCache {
+ public:
+  explicit DnsCache(size_t max_entries = 1 << 20);
+
+  // Returns the live entry for (name, type), or nullptr if absent/expired.
+  // Expired entries are removed on access.
+  const CacheEntry* Lookup(const Name& name, RecordType type, Time now);
+
+  void StorePositive(const Name& name, RecordType type, RrSet records, Time now);
+  void StoreNegative(const Name& name, RecordType type, CacheEntryKind kind,
+                     uint32_t ttl, Time now);
+
+  size_t size() const { return entries_.size(); }
+  size_t MemoryFootprint() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Removes all expired entries (periodic maintenance).
+  void PurgeExpired(Time now);
+
+ private:
+  struct Key {
+    Name name;
+    RecordType type;
+    bool operator==(const Key& other) const {
+      return type == other.type && name == other.name;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return k.name.Hash() * 31 + static_cast<size_t>(k.type);
+    }
+  };
+
+  void EvictOneIfFull();
+
+  size_t max_entries_;
+  std::unordered_map<Key, CacheEntry, KeyHash> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_SERVER_CACHE_H_

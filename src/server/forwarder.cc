@@ -1,0 +1,169 @@
+#include "src/server/forwarder.h"
+
+#include "src/dns/codec.h"
+#include "src/dns/edns_options.h"
+
+namespace dcc {
+
+Forwarder::Forwarder(Transport& transport, ForwarderConfig config)
+    : transport_(transport), config_(config), cache_(config.cache_max_entries) {}
+
+void Forwarder::AddUpstream(HostAddress resolver) { upstreams_.push_back(resolver); }
+
+uint16_t Forwarder::AllocatePort() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const uint16_t port = next_port_++;
+    if (next_port_ == 0) {
+      next_port_ = 2048;
+    }
+    if (port >= 1024 && port != kDnsPort && !pending_.contains(port)) {
+      return port;
+    }
+  }
+  return 1023;
+}
+
+void Forwarder::RespondToClient(const Pending& pending, Message response) {
+  response.header.id = pending.query.header.id;
+  response.header.qr = true;
+  response.header.ra = true;
+  response.question = pending.query.question;
+  auto wire = EncodeMessage(response);
+  const Endpoint client = pending.client;
+  const uint16_t local_port = pending.local_port;
+  if (config_.processing_delay > 0) {
+    transport_.loop().ScheduleAfter(
+        config_.processing_delay, [this, local_port, client, wire = std::move(wire)]() mutable {
+          transport_.Send(local_port, client, std::move(wire));
+        });
+  } else {
+    transport_.Send(local_port, client, std::move(wire));
+  }
+  ++responses_sent_;
+}
+
+void Forwarder::HandleDatagram(const Datagram& dgram) {
+  auto decoded = DecodeMessage(dgram.payload);
+  if (!decoded.has_value()) {
+    return;
+  }
+
+  if (decoded->IsQuery() && dgram.dst.port == kDnsPort) {
+    ++requests_received_;
+    if (decoded->question.empty() || upstreams_.empty()) {
+      Message response = MakeResponse(*decoded, Rcode::kServFail);
+      transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
+      ++responses_sent_;
+      return;
+    }
+    const Question& q = decoded->Q();
+    if (config_.cache_enabled) {
+      if (const CacheEntry* entry = cache_.Lookup(q.qname, q.qtype, transport_.now());
+          entry != nullptr) {
+        ++cache_hit_responses_;
+        Message response = MakeResponse(*decoded, Rcode::kNoError);
+        if (entry->kind == CacheEntryKind::kPositive) {
+          response.answers = entry->records;
+        } else if (entry->kind == CacheEntryKind::kNegativeNxDomain) {
+          response.header.rcode = Rcode::kNxDomain;
+        }
+        Pending fast;
+        fast.client = dgram.src;
+        fast.local_port = dgram.dst.port;
+        fast.query = *decoded;
+        RespondToClient(fast, std::move(response));
+        return;
+      }
+    }
+    const uint16_t port = AllocatePort();
+    Pending& pending = pending_[port];
+    pending.client = dgram.src;
+    pending.local_port = dgram.dst.port;
+    pending.query = std::move(*decoded);
+    pending.attempts_left = config_.upstream_attempts;
+    pending.upstream_index = next_upstream_++ % upstreams_.size();
+    ForwardQuery(port);
+    return;
+  }
+
+  if (decoded->IsResponse()) {
+    auto it = pending_.find(dgram.dst.port);
+    if (it == pending_.end()) {
+      return;
+    }
+    Pending& pending = it->second;
+    if (decoded->header.id != pending.query.header.id ||
+        decoded->question.empty() || !(decoded->Q().qname == pending.query.Q().qname)) {
+      return;
+    }
+    // Cache the relayed response.
+    if (config_.cache_enabled) {
+      const Question& q = pending.query.Q();
+      if (decoded->header.rcode == Rcode::kNoError && !decoded->answers.empty()) {
+        cache_.StorePositive(q.qname, q.qtype, decoded->answers, transport_.now());
+      } else if (decoded->header.rcode == Rcode::kNxDomain) {
+        uint32_t ttl = 60;
+        for (const auto& rr : decoded->authority) {
+          if (rr.type == RecordType::kSoa) {
+            ttl = std::min(rr.ttl, rr.soa().minimum);
+          }
+        }
+        cache_.StoreNegative(q.qname, q.qtype, CacheEntryKind::kNegativeNxDomain, ttl,
+                             transport_.now());
+      }
+    }
+    Message response = std::move(*decoded);
+    Pending done = std::move(pending);
+    pending_.erase(it);
+    RespondToClient(done, std::move(response));
+  }
+}
+
+void Forwarder::ForwardQuery(uint16_t port) {
+  auto it = pending_.find(port);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending& pending = it->second;
+  if (pending.attempts_left <= 0) {
+    Pending done = std::move(pending);
+    pending_.erase(it);
+    RespondToClient(done, MakeResponse(done.query, Rcode::kServFail));
+    return;
+  }
+  --pending.attempts_left;
+  pending.generation = next_generation_++;
+  const HostAddress upstream = upstreams_[pending.upstream_index % upstreams_.size()];
+  ++pending.upstream_index;
+
+  Message query = pending.query;
+  query.header.rd = true;
+  if (config_.attach_attribution) {
+    SetOption(query, EncodeAttribution(Attribution{pending.client.addr,
+                                                   pending.client.port,
+                                                   pending.query.header.id}));
+  }
+  transport_.Send(port, Endpoint{upstream, kDnsPort}, EncodeMessage(query));
+  ++queries_sent_;
+
+  const uint64_t generation = pending.generation;
+  transport_.loop().ScheduleAfter(config_.upstream_timeout, [this, port, generation]() {
+    OnTimeout(port, generation);
+  });
+}
+
+void Forwarder::OnTimeout(uint16_t port, uint64_t generation) {
+  auto it = pending_.find(port);
+  if (it == pending_.end() || it->second.generation != generation) {
+    return;
+  }
+  ForwardQuery(port);
+}
+
+size_t Forwarder::MemoryFootprint() const {
+  size_t bytes = cache_.MemoryFootprint();
+  bytes += pending_.size() * (sizeof(uint16_t) + sizeof(Pending) + 128);
+  return bytes;
+}
+
+}  // namespace dcc

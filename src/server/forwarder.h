@@ -1,0 +1,78 @@
+// Forwarding resolver (paper §2.1): answers from its own cache or relays
+// requests to a fixed list of upstream resolvers with timeout-based failover.
+// Like the recursive resolver it is written against the Transport seam so a
+// DCC shim can wrap it.
+
+#ifndef SRC_SERVER_FORWARDER_H_
+#define SRC_SERVER_FORWARDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dns/message.h"
+#include "src/server/cache.h"
+#include "src/server/transport.h"
+
+namespace dcc {
+
+struct ForwarderConfig {
+  Duration upstream_timeout = Milliseconds(1200);
+  // Total send attempts per request, spread round-robin over upstreams.
+  int upstream_attempts = 3;
+  bool cache_enabled = true;
+  size_t cache_max_entries = 1 << 18;
+  Duration processing_delay = Microseconds(20);
+  // Emit the DCC attribution option on forwarded queries (§5).
+  bool attach_attribution = false;
+};
+
+class Forwarder : public DatagramHandler {
+ public:
+  Forwarder(Transport& transport, ForwarderConfig config);
+
+  void AddUpstream(HostAddress resolver);
+
+  void HandleDatagram(const Datagram& dgram) override;
+
+  uint64_t requests_received() const { return requests_received_; }
+  uint64_t responses_sent() const { return responses_sent_; }
+  uint64_t queries_sent() const { return queries_sent_; }
+  uint64_t cache_hit_responses() const { return cache_hit_responses_; }
+  size_t PendingCount() const { return pending_.size(); }
+  size_t MemoryFootprint() const;
+
+ private:
+  struct Pending {
+    Endpoint client;
+    uint16_t local_port = kDnsPort;
+    Message query;
+    int attempts_left = 0;
+    size_t upstream_index = 0;
+    uint64_t generation = 0;
+  };
+
+  void ForwardQuery(uint16_t port);
+  void OnTimeout(uint16_t port, uint64_t generation);
+  void RespondToClient(const Pending& pending, Message response);
+
+  uint16_t AllocatePort();
+
+  Transport& transport_;
+  ForwarderConfig config_;
+  DnsCache cache_;
+  std::vector<HostAddress> upstreams_;
+  std::unordered_map<uint16_t, Pending> pending_;
+  size_t next_upstream_ = 0;
+  uint16_t next_port_ = 2048;
+  uint64_t next_generation_ = 1;
+
+  uint64_t requests_received_ = 0;
+  uint64_t responses_sent_ = 0;
+  uint64_t queries_sent_ = 0;
+  uint64_t cache_hit_responses_ = 0;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_SERVER_FORWARDER_H_

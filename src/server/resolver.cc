@@ -1,0 +1,871 @@
+#include "src/server/resolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+#include "src/dns/codec.h"
+
+namespace dcc {
+namespace {
+
+// Extracts records owned by `name` of the given type from a section.
+RrSet OwnedRecords(const std::vector<ResourceRecord>& section, const Name& name,
+                   RecordType type) {
+  RrSet out;
+  for (const auto& rr : section) {
+    if (rr.type == type && rr.name == name) {
+      out.push_back(rr);
+    }
+  }
+  return out;
+}
+
+uint32_t NegativeTtlFrom(const Message& response, uint32_t fallback = 60) {
+  for (const auto& rr : response.authority) {
+    if (rr.type == RecordType::kSoa) {
+      return std::min(rr.ttl, rr.soa().minimum);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+RecursiveResolver::RecursiveResolver(Transport& transport, ResolverConfig config,
+                                     uint64_t seed)
+    : transport_(transport),
+      config_(config),
+      rng_(seed),
+      cache_(config.cache_max_entries) {}
+
+void RecursiveResolver::AddAuthorityHint(const Name& apex, HostAddress server) {
+  hints_.emplace_back(apex, server);
+}
+
+void RecursiveResolver::SeedCache(const Name& name, RecordType type, RrSet records) {
+  cache_.StorePositive(name, type, std::move(records), transport_.now());
+}
+
+uint16_t RecursiveResolver::AllocatePort() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const uint16_t port = next_port_++;
+    if (next_port_ == 0) {
+      next_port_ = 1024;
+    }
+    if (port >= 1024 && port != kDnsPort && !outstanding_.contains(port)) {
+      return port;
+    }
+  }
+  return 1023;  // Unreachable in practice (64K outstanding queries).
+}
+
+bool RecursiveResolver::PassesIngressRrl(HostAddress client, Rcode rcode) {
+  if (!config_.ingress_rrl.enabled) {
+    return true;
+  }
+  const Time now = transport_.now();
+  auto [it, inserted] = ingress_rrl_state_.try_emplace(
+      client, ClientRrl{TokenBucket(config_.ingress_rrl.noerror_qps,
+                                    config_.ingress_rrl.burst, now),
+                        TokenBucket(config_.ingress_rrl.nxdomain_qps,
+                                    config_.ingress_rrl.burst, now),
+                        now, 0});
+  ClientRrl& state = it->second;
+  state.last_active = now;
+  if (state.blocked_until > now) {
+    return false;
+  }
+  TokenBucket& bucket = config_.ingress_rrl.per_class && rcode == Rcode::kNxDomain
+                            ? state.nxdomain
+                            : state.noerror;
+  if (bucket.TryConsume(now)) {
+    return true;
+  }
+  if (config_.ingress_rrl.penalty > 0) {
+    state.blocked_until = now + config_.ingress_rrl.penalty;
+  }
+  return false;
+}
+
+bool RecursiveResolver::PassesEgressRl(HostAddress server) {
+  if (!config_.egress_rl_enabled) {
+    return true;
+  }
+  auto [it, inserted] = egress_rl_state_.try_emplace(
+      server, TokenBucket(config_.egress_qps, config_.egress_burst, transport_.now()));
+  return it->second.TryConsume(transport_.now());
+}
+
+bool RecursiveResolver::CoveredByNsec(const Name& name, Time now) {
+  if (!config_.aggressive_nsec || nsec_cache_.empty()) {
+    return false;
+  }
+  auto it = nsec_cache_.upper_bound(name);
+  if (it == nsec_cache_.begin()) {
+    return false;
+  }
+  --it;
+  const Name& owner = it->first;
+  const NsecInterval& interval = it->second;
+  if (interval.expiry <= now) {
+    nsec_cache_.erase(it);
+    return false;
+  }
+  if (!name.IsSubdomainOf(interval.zone_apex) || !(owner < name)) {
+    return false;
+  }
+  if (owner < interval.next) {
+    return name < interval.next;
+  }
+  // Wrapped interval (next == apex): covers everything after `owner`.
+  return true;
+}
+
+void RecursiveResolver::StoreNsec(const Message& response, Time now) {
+  if (!config_.aggressive_nsec) {
+    return;
+  }
+  Name zone_apex;
+  uint32_t ttl = 60;
+  for (const auto& rr : response.authority) {
+    if (rr.type == RecordType::kSoa) {
+      zone_apex = rr.name;
+      ttl = std::min(rr.ttl, rr.soa().minimum);
+    }
+  }
+  for (const auto& rr : response.authority) {
+    if (rr.type == RecordType::kNsec) {
+      nsec_cache_[rr.name] =
+          NsecInterval{rr.target(), zone_apex, now + static_cast<Duration>(ttl) * kSecond};
+    }
+  }
+}
+
+void RecursiveResolver::HandleDatagram(const Datagram& dgram) {
+  auto decoded = DecodeMessage(dgram.payload);
+  if (!decoded.has_value()) {
+    return;
+  }
+  if (decoded->IsQuery() && dgram.dst.port == kDnsPort) {
+    HandleClientRequest(dgram, std::move(*decoded));
+  } else if (decoded->IsResponse()) {
+    HandleUpstreamResponse(dgram, std::move(*decoded));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing side
+// ---------------------------------------------------------------------------
+
+std::optional<Message> RecursiveResolver::AnswerFromCache(const Message& query, Time now) {
+  const Question& q = query.Q();
+  Name name = q.qname;
+  RrSet chain;
+  for (int hops = 0; hops <= config_.max_cname_chain; ++hops) {
+    if (const CacheEntry* entry = cache_.Lookup(name, q.qtype, now); entry != nullptr) {
+      Message response = MakeResponse(query, Rcode::kNoError);
+      response.answers = chain;
+      switch (entry->kind) {
+        case CacheEntryKind::kPositive:
+          response.answers.insert(response.answers.end(), entry->records.begin(),
+                                  entry->records.end());
+          break;
+        case CacheEntryKind::kNegativeNxDomain:
+          response.header.rcode = Rcode::kNxDomain;
+          break;
+        case CacheEntryKind::kNegativeNoData:
+          break;
+      }
+      return response;
+    }
+    if (q.qtype == RecordType::kCname) {
+      return std::nullopt;
+    }
+    if (CoveredByNsec(name, now)) {
+      ++nsec_synthesized_;
+      Message response = MakeResponse(query, Rcode::kNxDomain);
+      response.answers = chain;
+      return response;
+    }
+    const CacheEntry* centry = cache_.Lookup(name, RecordType::kCname, now);
+    if (centry == nullptr || centry->kind != CacheEntryKind::kPositive ||
+        centry->records.empty()) {
+      return std::nullopt;
+    }
+    chain.push_back(centry->records.front());
+    name = centry->records.front().target();
+  }
+  return std::nullopt;
+}
+
+void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query) {
+  ++requests_received_;
+  if (query.question.empty()) {
+    Message response = MakeResponse(query, Rcode::kFormErr);
+    transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
+    return;
+  }
+  const Time now = transport_.now();
+
+  if (auto cached = AnswerFromCache(query, now); cached.has_value()) {
+    ++cache_hit_responses_;
+    ClientRequest fast;
+    fast.client = dgram.src;
+    fast.local_port = dgram.dst.port;
+    fast.query = query;
+    RespondToClient(fast, std::move(*cached));
+    return;
+  }
+
+  const uint64_t request_id = next_request_id_++;
+  ClientRequest& request = requests_[request_id];
+  request.id = request_id;
+  request.client = dgram.src;
+  request.local_port = dgram.dst.port;
+  request.query = std::move(query);
+
+  const Question& q = request.query.Q();
+  request.root_task = CreateTask(request_id, /*parent=*/0, /*depth=*/0, q.qname, q.qtype);
+
+  transport_.loop().ScheduleAfter(config_.request_deadline, [this, request_id]() {
+    auto it = requests_.find(request_id);
+    if (it == requests_.end() || it->second.done) {
+      return;
+    }
+    // Deadline exceeded: tear down the resolution tree and SERVFAIL.
+    const uint64_t root = it->second.root_task;
+    FailChildrenOf(root);
+    tasks_.erase(root);
+    Message response = MakeResponse(it->second.query, Rcode::kServFail);
+    RespondToClient(it->second, std::move(response));
+    requests_.erase(request_id);
+  });
+
+  RunTask(request.root_task);
+}
+
+void RecursiveResolver::RespondToClient(ClientRequest& request, Message response) {
+  if (!PassesIngressRrl(request.client.addr, response.header.rcode)) {
+    ++ingress_rate_limited_;
+    switch (config_.ingress_rrl.action) {
+      case RateLimitAction::kDrop:
+        return;
+      case RateLimitAction::kServFail:
+        response = MakeResponse(request.query, Rcode::kServFail);
+        break;
+      case RateLimitAction::kRefused:
+        response = MakeResponse(request.query, Rcode::kRefused);
+        break;
+    }
+  }
+  response.header.ra = true;
+  if (request.query.edns.has_value()) {
+    response.EnsureEdns();
+  }
+  auto wire = EncodeMessage(response);
+  const Endpoint client = request.client;
+  const uint16_t local_port = request.local_port;
+  if (config_.processing_delay > 0) {
+    transport_.loop().ScheduleAfter(
+        config_.processing_delay, [this, local_port, client, wire = std::move(wire)]() mutable {
+          transport_.Send(local_port, client, std::move(wire));
+        });
+  } else {
+    transport_.Send(local_port, client, std::move(wire));
+  }
+  ++responses_sent_;
+}
+
+// ---------------------------------------------------------------------------
+// Task machinery
+// ---------------------------------------------------------------------------
+
+uint64_t RecursiveResolver::CreateTask(uint64_t request_id, uint64_t parent, int depth,
+                                       const Name& qname, RecordType qtype) {
+  const uint64_t id = next_task_id_++;
+  Task& t = tasks_[id];
+  t.id = id;
+  t.request_id = request_id;
+  t.parent_task = parent;
+  t.depth = depth;
+  t.qname = qname;
+  t.qtype = qtype;
+  return id;
+}
+
+void RecursiveResolver::ResetQminProgress(Task& task) {
+  size_t minimum = task.qname.LabelCount();
+  if (config_.qname_minimization) {
+    minimum = std::min(task.qname.LabelCount(), task.zone_cut.LabelCount() + 1);
+  }
+  task.qmin_labels = std::max(task.qmin_labels, minimum);
+  task.qmin_labels = std::min(task.qmin_labels, task.qname.LabelCount());
+}
+
+bool RecursiveResolver::EstablishZoneCut(Task& task) {
+  const Time now = transport_.now();
+  for (size_t labels = task.qname.LabelCount();; --labels) {
+    const Name cut = task.qname.Suffix(labels);
+    // Cached NS RRset (learned from referrals or authoritative answers).
+    if (const CacheEntry* entry = cache_.Lookup(cut, RecordType::kNs, now);
+        entry != nullptr && entry->kind == CacheEntryKind::kPositive &&
+        !entry->records.empty()) {
+      std::vector<HostAddress> servers;
+      std::vector<Name> unresolved;
+      for (const auto& ns : entry->records) {
+        const CacheEntry* addr = cache_.Lookup(ns.target(), RecordType::kA, now);
+        if (addr != nullptr && addr->kind == CacheEntryKind::kPositive &&
+            !addr->records.empty()) {
+          for (const auto& rr : addr->records) {
+            servers.push_back(rr.address());
+          }
+        } else if (!ns.target().IsSubdomainOf(cut)) {
+          // Glue-less out-of-bailiwick nameserver: needs its own resolution.
+          unresolved.push_back(ns.target());
+        }
+      }
+      if (!servers.empty() || !unresolved.empty()) {
+        task.zone_cut = cut;
+        task.servers = std::move(servers);
+        task.unresolved_ns = std::move(unresolved);
+        task.server_index = 0;
+        ResetQminProgress(task);
+        return true;
+      }
+    }
+    // Configured authority hints.
+    std::vector<HostAddress> hinted;
+    for (const auto& [apex, server] : hints_) {
+      if (apex == cut) {
+        hinted.push_back(server);
+      }
+    }
+    if (!hinted.empty()) {
+      task.zone_cut = cut;
+      task.servers = std::move(hinted);
+      task.unresolved_ns.clear();
+      task.server_index = 0;
+      ResetQminProgress(task);
+      return true;
+    }
+    if (labels == 0) {
+      break;
+    }
+  }
+  return false;
+}
+
+void RecursiveResolver::RunTask(uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  Task& t = it->second;
+  const Time now = transport_.now();
+
+  // Serve from cache, following cached CNAMEs.
+  while (true) {
+    if (const CacheEntry* entry = cache_.Lookup(t.qname, t.qtype, now);
+        entry != nullptr) {
+      switch (entry->kind) {
+        case CacheEntryKind::kPositive:
+          CompleteTask(task_id, TaskStatus::kAnswer, entry->records);
+          return;
+        case CacheEntryKind::kNegativeNxDomain:
+          CompleteTask(task_id, TaskStatus::kNxDomain, {});
+          return;
+        case CacheEntryKind::kNegativeNoData:
+          CompleteTask(task_id, TaskStatus::kNoData, {});
+          return;
+      }
+    }
+    if (CoveredByNsec(t.qname, now)) {
+      ++nsec_synthesized_;
+      CompleteTask(task_id, TaskStatus::kNxDomain, {});
+      return;
+    }
+    if (t.qtype == RecordType::kCname) {
+      break;
+    }
+    const CacheEntry* centry = cache_.Lookup(t.qname, RecordType::kCname, now);
+    if (centry == nullptr || centry->kind != CacheEntryKind::kPositive ||
+        centry->records.empty()) {
+      break;
+    }
+    if (++t.cname_count > config_.max_cname_chain) {
+      CompleteTask(task_id, TaskStatus::kFail, {});
+      return;
+    }
+    t.cname_chain.push_back(centry->records.front());
+    t.qname = centry->records.front().target();
+    t.servers.clear();
+    t.unresolved_ns.clear();
+    t.server_index = 0;
+    t.zone_cut = Name();
+    t.qmin_labels = 0;
+  }
+
+  if (t.servers.empty() && t.unresolved_ns.empty()) {
+    if (!EstablishZoneCut(t)) {
+      CompleteTask(task_id, TaskStatus::kFail, {});
+      return;
+    }
+  }
+  if (t.servers.empty()) {
+    SpawnNsChildren(task_id);
+    return;
+  }
+  SendQuery(task_id);
+}
+
+void RecursiveResolver::SpawnNsChildren(uint64_t task_id) {
+  Task& t = tasks_.at(task_id);
+  if (t.depth + 1 > config_.max_depth || t.unresolved_ns.empty()) {
+    CompleteTask(task_id, TaskStatus::kFail, {});
+    return;
+  }
+  // Fetch addresses for up to max_ns_address_fetches nameserver names. This
+  // child fan-out is precisely where FF amplification arises.
+  std::vector<Name> batch;
+  const int limit = config_.max_ns_address_fetches;
+  while (!t.unresolved_ns.empty() && static_cast<int>(batch.size()) < limit) {
+    batch.push_back(t.unresolved_ns.back());
+    t.unresolved_ns.pop_back();
+  }
+  t.servers.clear();
+  t.server_index = 0;
+  t.waiting_children = true;
+  std::vector<uint64_t> child_ids;
+  child_ids.reserve(batch.size());
+  for (const auto& ns_name : batch) {
+    const uint64_t child =
+        CreateTask(t.request_id, task_id, t.depth + 1, ns_name, RecordType::kA);
+    t.children.push_back(child);
+    ++t.pending_children;
+    child_ids.push_back(child);
+  }
+  for (uint64_t child : child_ids) {
+    RunTask(child);
+    // The parent may have been completed (and erased) by a child cascade.
+    if (!tasks_.contains(task_id)) {
+      return;
+    }
+  }
+}
+
+void RecursiveResolver::SendQuery(uint64_t task_id) {
+  Task& t = tasks_.at(task_id);
+  auto rit = requests_.find(t.request_id);
+  if (rit == requests_.end()) {
+    tasks_.erase(task_id);
+    return;
+  }
+  ClientRequest& request = rit->second;
+
+  // Fast-forward the QMIN walk through levels whose NS existence is already
+  // cached, so repeated lookups under one subtree cost one query, not one
+  // per label.
+  while (config_.qname_minimization && t.qmin_labels > 0 &&
+         t.qmin_labels < t.qname.LabelCount()) {
+    const Name sname = t.qname.Suffix(t.qmin_labels);
+    const CacheEntry* entry = cache_.Lookup(sname, RecordType::kNs, transport_.now());
+    if (entry == nullptr) {
+      break;
+    }
+    if (entry->kind == CacheEntryKind::kNegativeNxDomain) {
+      // A nonexistent intermediate name implies the full name cannot exist.
+      CompleteTask(task_id, TaskStatus::kNxDomain, {});
+      return;
+    }
+    if (entry->kind == CacheEntryKind::kPositive) {
+      t.zone_cut = sname;
+    }
+    ++t.qmin_labels;
+  }
+  if (++request.fetches > config_.max_fetches_per_request) {
+    CompleteTask(task_id, TaskStatus::kFail, {});
+    return;
+  }
+
+  const HostAddress server = t.servers[t.server_index % t.servers.size()];
+  const Name sname = t.qname.Suffix(t.qmin_labels == 0 ? t.qname.LabelCount()
+                                                       : t.qmin_labels);
+  const RecordType stype =
+      sname.LabelCount() == t.qname.LabelCount() ? t.qtype : RecordType::kNs;
+
+  const uint16_t port = AllocatePort();
+  const uint16_t qid = static_cast<uint16_t>(rng_.Next());
+  OutstandingQuery& oq = outstanding_[port];
+  oq.task_id = task_id;
+  oq.id = qid;
+  oq.server = server;
+  oq.qname = sname;
+  oq.qtype = stype;
+  oq.retries_left = config_.upstream_retries;
+  oq.generation = next_generation_++;
+
+  Message query = MakeQuery(qid, sname, stype, /*rd=*/false);
+  query.EnsureEdns();
+  if (config_.attach_attribution) {
+    SetOption(query, EncodeAttribution(Attribution{request.client.addr,
+                                                   request.client.port,
+                                                   request.query.header.id}));
+  }
+  if (PassesEgressRl(server)) {
+    transport_.Send(port, Endpoint{server, kDnsPort}, EncodeMessage(query));
+    ++queries_sent_;
+  } else {
+    // Dropped by our own egress rate limit; the timeout path handles it.
+    ++egress_rate_limited_;
+  }
+
+  const uint64_t generation = oq.generation;
+  transport_.loop().ScheduleAfter(config_.upstream_timeout, [this, port, generation]() {
+    OnQueryTimeout(port, generation);
+  });
+}
+
+void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
+  auto it = outstanding_.find(port);
+  if (it == outstanding_.end() || it->second.generation != generation) {
+    return;
+  }
+  OutstandingQuery& oq = it->second;
+  auto tit = tasks_.find(oq.task_id);
+  if (tit == tasks_.end()) {
+    outstanding_.erase(it);
+    return;
+  }
+  if (oq.retries_left > 0) {
+    --oq.retries_left;
+    oq.generation = next_generation_++;
+    Message query = MakeQuery(oq.id, oq.qname, oq.qtype, /*rd=*/false);
+    query.EnsureEdns();
+    if (config_.attach_attribution) {
+      auto rit = requests_.find(tit->second.request_id);
+      if (rit != requests_.end()) {
+        SetOption(query, EncodeAttribution(Attribution{rit->second.client.addr,
+                                                       rit->second.client.port,
+                                                       rit->second.query.header.id}));
+      }
+    }
+    if (PassesEgressRl(oq.server)) {
+      transport_.Send(port, Endpoint{oq.server, kDnsPort}, EncodeMessage(query));
+      ++queries_sent_;
+    } else {
+      ++egress_rate_limited_;
+    }
+    const uint64_t new_generation = oq.generation;
+    transport_.loop().ScheduleAfter(config_.upstream_timeout,
+                                    [this, port, new_generation]() {
+                                      OnQueryTimeout(port, new_generation);
+                                    });
+    return;
+  }
+  const uint64_t task_id = oq.task_id;
+  outstanding_.erase(it);
+  TryNextServer(task_id);
+}
+
+void RecursiveResolver::TryNextServer(uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  Task& t = it->second;
+  ++t.server_index;
+  if (t.server_index < t.servers.size()) {
+    SendQuery(task_id);
+    return;
+  }
+  if (!t.unresolved_ns.empty()) {
+    SpawnNsChildren(task_id);
+    return;
+  }
+  CompleteTask(task_id, TaskStatus::kFail, {});
+}
+
+// ---------------------------------------------------------------------------
+// Server-facing side
+// ---------------------------------------------------------------------------
+
+void RecursiveResolver::HandleUpstreamResponse(const Datagram& dgram, Message response) {
+  auto it = outstanding_.find(dgram.dst.port);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  OutstandingQuery oq = it->second;
+  // Anti-spoofing validation: id, server address and question must match.
+  if (response.header.id != oq.id || dgram.src.addr != oq.server ||
+      response.question.empty() || !(response.Q().qname == oq.qname) ||
+      response.Q().qtype != oq.qtype) {
+    return;
+  }
+  outstanding_.erase(it);
+
+  auto tit = tasks_.find(oq.task_id);
+  if (tit == tasks_.end()) {
+    return;
+  }
+  const uint64_t task_id = oq.task_id;
+  Task& t = tit->second;
+  const Time now = transport_.now();
+  const Rcode rcode = response.header.rcode;
+
+  if (rcode == Rcode::kNxDomain) {
+    cache_.StoreNegative(oq.qname, oq.qtype, CacheEntryKind::kNegativeNxDomain,
+                         NegativeTtlFrom(response), now);
+    StoreNsec(response, now);
+    // A nonexistent intermediate name implies the full name cannot exist.
+    CompleteTask(task_id, TaskStatus::kNxDomain, {});
+    return;
+  }
+  if (rcode != Rcode::kNoError) {
+    TryNextServer(task_id);
+    return;
+  }
+
+  const bool is_full_query = oq.qname == t.qname && oq.qtype == t.qtype;
+
+  // Positive answer for exactly what we asked.
+  if (RrSet matching = OwnedRecords(response.answers, oq.qname, oq.qtype);
+      !matching.empty()) {
+    cache_.StorePositive(oq.qname, oq.qtype, matching, now);
+    if (is_full_query) {
+      CompleteTask(task_id, TaskStatus::kAnswer, matching);
+      return;
+    }
+    if (oq.qtype == RecordType::kNs) {
+      // Authoritative NS answer for a QMIN-intermediate name: record the
+      // (deeper) zone cut and keep walking down.
+      t.zone_cut = oq.qname;
+      ++t.qmin_labels;
+      SendQuery(task_id);
+      return;
+    }
+    TryNextServer(task_id);
+    return;
+  }
+
+  // CNAME indirection on the final name.
+  if (RrSet cnames = OwnedRecords(response.answers, oq.qname, RecordType::kCname);
+      !cnames.empty() && oq.qtype != RecordType::kCname) {
+    cache_.StorePositive(oq.qname, RecordType::kCname, {cnames.front()}, now);
+    if (!is_full_query) {
+      // A CNAME at an intermediate QMIN name: the full name is below a
+      // CNAME, which cannot have descendants -> resolution fails.
+      CompleteTask(task_id, TaskStatus::kFail, {});
+      return;
+    }
+    if (++t.cname_count > config_.max_cname_chain) {
+      CompleteTask(task_id, TaskStatus::kFail, {});
+      return;
+    }
+    t.cname_chain.push_back(cnames.front());
+    t.qname = cnames.front().target();
+    t.servers.clear();
+    t.unresolved_ns.clear();
+    t.server_index = 0;
+    t.zone_cut = Name();
+    t.qmin_labels = 0;
+    RunTask(task_id);
+    return;
+  }
+
+  // Referral: authority section carries an NS RRset for a deeper cut.
+  RrSet delegation;
+  Name cut_owner;
+  for (const auto& rr : response.authority) {
+    if (rr.type == RecordType::kNs && oq.qname.IsSubdomainOf(rr.name) &&
+        rr.name.LabelCount() > t.zone_cut.LabelCount()) {
+      if (delegation.empty()) {
+        cut_owner = rr.name;
+      }
+      if (rr.name == cut_owner) {
+        delegation.push_back(rr);
+      }
+    }
+  }
+  if (!delegation.empty()) {
+    cache_.StorePositive(cut_owner, RecordType::kNs, delegation, now);
+    // Cache glue addresses.
+    for (const auto& ns : delegation) {
+      RrSet glue = OwnedRecords(response.additional, ns.target(), RecordType::kA);
+      if (!glue.empty()) {
+        cache_.StorePositive(ns.target(), RecordType::kA, glue, now);
+      }
+    }
+    t.zone_cut = cut_owner;
+    t.servers.clear();
+    t.unresolved_ns.clear();
+    t.server_index = 0;
+    for (const auto& ns : delegation) {
+      const CacheEntry* addr = cache_.Lookup(ns.target(), RecordType::kA, now);
+      if (addr != nullptr && addr->kind == CacheEntryKind::kPositive &&
+          !addr->records.empty()) {
+        for (const auto& rr : addr->records) {
+          t.servers.push_back(rr.address());
+        }
+      } else if (!ns.target().IsSubdomainOf(cut_owner)) {
+        t.unresolved_ns.push_back(ns.target());
+      }
+    }
+    ResetQminProgress(t);
+    if (!t.servers.empty()) {
+      SendQuery(task_id);
+    } else if (!t.unresolved_ns.empty()) {
+      SpawnNsChildren(task_id);
+    } else {
+      CompleteTask(task_id, TaskStatus::kFail, {});
+    }
+    return;
+  }
+
+  // NODATA.
+  if (!is_full_query) {
+    // QMIN intermediate NODATA: the name exists (empty non-terminal or no NS
+    // RRset); advance one label.
+    cache_.StoreNegative(oq.qname, oq.qtype, CacheEntryKind::kNegativeNoData,
+                         NegativeTtlFrom(response), now);
+    ++t.qmin_labels;
+    SendQuery(task_id);
+    return;
+  }
+  cache_.StoreNegative(oq.qname, oq.qtype, CacheEntryKind::kNegativeNoData,
+                       NegativeTtlFrom(response), now);
+  CompleteTask(task_id, TaskStatus::kNoData, {});
+}
+
+// ---------------------------------------------------------------------------
+// Completion and teardown
+// ---------------------------------------------------------------------------
+
+void RecursiveResolver::FailChildrenOf(uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  const std::vector<uint64_t> children = it->second.children;
+  for (uint64_t child : children) {
+    FailChildrenOf(child);
+    tasks_.erase(child);
+  }
+  for (auto oit = outstanding_.begin(); oit != outstanding_.end();) {
+    if (!tasks_.contains(oit->second.task_id)) {
+      oit = outstanding_.erase(oit);
+    } else {
+      ++oit;
+    }
+  }
+}
+
+void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
+                                     const RrSet& records) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  if (!it->second.children.empty()) {
+    FailChildrenOf(task_id);
+    it = tasks_.find(task_id);  // The map may rehash during teardown.
+  }
+  Task task = std::move(it->second);
+  tasks_.erase(it);
+
+  if (task.parent_task != 0) {
+    auto pit = tasks_.find(task.parent_task);
+    if (pit == tasks_.end()) {
+      return;
+    }
+    Task& parent = pit->second;
+    --parent.pending_children;
+    if (status == TaskStatus::kAnswer) {
+      for (const auto& rr : records) {
+        if (rr.type == RecordType::kA) {
+          parent.servers.push_back(rr.address());
+        }
+      }
+    }
+    if (!parent.waiting_children) {
+      return;
+    }
+    if (!parent.servers.empty()) {
+      parent.waiting_children = false;
+      SendQuery(task.parent_task);
+    } else if (parent.pending_children == 0) {
+      if (!parent.unresolved_ns.empty()) {
+        SpawnNsChildren(task.parent_task);
+      } else {
+        CompleteTask(task.parent_task, TaskStatus::kFail, {});
+      }
+    }
+    return;
+  }
+
+  // Root task: answer the client.
+  auto rit = requests_.find(task.request_id);
+  if (rit == requests_.end()) {
+    return;
+  }
+  ClientRequest& request = rit->second;
+  request.done = true;
+  Message response = MakeResponse(request.query, Rcode::kNoError);
+  switch (status) {
+    case TaskStatus::kAnswer:
+      response.answers = task.cname_chain;
+      response.answers.insert(response.answers.end(), records.begin(), records.end());
+      break;
+    case TaskStatus::kNoData:
+      response.answers = task.cname_chain;
+      break;
+    case TaskStatus::kNxDomain:
+      response.header.rcode = Rcode::kNxDomain;
+      response.answers = task.cname_chain;
+      break;
+    case TaskStatus::kFail:
+      response = MakeResponse(request.query, Rcode::kServFail);
+      break;
+  }
+  RespondToClient(request, std::move(response));
+  requests_.erase(rit);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance / introspection
+// ---------------------------------------------------------------------------
+
+size_t RecursiveResolver::MemoryFootprint() const {
+  size_t bytes = cache_.MemoryFootprint();
+  bytes += requests_.size() * (sizeof(uint64_t) + sizeof(ClientRequest) + 128);
+  bytes += tasks_.size() * (sizeof(uint64_t) + sizeof(Task) + 128);
+  bytes += outstanding_.size() * (sizeof(uint16_t) + sizeof(OutstandingQuery) + 64);
+  bytes += ingress_rrl_state_.size() * (sizeof(HostAddress) + sizeof(ClientRrl) + 32);
+  bytes += egress_rl_state_.size() * (sizeof(HostAddress) + sizeof(TokenBucket) + 32);
+  for (const auto& [owner, interval] : nsec_cache_) {
+    bytes += owner.WireLength() + interval.next.WireLength() + sizeof(NsecInterval) +
+             3 * sizeof(void*);
+  }
+  return bytes;
+}
+
+void RecursiveResolver::Purge() {
+  const Time now = transport_.now();
+  cache_.PurgeExpired(now);
+  for (auto it = nsec_cache_.begin(); it != nsec_cache_.end();) {
+    if (it->second.expiry <= now) {
+      it = nsec_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = ingress_rrl_state_.begin(); it != ingress_rrl_state_.end();) {
+    if (it->second.last_active + Seconds(10) < now) {
+      it = ingress_rrl_state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dcc

@@ -1,0 +1,231 @@
+// Recursive resolver.
+//
+// A full-service iterative resolver in the mold of BIND 9, implementing the
+// behaviours the paper's attacks exploit:
+//   * TTL-driven positive and negative caching (cache-bypass via random
+//     names under a wildcard or nonexistent subtree),
+//   * iterative resolution from configured authority hints, following
+//     delegations and fetching glue-less nameserver addresses with child
+//     resolutions (the FF / NXNS-style fan-out amplification),
+//   * CNAME chasing (bounded) and QNAME minimization (RFC 9156), whose
+//     combination yields the CQ compositional amplification,
+//   * per-client ingress response rate limiting and optional per-server
+//     egress rate limiting (the channel capacities of §2.2),
+//   * bounded retries, per-request query budgets and deadlines.
+//
+// The resolver is written against the Transport seam, so a DCC shim can
+// interpose on its traffic without any change here. Its only DCC-specific
+// feature is optional emission of the attribution EDNS option on outgoing
+// queries — mirroring the paper's one-line BIND instrumentation (§5).
+
+#ifndef SRC_SERVER_RESOLVER_H_
+#define SRC_SERVER_RESOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/token_bucket.h"
+#include "src/dns/edns_options.h"
+#include "src/dns/message.h"
+#include "src/server/authoritative.h"  // For ResponseRateLimitConfig.
+#include "src/server/cache.h"
+#include "src/server/transport.h"
+
+namespace dcc {
+
+struct ResolverConfig {
+  // Time to wait for an upstream answer before retrying / failing over.
+  Duration upstream_timeout = Milliseconds(800);
+  // Retransmissions per (query, server) after the initial send.
+  int upstream_retries = 1;
+  // Overall deadline for serving one client request.
+  Duration request_deadline = Seconds(4);
+  // Maximum CNAME chain length followed (BIND: 17).
+  int max_cname_chain = 17;
+  // Maximum nesting of NS-address child resolutions.
+  int max_depth = 6;
+  // Upper bound on upstream queries spent on one client request
+  // (BIND max-recursion-queries); generous enough to let the FF pattern
+  // amplify, as observed on real resolvers (§2.3.2).
+  int max_fetches_per_request = 200;
+  // NS names per delegation for which addresses are fetched.
+  int max_ns_address_fetches = 10;
+  bool qname_minimization = true;
+  // RFC 8198 aggressive use of NSEC: cache denial intervals from signed
+  // NXDOMAIN answers and synthesize NXDOMAIN for covered names without
+  // querying upstream — the mitigation the paper notes against the NX
+  // (pseudo-random subdomain) pattern (§2.3).
+  bool aggressive_nsec = false;
+  size_t cache_max_entries = 1 << 20;
+  // Emit the DCC attribution option on outgoing queries (§5).
+  bool attach_attribution = false;
+  // Client-facing response rate limiting.
+  ResponseRateLimitConfig ingress_rrl;
+  // Server-facing egress rate limiting (drops excess queries).
+  bool egress_rl_enabled = false;
+  double egress_qps = 1000.0;
+  double egress_burst = 20.0;
+  // Per-request compute cost model.
+  Duration processing_delay = Microseconds(50);
+};
+
+class RecursiveResolver : public DatagramHandler {
+ public:
+  RecursiveResolver(Transport& transport, ResolverConfig config, uint64_t seed = 1);
+
+  // Registers a starting point for iteration: queries for names under `apex`
+  // may be sent to `server` when nothing deeper is cached. Multiple servers
+  // per apex are allowed (redundant authoritatives).
+  void AddAuthorityHint(const Name& apex, HostAddress server);
+
+  void HandleDatagram(const Datagram& dgram) override;
+
+  // Primes the cache with an RRset (warm start / benchmarking). Records are
+  // stored exactly as if learned from an authoritative answer at `now`.
+  void SeedCache(const Name& name, RecordType type, RrSet records);
+
+  // --- statistics / state introspection -----------------------------------
+  uint64_t requests_received() const { return requests_received_; }
+  uint64_t responses_sent() const { return responses_sent_; }
+  uint64_t queries_sent() const { return queries_sent_; }
+  uint64_t cache_hit_responses() const { return cache_hit_responses_; }
+  uint64_t nsec_synthesized() const { return nsec_synthesized_; }
+  uint64_t ingress_rate_limited() const { return ingress_rate_limited_; }
+  uint64_t egress_rate_limited() const { return egress_rate_limited_; }
+  size_t ActiveRequestCount() const { return requests_.size(); }
+  size_t OutstandingQueryCount() const { return outstanding_.size(); }
+  size_t CacheSize() const { return cache_.size(); }
+  size_t MemoryFootprint() const;
+
+  // Periodic maintenance (expired cache entries, stale RRL state).
+  void Purge();
+
+  const ResolverConfig& config() const { return config_; }
+
+ private:
+  // ---- internal state ------------------------------------------------------
+  enum class TaskStatus { kAnswer, kNoData, kNxDomain, kFail };
+
+  struct ClientRequest {
+    uint64_t id = 0;
+    Endpoint client;
+    uint16_t local_port = kDnsPort;
+    Message query;
+    uint64_t root_task = 0;
+    int fetches = 0;
+    uint64_t deadline_generation = 0;
+    bool done = false;
+  };
+
+  struct Task {
+    uint64_t id = 0;
+    uint64_t request_id = 0;
+    uint64_t parent_task = 0;  // 0 = root (answers the client).
+    int depth = 0;
+    Name qname;                // Current target (advances over CNAMEs).
+    RecordType qtype = RecordType::kA;
+    RrSet cname_chain;         // CNAME records accumulated while chasing.
+    int cname_count = 0;
+    // Iteration state.
+    Name zone_cut;
+    std::vector<HostAddress> servers;
+    std::vector<Name> unresolved_ns;
+    size_t server_index = 0;
+    size_t qmin_labels = 0;    // Labels of qname currently queried (QMIN).
+    int pending_children = 0;
+    std::vector<uint64_t> children;
+    bool waiting_children = false;
+  };
+
+  struct OutstandingQuery {
+    uint64_t task_id = 0;
+    uint16_t id = 0;
+    HostAddress server = kInvalidAddress;
+    Name qname;
+    RecordType qtype = RecordType::kA;
+    int retries_left = 0;
+    uint64_t generation = 0;
+  };
+
+  // ---- request / response plumbing ----------------------------------------
+  void HandleClientRequest(const Datagram& dgram, Message query);
+  void HandleUpstreamResponse(const Datagram& dgram, Message response);
+  void RespondToClient(ClientRequest& request, Message response);
+
+  // Serves (qname, qtype) fully from cache, following cached CNAMEs.
+  // Returns nullopt when recursion is required.
+  std::optional<Message> AnswerFromCache(const Message& query, Time now);
+
+  // ---- task machinery ------------------------------------------------------
+  uint64_t CreateTask(uint64_t request_id, uint64_t parent, int depth,
+                      const Name& qname, RecordType qtype);
+  void RunTask(uint64_t task_id);
+  void SendQuery(uint64_t task_id);
+  void OnQueryTimeout(uint16_t port, uint64_t generation);
+  void TryNextServer(uint64_t task_id);
+  void SpawnNsChildren(uint64_t task_id);
+  void CompleteTask(uint64_t task_id, TaskStatus status, const RrSet& records);
+  void FailChildrenOf(uint64_t task_id);
+  // Finds the deepest zone cut for `qname` known from hints and cache;
+  // fills task.zone_cut / servers / unresolved_ns. Returns false when not
+  // even a hint covers the name.
+  bool EstablishZoneCut(Task& task);
+  void ResetQminProgress(Task& task);
+
+  // RFC 8198: true when a cached NSEC interval proves `name` nonexistent.
+  bool CoveredByNsec(const Name& name, Time now);
+  void StoreNsec(const Message& response, Time now);
+
+  bool PassesIngressRrl(HostAddress client, Rcode rcode);
+  bool PassesEgressRl(HostAddress server);
+
+  uint16_t AllocatePort();
+
+  Transport& transport_;
+  ResolverConfig config_;
+  Rng rng_;
+  DnsCache cache_;
+
+  std::vector<std::pair<Name, HostAddress>> hints_;
+
+  std::unordered_map<uint64_t, ClientRequest> requests_;
+  std::unordered_map<uint64_t, Task> tasks_;
+  std::unordered_map<uint16_t, OutstandingQuery> outstanding_;  // By local port.
+  struct ClientRrl {
+    TokenBucket noerror;
+    TokenBucket nxdomain;
+    Time last_active;
+    Time blocked_until = 0;
+  };
+  std::unordered_map<HostAddress, ClientRrl> ingress_rrl_state_;
+  std::unordered_map<HostAddress, TokenBucket> egress_rl_state_;
+
+  struct NsecInterval {
+    Name next;
+    Name zone_apex;
+    Time expiry = 0;
+  };
+  std::map<Name, NsecInterval> nsec_cache_;  // Keyed by NSEC owner.
+
+  uint64_t next_request_id_ = 1;
+  uint64_t next_task_id_ = 1;
+  uint64_t next_generation_ = 1;
+  uint16_t next_port_ = 1024;
+
+  uint64_t requests_received_ = 0;
+  uint64_t responses_sent_ = 0;
+  uint64_t queries_sent_ = 0;
+  uint64_t cache_hit_responses_ = 0;
+  uint64_t ingress_rate_limited_ = 0;
+  uint64_t egress_rate_limited_ = 0;
+  uint64_t nsec_synthesized_ = 0;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_SERVER_RESOLVER_H_

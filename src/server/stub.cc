@@ -1,0 +1,181 @@
+#include "src/server/stub.h"
+
+#include <algorithm>
+
+#include "src/dns/codec.h"
+#include "src/dns/edns_options.h"
+
+namespace dcc {
+
+StubClient::StubClient(Transport& transport, StubConfig config,
+                       QuestionGenerator generator)
+    : transport_(transport),
+      config_(config),
+      generator_(std::move(generator)),
+      success_series_(kSecond, config.series_horizon),
+      sent_series_(kSecond, config.series_horizon),
+      latency_(/*min_value=*/1.0, /*growth=*/1.05) {}
+
+void StubClient::AddResolver(HostAddress resolver) { resolvers_.push_back(resolver); }
+
+double StubClient::SuccessRatio() const {
+  const uint64_t total = succeeded_ + failed_;
+  return total > 0 ? static_cast<double>(succeeded_) / static_cast<double>(total) : 0.0;
+}
+
+uint16_t StubClient::AllocatePort() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const uint16_t port = next_port_++;
+    if (next_port_ == 0) {
+      next_port_ = 10000;
+    }
+    if (port >= 1024 && port != kDnsPort && !pending_.contains(port)) {
+      return port;
+    }
+  }
+  return 1023;
+}
+
+void StubClient::Start() {
+  if (resolvers_.empty() || config_.qps <= 0 || config_.stop <= config_.start) {
+    return;
+  }
+  const auto interval = static_cast<Duration>(static_cast<double>(kSecond) / config_.qps);
+  const uint64_t count = static_cast<uint64_t>(
+      ToSeconds(config_.stop - config_.start) * config_.qps);
+  for (uint64_t i = 0; i < count; ++i) {
+    const Time when = config_.start + static_cast<Duration>(i) * interval;
+    transport_.loop().ScheduleAt(when, [this]() { LaunchRequest(); });
+  }
+}
+
+void StubClient::StartWithSchedule(const std::vector<Time>& times) {
+  if (resolvers_.empty()) {
+    return;
+  }
+  for (Time when : times) {
+    transport_.loop().ScheduleAt(when, [this]() { LaunchRequest(); });
+  }
+}
+
+void StubClient::LaunchRequest() {
+  if (transport_.now() < paused_until_) {
+    // Policed (DCC-aware): honor the advertised policy instead of burning
+    // requests that would fail anyway.
+    ++failed_;
+    return;
+  }
+  const uint16_t port = AllocatePort();
+  Pending& p = pending_[port];
+  p.seq = next_seq_++;
+  p.sent_at = transport_.now();
+  p.attempts_left = config_.retries;
+  p.resolver_index = config_.rotate_resolvers && !resolvers_.empty()
+                         ? p.seq % resolvers_.size()
+                         : preferred_resolver_;
+  SendAttempt(port);
+}
+
+void StubClient::SendAttempt(uint16_t port) {
+  auto it = pending_.find(port);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending& p = it->second;
+  p.generation = next_generation_++;
+  const HostAddress resolver = resolvers_[p.resolver_index % resolvers_.size()];
+  const Question q = generator_(p.seq);
+  Message query = MakeQuery(static_cast<uint16_t>(p.seq), q.qname, q.qtype);
+  query.EnsureEdns();
+  transport_.Send(port, Endpoint{resolver, kDnsPort}, EncodeMessage(query));
+  ++requests_sent_;
+  sent_series_.Add(transport_.now());
+
+  const uint64_t generation = p.generation;
+  transport_.loop().ScheduleAfter(config_.timeout, [this, port, generation]() {
+    OnTimeout(port, generation);
+  });
+}
+
+void StubClient::Finish(uint16_t port, bool success, Time now) {
+  auto it = pending_.find(port);
+  if (it == pending_.end()) {
+    return;
+  }
+  const Pending p = it->second;
+  pending_.erase(it);
+  if (success) {
+    ++succeeded_;
+    success_series_.Add(now);
+    latency_.Add(static_cast<double>(now - p.sent_at));
+  } else {
+    ++failed_;
+  }
+}
+
+void StubClient::HandleDatagram(const Datagram& dgram) {
+  auto decoded = DecodeMessage(dgram.payload);
+  if (!decoded.has_value() || !decoded->IsResponse()) {
+    return;
+  }
+  auto it = pending_.find(dgram.dst.port);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending& p = it->second;
+  if (decoded->header.id != static_cast<uint16_t>(p.seq)) {
+    return;
+  }
+  const Time now = transport_.now();
+
+  if (config_.dcc_aware) {
+    if (auto congestion = GetCongestionSignal(*decoded); congestion.has_value()) {
+      ++congestion_signals_seen_;
+      // §3.3.3: requests to the same resolver will likely fail again; prefer
+      // a different one for subsequent requests.
+      if (resolvers_.size() > 1) {
+        preferred_resolver_ = (p.resolver_index + 1) % resolvers_.size();
+      }
+    }
+    if (auto policing = GetPolicingSignal(*decoded); policing.has_value()) {
+      ++policing_signals_seen_;
+      paused_until_ = std::max(
+          paused_until_,
+          now + static_cast<Duration>(policing->expiry_remaining_ms) * kMillisecond);
+    }
+    if (auto anomaly = GetAnomalySignal(*decoded); anomaly.has_value()) {
+      ++anomaly_signals_seen_;
+    }
+  }
+  if (GetExtendedError(*decoded).has_value()) {
+    ++extended_errors_seen_;
+  }
+
+  const Rcode rcode = decoded->header.rcode;
+  // The paper counts NOERROR and NXDOMAIN as successful responses (Fig. 8).
+  const bool success = rcode == Rcode::kNoError || rcode == Rcode::kNxDomain;
+  if (!success && p.attempts_left > 0) {
+    --p.attempts_left;
+    p.resolver_index = (p.resolver_index + 1) % std::max<size_t>(1, resolvers_.size());
+    SendAttempt(dgram.dst.port);
+    return;
+  }
+  Finish(dgram.dst.port, success, now);
+}
+
+void StubClient::OnTimeout(uint16_t port, uint64_t generation) {
+  auto it = pending_.find(port);
+  if (it == pending_.end() || it->second.generation != generation) {
+    return;
+  }
+  Pending& p = it->second;
+  if (p.attempts_left > 0) {
+    --p.attempts_left;
+    p.resolver_index = (p.resolver_index + 1) % std::max<size_t>(1, resolvers_.size());
+    SendAttempt(port);
+    return;
+  }
+  Finish(port, /*success=*/false, transport_.now());
+}
+
+}  // namespace dcc

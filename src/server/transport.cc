@@ -1,0 +1,19 @@
+#include "src/server/transport.h"
+
+namespace dcc {
+
+HostNode::HostNode(Network& network, HostAddress addr) {
+  network.RegisterNode(this, addr);
+}
+
+void HostNode::OnDatagram(const Datagram& dgram) {
+  if (handler_ != nullptr) {
+    handler_->HandleDatagram(dgram);
+  }
+}
+
+void HostNode::Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+  SendDatagram(src_port, dst, std::move(payload));
+}
+
+}  // namespace dcc

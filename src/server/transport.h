@@ -1,0 +1,68 @@
+// Transport seam between DNS server logic and the simulated network.
+//
+// Server classes (authoritative, resolver, forwarder, stub) are written
+// against `Transport` instead of the network directly. `HostNode` is the
+// plain binding used for vanilla deployments; the DCC shim
+// (src/dcc/dcc_node.h) implements the same interface to interpose on a
+// resolver's I/O without the resolver knowing — the paper's non-invasive
+// architecture (§3.2, Fig. 5).
+
+#ifndef SRC_SERVER_TRANSPORT_H_
+#define SRC_SERVER_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+
+namespace dcc {
+
+// The standard DNS port used throughout the simulation.
+inline constexpr uint16_t kDnsPort = 53;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends a datagram from local `src_port` to `dst`.
+  virtual void Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) = 0;
+
+  virtual Time now() const = 0;
+  virtual EventLoop& loop() = 0;
+  virtual HostAddress local_address() const = 0;
+};
+
+// A server's datagram-handling half; HostNode and the DCC shim deliver
+// incoming traffic through this.
+class DatagramHandler {
+ public:
+  virtual ~DatagramHandler() = default;
+  virtual void HandleDatagram(const Datagram& dgram) = 0;
+};
+
+// Plain host: binds one handler to one address on the network.
+class HostNode : public Node, public Transport {
+ public:
+  HostNode(Network& network, HostAddress addr);
+
+  void SetHandler(DatagramHandler* handler) { handler_ = handler; }
+
+  // Node:
+  void OnDatagram(const Datagram& dgram) override;
+
+  // Transport:
+  void Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) override;
+  Time now() const override { return Node::now(); }
+  EventLoop& loop() override { return Node::loop(); }
+  HostAddress local_address() const override { return address(); }
+
+ private:
+  DatagramHandler* handler_ = nullptr;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_SERVER_TRANSPORT_H_

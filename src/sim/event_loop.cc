@@ -1,0 +1,48 @@
+#include "src/sim/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcc {
+
+void EventLoop::ScheduleAt(Time t, Handler fn) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void EventLoop::ScheduleAfter(Duration delay, Handler fn) {
+  ScheduleAt(now_ + std::max<Duration>(0, delay), std::move(fn));
+}
+
+void EventLoop::SchedulePeriodic(Duration period, Handler fn, Time until) {
+  if (period <= 0 || now_ + period > until) {
+    return;
+  }
+  ScheduleAt(now_ + period, [this, period, fn = std::move(fn), until]() {
+    fn();
+    SchedulePeriodic(period, fn, until);
+  });
+}
+
+size_t EventLoop::Run(Time until) {
+  stopped_ = false;
+  size_t executed = 0;
+  while (!stopped_ && !queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) {
+      now_ = until;
+      break;
+    }
+    // Move the handler out before popping so it survives the pop.
+    Handler fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.when;
+    queue_.pop();
+    fn();
+    ++executed;
+  }
+  if (queue_.empty() && until != kTimeInfinity) {
+    now_ = std::max(now_, until);
+  }
+  return executed;
+}
+
+}  // namespace dcc

@@ -1,0 +1,86 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace dcc {
+namespace {
+
+uint64_t PairKey(HostAddress a, HostAddress b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+void Node::SendDatagram(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+  network_->Send(Endpoint{address_, src_port}, dst, std::move(payload));
+}
+
+EventLoop& Node::loop() { return *loop_; }
+Time Node::now() const { return loop_->now(); }
+
+Network::Network(EventLoop& loop, Duration default_one_way_delay)
+    : loop_(loop), default_delay_(default_one_way_delay) {}
+
+void Network::RegisterNode(Node* node, HostAddress addr) {
+  node->network_ = this;
+  node->loop_ = &loop_;
+  node->address_ = addr;
+  nodes_[addr] = node;
+}
+
+void Network::UnregisterNode(HostAddress addr) { nodes_.erase(addr); }
+
+Duration Network::DelayFor(HostAddress a, HostAddress b) const {
+  auto it = pair_delay_.find(PairKey(a, b));
+  return it != pair_delay_.end() ? it->second : default_delay_;
+}
+
+void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
+  ++datagrams_sent_;
+  auto down = [this](HostAddress addr) {
+    auto it = host_down_.find(addr);
+    return it != host_down_.end() && it->second;
+  };
+  if (down(src.addr) || down(dst.addr) ||
+      (loss_probability_ > 0.0 && loss_rng_.NextBool(loss_probability_))) {
+    ++datagrams_dropped_;
+    return;
+  }
+  Duration delay = DelayFor(src.addr, dst.addr);
+  if (max_jitter_ > 0) {
+    delay += static_cast<Duration>(jitter_rng_.NextBelow(static_cast<uint64_t>(max_jitter_)));
+  }
+  loop_.ScheduleAfter(delay, [this, src, dst, payload = std::move(payload)]() mutable {
+    auto it = nodes_.find(dst.addr);
+    if (it == nodes_.end()) {
+      ++datagrams_dropped_;
+      DCC_LOG_DEBUG("datagram to unknown host %s dropped", FormatAddress(dst.addr).c_str());
+      return;
+    }
+    Datagram dgram{src, dst, std::move(payload)};
+    it->second->OnDatagram(dgram);
+  });
+}
+
+void Network::SetPairDelay(HostAddress a, HostAddress b, Duration one_way) {
+  pair_delay_[PairKey(a, b)] = one_way;
+}
+
+void Network::SetLossProbability(double p, uint64_t seed) {
+  loss_probability_ = p;
+  loss_rng_ = Rng(seed);
+}
+
+void Network::SetDelayJitter(Duration max_jitter, uint64_t seed) {
+  max_jitter_ = max_jitter;
+  jitter_rng_ = Rng(seed);
+}
+
+void Network::SetHostDown(HostAddress addr, bool down) { host_down_[addr] = down; }
+
+}  // namespace dcc

@@ -1,0 +1,105 @@
+// Simulated datagram network.
+//
+// Nodes register under a HostAddress and exchange UDP-like datagrams carrying
+// serialized DNS messages. Delivery latency defaults to a configurable
+// one-way delay (the paper's testbed RTT between resolver and nameserver is
+// ~1 ms) and can be overridden per address pair; optional loss injects
+// failures for robustness tests.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/event_loop.h"
+
+namespace dcc {
+
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  std::vector<uint8_t> payload;
+};
+
+class Network;
+
+// Base class for simulated hosts. Subclasses implement OnDatagram and use
+// SendDatagram to transmit. Attach() is called by Network::RegisterNode.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  virtual void OnDatagram(const Datagram& dgram) = 0;
+
+  HostAddress address() const { return address_; }
+
+ protected:
+  void SendDatagram(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload);
+
+  EventLoop& loop();
+  Time now() const;
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  EventLoop* loop_ = nullptr;
+  HostAddress address_ = kInvalidAddress;
+};
+
+class Network {
+ public:
+  explicit Network(EventLoop& loop, Duration default_one_way_delay = Milliseconds(1) / 2);
+
+  // Registers `node` (not owned) at `addr`. Overwrites any prior binding.
+  void RegisterNode(Node* node, HostAddress addr);
+  void UnregisterNode(HostAddress addr);
+
+  // Sends a datagram; delivery is scheduled after the pair's one-way delay,
+  // subject to the loss probability. Datagrams to unknown addresses vanish
+  // (like real UDP).
+  void Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload);
+
+  // Overrides the one-way delay for the (a, b) pair, both directions.
+  void SetPairDelay(HostAddress a, HostAddress b, Duration one_way);
+
+  // Global probability in [0,1] that any datagram is dropped.
+  void SetLossProbability(double p, uint64_t seed = 42);
+
+  // Adds uniform random jitter in [0, max_jitter) to every delivery delay,
+  // modeling real-network delay variance (the paper's testbed RTTs vary by
+  // fractions of a millisecond).
+  void SetDelayJitter(Duration max_jitter, uint64_t seed = 43);
+
+  // Cuts or restores connectivity for `addr` (simulates host outage).
+  void SetHostDown(HostAddress addr, bool down);
+
+  EventLoop& loop() { return loop_; }
+
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+
+ private:
+  Duration DelayFor(HostAddress a, HostAddress b) const;
+
+  EventLoop& loop_;
+  Duration default_delay_;
+  std::unordered_map<HostAddress, Node*> nodes_;
+  std::unordered_map<uint64_t, Duration> pair_delay_;
+  std::unordered_map<HostAddress, bool> host_down_;
+  double loss_probability_ = 0.0;
+  Rng loss_rng_{42};
+  Duration max_jitter_ = 0;
+  Rng jitter_rng_{43};
+  uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_dropped_ = 0;
+};
+
+}  // namespace dcc
+
+#endif  // SRC_SIM_NETWORK_H_

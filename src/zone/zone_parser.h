@@ -1,0 +1,51 @@
+// Textual zone-file parser for the master-file subset used by the paper's
+// experiment zones (Appendix A, Fig. 12): $ORIGIN/$TTL directives, relative
+// and absolute owner names, '@' for the origin, and the record types this
+// library models (A, AAAA, NS, CNAME, SOA, TXT). Class fields ("IN") and
+// per-record TTLs are accepted; comments start with ';'.
+//
+// Example:
+//   $ORIGIN target-domain.
+//   $TTL 600
+//   @        IN SOA ans hostmaster 2024110401 3600 600 86400 600
+//   @        IN NS  ans
+//   ans      IN A   10.0.0.1
+//   *.wc     IN A   127.0.0.1
+//   q-1      IN NS  ns-a1-1
+
+#ifndef SRC_ZONE_ZONE_PARSER_H_
+#define SRC_ZONE_ZONE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/zone/zone.h"
+
+namespace dcc {
+
+struct ZoneParseError {
+  int line = 0;
+  std::string message;
+};
+
+struct ZoneParseResult {
+  std::optional<Zone> zone;
+  std::vector<ZoneParseError> errors;
+
+  bool ok() const { return zone.has_value() && errors.empty(); }
+};
+
+// Parses a zone from master-file text. The origin comes from a $ORIGIN
+// directive or, failing that, from `default_origin`. The first SOA record
+// defines the zone apex; a missing SOA yields a synthetic one at the origin.
+ZoneParseResult ParseZoneText(std::string_view text,
+                              const Name& default_origin = Name());
+
+// Reads `path` and parses it. I/O failures are reported as a line-0 error.
+ZoneParseResult ParseZoneFile(const std::string& path,
+                              const Name& default_origin = Name());
+
+}  // namespace dcc
+
+#endif  // SRC_ZONE_ZONE_PARSER_H_

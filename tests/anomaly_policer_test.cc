@@ -1,0 +1,219 @@
+// Unit tests for the anomaly monitor (§3.2.2) and pre-queue policer (§3.2.3).
+
+#include <gtest/gtest.h>
+
+#include "src/dcc/anomaly.h"
+#include "src/dcc/policer.h"
+
+namespace dcc {
+namespace {
+
+AnomalyConfig FastConfig() {
+  AnomalyConfig config;
+  config.window = Seconds(2);
+  config.nx_ratio_threshold = 0.2;
+  config.nx_min_responses = 10;
+  config.amplification_threshold = 5.0;
+  config.amp_min_requests = 4;
+  config.alarms_to_convict = 3;
+  config.suspicion_period = Seconds(60);
+  return config;
+}
+
+constexpr SourceId kClient = 0x0a000010;
+
+TEST(AnomalyMonitorTest, NoAlarmOnCleanTraffic) {
+  AnomalyMonitor monitor(FastConfig());
+  for (int i = 0; i < 100; ++i) {
+    const Time t = i * Milliseconds(20);
+    monitor.RecordRequest(kClient, t);
+    monitor.RecordClientResponse(kClient, Rcode::kNoError, t);
+  }
+  EXPECT_TRUE(monitor.EvaluateWindows(Seconds(3)).empty());
+  EXPECT_FALSE(monitor.IsSuspicious(kClient, Seconds(3)));
+}
+
+TEST(AnomalyMonitorTest, NxRatioTriggersAlarm) {
+  AnomalyMonitor monitor(FastConfig());
+  for (int i = 0; i < 50; ++i) {
+    const Time t = i * Milliseconds(20);
+    monitor.RecordRequest(kClient, t);
+    monitor.RecordClientResponse(kClient, Rcode::kNxDomain, t);
+  }
+  const auto events = monitor.EvaluateWindows(Seconds(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].client, kClient);
+  EXPECT_EQ(events[0].reason, AnomalyReason::kNxDomainRatio);
+  EXPECT_FALSE(events[0].convicted);
+  EXPECT_EQ(events[0].countdown, 2);
+  EXPECT_TRUE(monitor.IsSuspicious(kClient, Seconds(2)));
+}
+
+TEST(AnomalyMonitorTest, FewSamplesDoNotAlarm) {
+  AnomalyMonitor monitor(FastConfig());
+  // 5 NXDOMAIN responses: 100% ratio but below nx_min_responses.
+  for (int i = 0; i < 5; ++i) {
+    monitor.RecordClientResponse(kClient, Rcode::kNxDomain, i * Milliseconds(10));
+  }
+  EXPECT_TRUE(monitor.EvaluateWindows(Seconds(2)).empty());
+}
+
+TEST(AnomalyMonitorTest, AmplificationTriggersAlarm) {
+  AnomalyMonitor monitor(FastConfig());
+  for (int i = 0; i < 10; ++i) {
+    const Time t = i * Milliseconds(100);
+    monitor.RecordRequest(kClient, t);
+    for (int q = 0; q < 50; ++q) {
+      monitor.RecordAttributedQuery(kClient, static_cast<uint32_t>(i), t);
+    }
+  }
+  const auto events = monitor.EvaluateWindows(Seconds(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].reason, AnomalyReason::kAmplification);
+}
+
+TEST(AnomalyMonitorTest, ConvictsAfterRepeatedAlarms) {
+  AnomalyMonitor monitor(FastConfig());
+  int convicted_at = -1;
+  for (int window = 0; window < 5; ++window) {
+    const Time base = window * Seconds(2);
+    for (int i = 0; i < 50; ++i) {
+      monitor.RecordClientResponse(kClient, Rcode::kNxDomain, base + i * Milliseconds(20));
+    }
+    const auto events = monitor.EvaluateWindows(base + Seconds(2));
+    if (!events.empty() && events[0].convicted) {
+      convicted_at = window;
+      break;
+    }
+  }
+  EXPECT_EQ(convicted_at, 2);  // Third alarm (alarms_to_convict = 3).
+}
+
+TEST(AnomalyMonitorTest, SuspicionReleasedAfterPeriod) {
+  AnomalyConfig config = FastConfig();
+  config.suspicion_period = Seconds(10);
+  AnomalyMonitor monitor(config);
+  for (int i = 0; i < 50; ++i) {
+    monitor.RecordClientResponse(kClient, Rcode::kNxDomain, i * Milliseconds(20));
+  }
+  ASSERT_EQ(monitor.EvaluateWindows(Seconds(2)).size(), 1u);
+  EXPECT_TRUE(monitor.IsSuspicious(kClient, Seconds(5)));
+  // Client behaves for > suspicion_period.
+  monitor.EvaluateWindows(Seconds(15));
+  EXPECT_FALSE(monitor.IsSuspicious(kClient, Seconds(15)));
+  EXPECT_EQ(monitor.CountdownFor(kClient), 3);
+}
+
+TEST(AnomalyMonitorTest, ExternalAlarmCreatesSuspicion) {
+  AnomalyMonitor monitor(FastConfig());
+  monitor.RecordExternalAlarm(kClient, AnomalyReason::kUpstreamSignal, Seconds(1));
+  EXPECT_TRUE(monitor.IsSuspicious(kClient, Seconds(1)));
+  EXPECT_EQ(monitor.CountdownFor(kClient), 2);
+  EXPECT_EQ(monitor.ReasonFor(kClient), AnomalyReason::kUpstreamSignal);
+  EXPECT_GT(monitor.SuspicionRemaining(kClient, Seconds(2)), Seconds(50));
+}
+
+TEST(AnomalyMonitorTest, SensitivityLowersThresholds) {
+  AnomalyMonitor monitor(FastConfig());
+  monitor.SetSensitivity(0.5);
+  // Ratio 0.15 < 0.2 but > 0.2 * 0.5.
+  for (int i = 0; i < 100; ++i) {
+    const Time t = i * Milliseconds(10);
+    monitor.RecordClientResponse(
+        kClient, i % 7 == 0 ? Rcode::kNxDomain : Rcode::kNoError, t);
+  }
+  const auto events = monitor.EvaluateWindows(Seconds(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].reason, AnomalyReason::kNxDomainRatio);
+}
+
+TEST(AnomalyMonitorTest, PurgeKeepsSuspicious) {
+  AnomalyMonitor monitor(FastConfig());
+  monitor.RecordRequest(1, 0);
+  monitor.RecordExternalAlarm(2, AnomalyReason::kUpstreamSignal, 0);
+  EXPECT_EQ(monitor.TrackedClients(), 2u);
+  monitor.PurgeIdle(Seconds(30), Seconds(10));
+  // Client 1 idle -> purged; client 2 suspicious -> kept.
+  EXPECT_EQ(monitor.TrackedClients(), 1u);
+  EXPECT_TRUE(monitor.IsSuspicious(2, Seconds(30)));
+}
+
+TEST(AnomalyMonitorTest, WindowsEvaluateOncePerWindow) {
+  AnomalyMonitor monitor(FastConfig());
+  for (int i = 0; i < 50; ++i) {
+    monitor.RecordClientResponse(kClient, Rcode::kNxDomain, i * Milliseconds(20));
+  }
+  EXPECT_EQ(monitor.EvaluateWindows(Seconds(2)).size(), 1u);
+  // Immediately re-evaluating within the same window yields nothing.
+  EXPECT_TRUE(monitor.EvaluateWindows(Seconds(2) + Milliseconds(100)).empty());
+}
+
+TEST(PolicerTest, BlockPolicyDropsEverything) {
+  PreQueuePolicer policer;
+  policer.Impose(kClient, PolicyType::kBlock, 0, Seconds(30),
+                 AnomalyReason::kAmplification, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(policer.AllowQuery(kClient, Seconds(1)));
+  }
+  EXPECT_EQ(policer.total_dropped(), 10u);
+  EXPECT_TRUE(policer.IsPoliced(kClient, Seconds(1)));
+  EXPECT_FALSE(policer.IsPoliced(0xdead, Seconds(1)));
+}
+
+TEST(PolicerTest, RateLimitPolicyAllowsConfiguredRate) {
+  PreQueuePolicer policer;
+  policer.Impose(kClient, PolicyType::kRateLimit, 100, Seconds(20),
+                 AnomalyReason::kNxDomainRatio, 0);
+  int allowed = 0;
+  // Offer 400 queries over 1 second.
+  for (int i = 0; i < 400; ++i) {
+    if (policer.AllowQuery(kClient, i * Microseconds(2500))) {
+      ++allowed;
+    }
+  }
+  EXPECT_NEAR(allowed, 110, 15);  // ~100 QPS + initial burst.
+}
+
+TEST(PolicerTest, PolicyExpires) {
+  PreQueuePolicer policer;
+  policer.Impose(kClient, PolicyType::kBlock, 0, Seconds(30),
+                 AnomalyReason::kAmplification, 0);
+  EXPECT_FALSE(policer.AllowQuery(kClient, Seconds(29)));
+  EXPECT_TRUE(policer.AllowQuery(kClient, Seconds(31)));
+  EXPECT_EQ(policer.Get(kClient, Seconds(31)), nullptr);
+}
+
+TEST(PolicerTest, TakeDropCountResets) {
+  PreQueuePolicer policer;
+  policer.Impose(kClient, PolicyType::kBlock, 0, Seconds(30),
+                 AnomalyReason::kAmplification, 0);
+  policer.AllowQuery(kClient, 1);
+  policer.AllowQuery(kClient, 2);
+  EXPECT_EQ(policer.TakeDropCount(kClient), 2u);
+  EXPECT_EQ(policer.TakeDropCount(kClient), 0u);
+}
+
+TEST(PolicerTest, PurgeRemovesExpired) {
+  PreQueuePolicer policer;
+  policer.Impose(1, PolicyType::kBlock, 0, Seconds(10), AnomalyReason::kAmplification, 0);
+  policer.Impose(2, PolicyType::kBlock, 0, Seconds(60), AnomalyReason::kAmplification, 0);
+  EXPECT_EQ(policer.PolicedCount(Seconds(5)), 2u);
+  policer.Purge(Seconds(30));
+  EXPECT_EQ(policer.PolicedCount(Seconds(30)), 1u);
+  EXPECT_GT(policer.MemoryFootprint(), 0u);
+}
+
+TEST(PolicerTest, ReImposeReplacesPolicy) {
+  PreQueuePolicer policer;
+  policer.Impose(kClient, PolicyType::kBlock, 0, Seconds(30),
+                 AnomalyReason::kAmplification, 0);
+  policer.Impose(kClient, PolicyType::kRateLimit, 1000, Seconds(30),
+                 AnomalyReason::kNxDomainRatio, 0);
+  EXPECT_TRUE(policer.AllowQuery(kClient, Seconds(1)));
+  const ActivePolicy* policy = policer.Get(kClient, Seconds(1));
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->type, PolicyType::kRateLimit);
+}
+
+}  // namespace
+}  // namespace dcc

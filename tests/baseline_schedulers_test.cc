@@ -1,0 +1,258 @@
+// Tests for the Fig. 7 baseline schedulers — including demonstrations of the
+// exact deficiencies the paper attributes to each design point.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/dcc/baseline_schedulers.h"
+#include "src/dcc/mopi_fq.h"
+
+namespace dcc {
+namespace {
+
+BaselineConfig Config() {
+  BaselineConfig config;
+  config.max_queue_depth = 10;
+  config.default_channel_qps = 1000.0;
+  config.channel_burst = 100.0;
+  return config;
+}
+
+SchedMessage Msg(SourceId src, OutputId out, Time arrival, uint64_t cookie = 0) {
+  return SchedMessage{src, out, arrival, cookie};
+}
+
+TEST(SingleFifoTest, FifoOrderPerOutput) {
+  SingleFifoScheduler fifo(Config());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(fifo.Enqueue(Msg(1, 100, static_cast<Time>(i), i), 0).result,
+              EnqueueResult::kSuccess);
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto msg = fifo.Dequeue(Seconds(1));
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->cookie, i);
+  }
+}
+
+TEST(SingleFifoTest, TailDropWhenFull) {
+  SingleFifoScheduler fifo(Config());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(fifo.Enqueue(Msg(1, 100, i, 0), 0).result, EnqueueResult::kSuccess);
+  }
+  EXPECT_EQ(fifo.Enqueue(Msg(2, 100, 99, 0), 0).result,
+            EnqueueResult::kChannelCongested);
+}
+
+TEST(SingleFifoTest, NoFairnessAcrossSources) {
+  // An aggressive source fills the queue; a later source gets nothing — the
+  // vanilla-resolver behavior DCC exists to fix.
+  SingleFifoScheduler fifo(Config());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(fifo.Enqueue(Msg(1, 100, i, 1), 0).result, EnqueueResult::kSuccess);
+  }
+  EXPECT_EQ(fifo.Enqueue(Msg(2, 100, 20, 2), 0).result,
+            EnqueueResult::kChannelCongested);
+  int source1 = 0;
+  while (auto msg = fifo.Dequeue(Seconds(1))) {
+    source1 += msg->source == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(source1, 10);
+}
+
+TEST(InputCentricTest, RoundRobinAcrossSources) {
+  InputCentricFq fq(Config(), /*leapfrog=*/false);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(fq.Enqueue(Msg(1, 100, i, 10), 0).result, EnqueueResult::kSuccess);
+    ASSERT_EQ(fq.Enqueue(Msg(2, 100, i, 20), 0).result, EnqueueResult::kSuccess);
+  }
+  std::vector<SourceId> order;
+  while (auto msg = fq.Dequeue(Seconds(1))) {
+    order.push_back(msg->source);
+  }
+  EXPECT_EQ(order, (std::vector<SourceId>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(InputCentricTest, HolBlockingAcrossOutputs) {
+  // Fig. 7a (top): source 3's head message targets congested output A; its
+  // message to healthy output B is stuck behind it.
+  BaselineConfig config = Config();
+  config.channel_burst = 1.0;
+  InputCentricFq fq(config, /*leapfrog=*/false);
+  fq.SetChannelCapacity(100, 0.001);  // Output A: effectively frozen.
+  fq.SetChannelCapacity(200, 1000.0);
+  ASSERT_EQ(fq.Enqueue(Msg(3, 100, 0, 1), 0).result, EnqueueResult::kSuccess);
+  ASSERT_EQ(fq.Enqueue(Msg(3, 200, 1, 2), 0).result, EnqueueResult::kSuccess);
+  // Consume output A's single burst token via another source so A is
+  // congested when source 3 is served.
+  ASSERT_EQ(fq.Enqueue(Msg(4, 100, 2, 3), 0).result, EnqueueResult::kSuccess);
+  auto first = fq.Dequeue(Milliseconds(1));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->cookie, 1u);  // Source 3's head took A's only token...
+  // ...and now source 3's B-bound message cannot be reached even though B
+  // has plenty of capacity: the next dequeue returns source 4? No - source
+  // 4's head targets A (congested). Source 3's B message is behind its own
+  // (now empty) queue... next call serves it. Demonstrate the blocking with
+  // a fresh A-bound head instead:
+  ASSERT_EQ(fq.Enqueue(Msg(3, 100, 3, 4), 0).result, EnqueueResult::kSuccess);
+  // Source 3 queue: [A(4), ...] wait - FIFO: [B(2), A(4)] - B first. Drain B.
+  auto second = fq.Dequeue(Milliseconds(2));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->cookie, 2u);
+  // Now source 3 head = A(4), source 4 head = A(3); both blocked although
+  // output B is idle: nothing dequeues.
+  ASSERT_EQ(fq.Enqueue(Msg(3, 200, 4, 5), 0).result, EnqueueResult::kSuccess);
+  auto third = fq.Dequeue(Milliseconds(3));
+  // Without leapfrog, the B-bound message 5 is unreachable behind A(4).
+  EXPECT_FALSE(third.has_value());
+}
+
+TEST(InputCentricTest, LeapfrogReachesHealthyOutputs) {
+  BaselineConfig config = Config();
+  config.channel_burst = 1.0;
+  InputCentricFq fq(config, /*leapfrog=*/true);
+  fq.SetChannelCapacity(100, 0.001);
+  fq.SetChannelCapacity(200, 1000.0);
+  // Freeze output A by consuming its token.
+  ASSERT_EQ(fq.Enqueue(Msg(4, 100, 0, 1), 0).result, EnqueueResult::kSuccess);
+  ASSERT_TRUE(fq.Dequeue(0).has_value());
+  ASSERT_EQ(fq.Enqueue(Msg(3, 100, 1, 2), 0).result, EnqueueResult::kSuccess);
+  ASSERT_EQ(fq.Enqueue(Msg(3, 200, 2, 3), 0).result, EnqueueResult::kSuccess);
+  // Leapfrog skips the blocked A-head and serves the B-bound message.
+  auto msg = fq.Dequeue(Milliseconds(1));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->cookie, 3u);
+}
+
+TEST(InputCentricTest, LeapfrogStillDropsWhenQueueFills) {
+  // Fig. 7a (bottom): even with leapfrog, a queue filled by messages to a
+  // congested output rejects messages for healthy outputs.
+  BaselineConfig config = Config();
+  config.max_queue_depth = 5;
+  config.channel_burst = 1.0;
+  InputCentricFq fq(config, /*leapfrog=*/true);
+  fq.SetChannelCapacity(100, 0.001);
+  ASSERT_EQ(fq.Enqueue(Msg(3, 100, 0, 0), 0).result, EnqueueResult::kSuccess);
+  ASSERT_TRUE(fq.Dequeue(0).has_value());  // Consume A's token.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(fq.Enqueue(Msg(3, 100, i, 0), 0).result, EnqueueResult::kSuccess);
+  }
+  // B-bound message dropped despite output B being idle.
+  EXPECT_EQ(fq.Enqueue(Msg(3, 200, 9, 9), 0).result,
+            EnqueueResult::kChannelCongested);
+}
+
+TEST(IoIsolatedTest, IsolationAcrossOutputsAndSources) {
+  BaselineConfig config = Config();
+  config.max_queue_depth = 3;
+  config.channel_burst = 1.0;
+  IoIsolatedFq fq(config);
+  fq.SetChannelCapacity(100, 0.001);
+  fq.SetChannelCapacity(200, 1000.0);
+  ASSERT_EQ(fq.Enqueue(Msg(1, 100, 0, 0), 0).result, EnqueueResult::kSuccess);
+  ASSERT_TRUE(fq.Dequeue(0).has_value());
+  // Fill source 1's queue towards congested A.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(fq.Enqueue(Msg(1, 100, i, 0), 0).result, EnqueueResult::kSuccess);
+  }
+  // Isolation: source 1 can still enqueue (and get served) towards B.
+  ASSERT_EQ(fq.Enqueue(Msg(1, 200, 5, 7), 0).result, EnqueueResult::kSuccess);
+  auto msg = fq.Dequeue(Milliseconds(1));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->cookie, 7u);
+}
+
+TEST(IoIsolatedTest, QueueObjectCountIsProductOfSourcesAndOutputs) {
+  IoIsolatedFq fq(Config());
+  for (SourceId s = 1; s <= 4; ++s) {
+    for (OutputId o = 100; o < 103; ++o) {
+      ASSERT_EQ(fq.Enqueue(Msg(s, o, 0, 0), 0).result, EnqueueResult::kSuccess);
+    }
+  }
+  EXPECT_EQ(fq.QueueObjectCount(), 12u);  // |S| x |O| — the cost of Fig. 7b.
+}
+
+TEST(OutputCentricTest, RoundFairnessPerOutput) {
+  OutputCentricFq fq(Config(), /*max_rounds=*/8);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(fq.Enqueue(Msg(1, 100, i, 10), 0).result, EnqueueResult::kSuccess);
+  }
+  ASSERT_EQ(fq.Enqueue(Msg(2, 100, 9, 20), 0).result, EnqueueResult::kSuccess);
+  std::vector<SourceId> order;
+  while (auto msg = fq.Dequeue(Seconds(1))) {
+    order.push_back(msg->source);
+  }
+  EXPECT_EQ(order, (std::vector<SourceId>{1, 2, 1, 1}));
+}
+
+TEST(OutputCentricTest, OverspeedBoundsSource) {
+  OutputCentricFq fq(Config(), /*max_rounds=*/4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(fq.Enqueue(Msg(1, 100, i, 0), 0).result, EnqueueResult::kSuccess);
+  }
+  EXPECT_EQ(fq.Enqueue(Msg(1, 100, 9, 0), 0).result, EnqueueResult::kClientOverspeed);
+}
+
+TEST(FactoryTest, MakesAllSchedulers) {
+  const BaselineConfig config = Config();
+  for (const char* name : {"mopi", "fifo", "input", "leapfrog", "isolated", "output"}) {
+    auto scheduler = MakeSchedulerByName(name, config);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->Enqueue(Msg(1, 100, 0, 5), 0).result,
+              EnqueueResult::kSuccess)
+        << name;
+    auto msg = scheduler->Dequeue(Milliseconds(1));
+    ASSERT_TRUE(msg.has_value()) << name;
+    EXPECT_EQ(msg->cookie, 5u) << name;
+    EXPECT_EQ(scheduler->QueuedCount(), 0u) << name;
+    EXPECT_GT(scheduler->MemoryFootprint(), 0u) << name;
+  }
+  EXPECT_EQ(MakeSchedulerByName("nope", config), nullptr);
+}
+
+TEST(SchedulerComparisonTest, OnlyIsolatingDesignsProtectCrossTraffic) {
+  // A source floods output A; a victim source sends to output B. FIFO and
+  // input-centric designs hurt the victim; IO-isolated, output-centric and
+  // MOPI-FQ do not.
+  auto run = [&](const std::string& name) {
+    BaselineConfig config = Config();
+    config.max_queue_depth = 10;
+    config.channel_burst = 1.0;
+    auto scheduler = MakeSchedulerByName(name, config);
+    scheduler->SetChannelCapacity(100, 0.001);  // A frozen.
+    scheduler->SetChannelCapacity(200, 1000.0);
+    // Exhaust A's burst token.
+    scheduler->Enqueue(Msg(9, 100, 0, 0), 0);
+    scheduler->Dequeue(0);
+    // Attacker (source 1) floods towards A.
+    for (int i = 0; i < 50; ++i) {
+      scheduler->Enqueue(Msg(1, 100, i, 0), 0);
+    }
+    // Victim (source 1 in input-centric's worst case is the same source;
+    // use source 1 to B so input-centric shows blocking, MOPI does not).
+    const EnqueueOutcome outcome = scheduler->Enqueue(Msg(1, 200, 60, 777), 0);
+    if (outcome.result != EnqueueResult::kSuccess) {
+      return false;
+    }
+    for (int i = 0; i < 60; ++i) {
+      auto msg = scheduler->Dequeue(Milliseconds(1) + i);
+      if (msg.has_value() && msg->cookie == 777) {
+        return true;
+      }
+      if (!msg.has_value()) {
+        break;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(run("input"));     // HOL blocking or queue overflow.
+  EXPECT_FALSE(run("leapfrog"));  // Queue full of A-bound messages.
+  EXPECT_TRUE(run("isolated"));
+  EXPECT_TRUE(run("output"));
+  EXPECT_TRUE(run("mopi"));
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,123 @@
+// Unit tests for the resolver cache (src/server/cache): TTL expiry, negative
+// entries, capacity eviction, and footprint accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/server/cache.h"
+
+namespace dcc {
+namespace {
+
+const Name& N(const char* text) {
+  static Name name;
+  name = *Name::Parse(text);
+  return name;
+}
+
+TEST(DnsCacheTest, StoreAndLookupPositive) {
+  DnsCache cache;
+  cache.StorePositive(N("a.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("a.example"), 300, 0x01020304)}, 0);
+  const CacheEntry* entry = cache.Lookup(N("a.example"), RecordType::kA, Seconds(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, CacheEntryKind::kPositive);
+  ASSERT_EQ(entry->records.size(), 1u);
+  EXPECT_EQ(entry->records[0].address(), 0x01020304u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(DnsCacheTest, MissOnTypeAndName) {
+  DnsCache cache;
+  cache.StorePositive(N("a.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("a.example"), 300, 1)}, 0);
+  EXPECT_EQ(cache.Lookup(N("a.example"), RecordType::kNs, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(N("b.example"), RecordType::kA, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(DnsCacheTest, TtlExpiry) {
+  DnsCache cache;
+  cache.StorePositive(N("t.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("t.example"), 10, 1)}, 0);
+  EXPECT_NE(cache.Lookup(N("t.example"), RecordType::kA, Seconds(9)), nullptr);
+  EXPECT_EQ(cache.Lookup(N("t.example"), RecordType::kA, Seconds(10)), nullptr);
+  // The expired entry was removed on access.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCacheTest, PositiveTtlIsMaxOfRrset) {
+  DnsCache cache;
+  cache.StorePositive(N("m.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("m.example"), 5, 1),
+                       MakeA(*Name::Parse("m.example"), 50, 2)},
+                      0);
+  EXPECT_NE(cache.Lookup(N("m.example"), RecordType::kA, Seconds(30)), nullptr);
+}
+
+TEST(DnsCacheTest, NegativeEntries) {
+  DnsCache cache;
+  cache.StoreNegative(N("gone.example"), RecordType::kA,
+                      CacheEntryKind::kNegativeNxDomain, 60, 0);
+  cache.StoreNegative(N("empty.example"), RecordType::kTxt,
+                      CacheEntryKind::kNegativeNoData, 60, 0);
+  const CacheEntry* nx = cache.Lookup(N("gone.example"), RecordType::kA, Seconds(1));
+  ASSERT_NE(nx, nullptr);
+  EXPECT_EQ(nx->kind, CacheEntryKind::kNegativeNxDomain);
+  EXPECT_TRUE(nx->records.empty());
+  const CacheEntry* nodata =
+      cache.Lookup(N("empty.example"), RecordType::kTxt, Seconds(1));
+  ASSERT_NE(nodata, nullptr);
+  EXPECT_EQ(nodata->kind, CacheEntryKind::kNegativeNoData);
+}
+
+TEST(DnsCacheTest, OverwriteReplacesEntry) {
+  DnsCache cache;
+  cache.StorePositive(N("o.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("o.example"), 300, 1)}, 0);
+  cache.StoreNegative(N("o.example"), RecordType::kA,
+                      CacheEntryKind::kNegativeNxDomain, 60, 0);
+  const CacheEntry* entry = cache.Lookup(N("o.example"), RecordType::kA, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, CacheEntryKind::kNegativeNxDomain);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCacheTest, CapacityEvictionKeepsBound) {
+  DnsCache cache(/*max_entries=*/16);
+  for (int i = 0; i < 100; ++i) {
+    const Name name = *Name::Parse("n" + std::to_string(i) + ".example");
+    cache.StorePositive(name, RecordType::kA, {MakeA(name, 300, 1)}, 0);
+  }
+  EXPECT_LE(cache.size(), 16u);
+}
+
+TEST(DnsCacheTest, PurgeExpiredSweeps) {
+  DnsCache cache;
+  for (int i = 0; i < 10; ++i) {
+    const Name name = *Name::Parse("p" + std::to_string(i) + ".example");
+    cache.StorePositive(name, RecordType::kA,
+                        {MakeA(name, static_cast<uint32_t>(i < 5 ? 10 : 1000), 1)}, 0);
+  }
+  cache.PurgeExpired(Seconds(100));
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(DnsCacheTest, MemoryFootprintTracksContents) {
+  DnsCache cache;
+  const size_t empty = cache.MemoryFootprint();
+  for (int i = 0; i < 50; ++i) {
+    const Name name = *Name::Parse("f" + std::to_string(i) + ".example");
+    cache.StorePositive(name, RecordType::kA, {MakeA(name, 300, 1)}, 0);
+  }
+  EXPECT_GT(cache.MemoryFootprint(), empty + 50 * 32);
+}
+
+TEST(DnsCacheTest, CaseInsensitiveKeys) {
+  DnsCache cache;
+  cache.StorePositive(N("MiXeD.Example"), RecordType::kA,
+                      {MakeA(*Name::Parse("mixed.example"), 300, 7)}, 0);
+  EXPECT_NE(cache.Lookup(N("mixed.EXAMPLE"), RecordType::kA, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,150 @@
+// Tests for the AIMD channel-capacity estimator (§3.2.1 footnote 1): unit
+// behavior of the control loop, plus an end-to-end run where a DCC shim with
+// no configured capacity converges onto an upstream's actual rate limit.
+
+#include <gtest/gtest.h>
+
+#include "src/attack/patterns.h"
+#include "src/attack/testbed.h"
+#include "src/dcc/capacity_estimator.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+CapacityEstimatorConfig Config() {
+  CapacityEstimatorConfig config;
+  config.enabled = true;
+  config.initial_qps = 1000;
+  config.min_qps = 10;
+  config.window = Seconds(1);
+  return config;
+}
+
+TEST(CapacityEstimatorTest, DisabledProducesNoUpdates) {
+  CapacityEstimatorConfig config = Config();
+  config.enabled = false;
+  CapacityEstimator estimator(config);
+  for (int i = 0; i < 100; ++i) {
+    estimator.RecordLost(1, i * Milliseconds(10));
+  }
+  EXPECT_TRUE(estimator.Tick(Seconds(2)).empty());
+}
+
+TEST(CapacityEstimatorTest, LossTriggersMultiplicativeDecrease) {
+  CapacityEstimator estimator(Config());
+  // 40 answered, 60 lost within one window -> heavy loss at delivered 40/s.
+  for (int i = 0; i < 40; ++i) {
+    estimator.RecordAnswered(1, Milliseconds(10 * i));
+  }
+  for (int i = 0; i < 60; ++i) {
+    estimator.RecordLost(1, Milliseconds(10 * i));
+  }
+  const auto updates = estimator.Tick(Seconds(1));
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_LT(updates[0].second, 1000);
+  // Converges towards delivered/decrease_factor * decrease_factor = 40.
+  EXPECT_NEAR(updates[0].second, 40, 10);
+}
+
+TEST(CapacityEstimatorTest, CleanSaturatedWindowsProbeUpward) {
+  CapacityEstimatorConfig config = Config();
+  config.initial_qps = 100;
+  CapacityEstimator estimator(config);
+  Time now = 0;
+  for (int window = 0; window < 5; ++window) {
+    for (int i = 0; i < 95; ++i) {  // 95% utilization, no loss.
+      estimator.RecordAnswered(1, now + Milliseconds(10 * i));
+    }
+    now += Seconds(1);
+    estimator.Tick(now);
+  }
+  EXPECT_GT(estimator.EstimateFor(1), 100);
+}
+
+TEST(CapacityEstimatorTest, UnderutilizedWindowsHoldSteady) {
+  CapacityEstimatorConfig config = Config();
+  config.initial_qps = 100;
+  CapacityEstimator estimator(config);
+  Time now = 0;
+  for (int window = 0; window < 5; ++window) {
+    for (int i = 0; i < 20; ++i) {  // 20% utilization, no loss.
+      estimator.RecordAnswered(1, now + Milliseconds(10 * i));
+    }
+    now += Seconds(1);
+    estimator.Tick(now);
+  }
+  EXPECT_DOUBLE_EQ(estimator.EstimateFor(1), 100);
+}
+
+TEST(CapacityEstimatorTest, TooFewSamplesNoVerdict) {
+  CapacityEstimator estimator(Config());
+  estimator.RecordLost(1, 0);  // 1 << min_samples.
+  EXPECT_TRUE(estimator.Tick(Seconds(1)).empty());
+  EXPECT_DOUBLE_EQ(estimator.EstimateFor(1), 1000);
+}
+
+TEST(CapacityEstimatorTest, SeedAndPurge) {
+  CapacityEstimator estimator(Config());
+  estimator.Seed(7, 333);
+  EXPECT_DOUBLE_EQ(estimator.EstimateFor(7), 333);
+  EXPECT_EQ(estimator.TrackedChannels(), 1u);
+  estimator.PurgeIdle(Seconds(100), Seconds(10));
+  EXPECT_EQ(estimator.TrackedChannels(), 0u);
+  EXPECT_DOUBLE_EQ(estimator.EstimateFor(7), 1000);  // Back to default.
+}
+
+TEST(CapacityEstimatorTest, ConvergesOnRealChannelEndToEnd) {
+  // DCC shim with auto-estimation, no configured capacity: the upstream
+  // authoritative silently rate-limits at 200 QPS. Under sustained overload
+  // the estimate must converge near 200 and fair queuing must keep a light
+  // client healthy.
+  Testbed bed;
+  const Name apex = *Name::Parse("target-domain");
+  const HostAddress ans_addr = bed.NextAddress();
+  AuthoritativeConfig auth_config;
+  auth_config.rrl.enabled = true;
+  auth_config.rrl.noerror_qps = 200;
+  auth_config.rrl.nxdomain_qps = 200;
+  auth_config.rrl.per_class = false;
+  AuthoritativeServer& ans = bed.AddAuthoritative(ans_addr, auth_config);
+  ans.AddZone(MakeTargetZone(apex, ans_addr));
+
+  DccConfig dcc;
+  dcc.capacity.enabled = true;
+  dcc.capacity.initial_qps = 2000;  // Far above the truth.
+  dcc.scheduler.default_channel_qps = 2000;
+  dcc.scheduler.max_poq_depth = 30;
+  dcc.purge_interval = Milliseconds(500);
+  dcc.pending_query_ttl = Seconds(2);  // Faster unanswered-query verdicts.
+  const HostAddress resolver_addr = bed.NextAddress();
+  auto [shim, resolver] = bed.AddDccResolver(resolver_addr, dcc);
+  resolver.AddAuthorityHint(apex, ans_addr);
+
+  StubConfig heavy_config;
+  heavy_config.qps = 600;
+  heavy_config.stop = Seconds(40);
+  heavy_config.timeout = Milliseconds(900);
+  heavy_config.series_horizon = Seconds(45);
+  StubClient& heavy =
+      bed.AddStub(bed.NextAddress(), heavy_config, MakeWcGenerator(apex, 31));
+  heavy.AddResolver(resolver_addr);
+  heavy.Start();
+
+  StubConfig light_config = heavy_config;
+  light_config.qps = 40;
+  light_config.start = Seconds(15);  // Joins after the estimate converged.
+  StubClient& light =
+      bed.AddStub(bed.NextAddress(), light_config, MakeWcGenerator(apex, 32));
+  light.AddResolver(resolver_addr);
+  light.Start();
+
+  bed.RunFor(Seconds(45));
+  const double estimate = shim.capacity_estimator().EstimateFor(ans_addr);
+  EXPECT_GT(estimate, 100);
+  EXPECT_LT(estimate, 320);
+  EXPECT_GT(light.SuccessRatio(), 0.8);  // Fair share 100 > its 40 QPS.
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,164 @@
+// Smoke tests for the pre-built experiment scenarios (src/attack/scenarios):
+// shortened versions of the Fig. 4/8/9 runs asserting the headline shapes
+// (vanilla congests, DCC shares fairly, signaling protects the innocent).
+
+#include <gtest/gtest.h>
+
+#include "src/attack/scenarios.h"
+
+namespace dcc {
+namespace {
+
+TEST(Table2Test, ClientMixMatchesPaper) {
+  const auto clients = Table2Clients(QueryPattern::kNx, 1100);
+  ASSERT_EQ(clients.size(), 4u);
+  EXPECT_EQ(clients[0].label, "Heavy");
+  EXPECT_EQ(clients[0].qps, 600);
+  EXPECT_EQ(clients[0].pattern, QueryPattern::kNxThenWc);  // NX attacker case.
+  EXPECT_EQ(clients[1].qps, 350);
+  EXPECT_EQ(clients[1].stop, Seconds(50));
+  EXPECT_EQ(clients[2].qps, 150);
+  EXPECT_EQ(clients[2].start, Seconds(20));
+  EXPECT_TRUE(clients[3].is_attacker);
+  EXPECT_EQ(clients[3].start, Seconds(10));
+}
+
+TEST(Table2Test, WcAttackerKeepsHeavyOnWc) {
+  const auto clients = Table2Clients(QueryPattern::kWc, 1100);
+  EXPECT_EQ(clients[0].pattern, QueryPattern::kWc);
+}
+
+// One shortened WC scenario pair; asserts DCC's fairness edge over vanilla.
+TEST(ResilienceScenarioTest, DccProtectsBenignClients) {
+  double medium_vanilla = 0;
+  double medium_dcc = 0;
+  for (bool dcc_enabled : {false, true}) {
+    ResilienceOptions options;
+    options.dcc_enabled = dcc_enabled;
+    options.horizon = Seconds(25);
+    options.clients = Table2Clients(QueryPattern::kWc, 1100);
+    // Trim schedules to the shortened horizon.
+    for (auto& client : options.clients) {
+      client.stop = std::min(client.stop, Seconds(25));
+    }
+    const ScenarioResult result = RunResilienceScenario(options);
+    ASSERT_EQ(result.clients.size(), 4u);
+    const double medium = result.clients[1].success_ratio;
+    (dcc_enabled ? medium_dcc : medium_vanilla) = medium;
+    if (dcc_enabled) {
+      EXPECT_GT(result.dcc_servfails, 0u);
+    }
+  }
+  EXPECT_GT(medium_dcc, medium_vanilla + 0.2);
+}
+
+TEST(ResilienceScenarioTest, FairShareMatchesWaterFilling) {
+  ResilienceOptions options;
+  options.dcc_enabled = true;
+  options.horizon = Seconds(20);
+  options.clients = Table2Clients(QueryPattern::kWc, 1100);
+  for (auto& client : options.clients) {
+    client.stop = Seconds(20);
+    client.start = std::min(client.start, Seconds(10));
+  }
+  const ScenarioResult result = RunResilienceScenario(options);
+  // During 10-20 s all four clients are active on a 1000-QPS channel:
+  // light (150) is satisfied; the rest share (1000-150)/3 = 283 each.
+  const auto& heavy = result.clients[0];
+  double heavy_rate = 0;
+  for (size_t t = 14; t < 19; ++t) {
+    heavy_rate += heavy.effective_qps[t] / 5;
+  }
+  EXPECT_NEAR(heavy_rate, 283, 45);
+}
+
+TEST(ValidationScenarioTest, CongestionGrowsWithAttackRate) {
+  ValidationOptions weak;
+  weak.setup = ValidationSetup::kRedundantAuth;
+  weak.attacker_qps = 1;
+  const double benign_weak = RunValidationScenario(weak).benign_success_ratio;
+
+  ValidationOptions strong = weak;
+  strong.attacker_qps = 8;
+  const double benign_strong = RunValidationScenario(strong).benign_success_ratio;
+
+  EXPECT_GT(benign_weak, 0.8);
+  EXPECT_LT(benign_strong, benign_weak - 0.3);
+}
+
+TEST(ValidationScenarioTest, ForwarderSetupTracksChannelCapacity) {
+  ValidationOptions below;
+  below.setup = ValidationSetup::kForwarder;
+  below.attacker_qps = 60;  // Below the 100-QPS RR channel.
+  EXPECT_GT(RunValidationScenario(below).benign_success_ratio, 0.9);
+
+  ValidationOptions above = below;
+  above.attacker_qps = 130;
+  EXPECT_LT(RunValidationScenario(above).benign_success_ratio, 0.6);
+}
+
+TEST(SignalingScenarioTest, SignalsReduceCollateralDamage) {
+  double light_off = 0;
+  double light_on = 0;
+  for (bool signaling : {false, true}) {
+    SignalingOptions options;
+    options.signaling_enabled = signaling;
+    options.attacker_pattern = QueryPattern::kFf;
+    options.attacker_qps = 20;
+    options.horizon = Seconds(45);
+    const ScenarioResult result = RunSignalingScenario(options);
+    // clients: Heavy, Medium, Light, Attacker.
+    const double light = result.clients[2].success_ratio;
+    (signaling ? light_on : light_off) = light;
+    if (!signaling) {
+      EXPECT_EQ(result.dcc_signals_attached, 0u);
+    }
+  }
+  EXPECT_GT(light_on, light_off + 0.25);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  // The README promises bit-reproducible experiments: two runs of the same
+  // scenario with the same seed must match event-for-event.
+  auto run = [] {
+    ResilienceOptions options;
+    options.dcc_enabled = true;
+    options.horizon = Seconds(15);
+    options.clients = Table2Clients(QueryPattern::kWc, 1100);
+    for (auto& client : options.clients) {
+      client.stop = Seconds(15);
+    }
+    return RunResilienceScenario(options);
+  };
+  const ScenarioResult a = run();
+  const ScenarioResult b = run();
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (size_t c = 0; c < a.clients.size(); ++c) {
+    EXPECT_EQ(a.clients[c].sent, b.clients[c].sent);
+    EXPECT_EQ(a.clients[c].succeeded, b.clients[c].succeeded);
+    EXPECT_EQ(a.clients[c].effective_qps, b.clients[c].effective_qps);
+  }
+  EXPECT_EQ(a.ans_qps, b.ans_qps);
+  EXPECT_EQ(a.dcc_servfails, b.dcc_servfails);
+}
+
+TEST(DeterminismTest, SeedChangesResults) {
+  auto run = [](uint64_t seed) {
+    ResilienceOptions options;
+    options.dcc_enabled = false;
+    options.seed = seed;
+    options.horizon = Seconds(10);
+    options.clients = Table2Clients(QueryPattern::kWc, 1100);
+    for (auto& client : options.clients) {
+      client.stop = Seconds(10);
+    }
+    return RunResilienceScenario(options);
+  };
+  const ScenarioResult a = run(1);
+  const ScenarioResult b = run(2);
+  // Different jitter seeds shift per-second outcomes.
+  EXPECT_NE(a.clients[0].effective_qps, b.clients[0].effective_qps);
+}
+
+}  // namespace
+}  // namespace dcc

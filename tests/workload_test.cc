@@ -1,0 +1,150 @@
+// Tests for the synthetic workload generator and replayer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/attack/workload.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+const Name& TargetApex() {
+  static const Name apex = *Name::Parse("target-domain");
+  return apex;
+}
+
+WorkloadOptions BaseOptions() {
+  WorkloadOptions options;
+  options.seed = 42;
+  options.clients = 8;
+  options.aggregate_qps = 200;
+  options.horizon = Seconds(20);
+  options.name_space = 1000;
+  return options;
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const auto a = GenerateWorkload(TargetApex(), BaseOptions());
+  const auto b = GenerateWorkload(TargetApex(), BaseOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].times, b[c].times);
+  }
+  WorkloadOptions other = BaseOptions();
+  other.seed = 43;
+  const auto d = GenerateWorkload(TargetApex(), other);
+  EXPECT_NE(a[0].times, d[0].times);
+}
+
+TEST(WorkloadTest, AggregateRateApproximatelyMet) {
+  const auto traces = GenerateWorkload(TargetApex(), BaseOptions());
+  uint64_t total = 0;
+  for (const auto& trace : traces) {
+    total += trace.times.size();
+    // Times are sorted and within the horizon.
+    for (size_t i = 1; i < trace.times.size(); ++i) {
+      EXPECT_LE(trace.times[i - 1], trace.times[i]);
+    }
+    if (!trace.times.empty()) {
+      EXPECT_LT(trace.times.back(), Seconds(20));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total), 200 * 20, 200 * 20 * 0.1);
+}
+
+TEST(WorkloadTest, ZipfSkewsNamePopularity) {
+  WorkloadOptions options = BaseOptions();
+  options.zipf_exponent = 1.2;
+  const auto traces = GenerateWorkload(TargetApex(), options);
+  std::map<std::string, int> counts;
+  int total = 0;
+  for (const auto& trace : traces) {
+    for (const auto& question : trace.questions) {
+      counts[question.qname.ToString()]++;
+      ++total;
+    }
+  }
+  int top = 0;
+  for (const auto& [name, count] : counts) {
+    top = std::max(top, count);
+  }
+  // With s=1.2 over 1000 names, the most popular name draws >5% of traffic,
+  // and far fewer distinct names appear than queries sent.
+  EXPECT_GT(static_cast<double>(top) / total, 0.05);
+  EXPECT_LT(counts.size(), static_cast<size_t>(total) / 2);
+}
+
+TEST(WorkloadTest, ClientSkewConcentratesLoad) {
+  WorkloadOptions options = BaseOptions();
+  options.client_skew = 1.0;
+  const auto traces = GenerateWorkload(TargetApex(), options);
+  EXPECT_GT(traces[0].times.size(), 2 * traces[7].times.size());
+}
+
+TEST(WorkloadTest, NxFractionProducesNxNames) {
+  WorkloadOptions options = BaseOptions();
+  options.nx_fraction = 0.3;
+  const auto traces = GenerateWorkload(TargetApex(), options);
+  const Name nx_subtree = *TargetApex().Prepend(kNxSubtree);
+  int nx = 0;
+  int total = 0;
+  for (const auto& trace : traces) {
+    for (const auto& question : trace.questions) {
+      nx += question.qname.IsSubdomainOf(nx_subtree) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nx) / total, 0.3, 0.05);
+}
+
+TEST(WorkloadTest, DiurnalModulatesRate) {
+  WorkloadOptions options = BaseOptions();
+  options.clients = 1;
+  options.client_skew = 0;
+  options.aggregate_qps = 400;
+  options.diurnal = true;
+  options.diurnal_depth = 0.8;
+  options.diurnal_period = Seconds(20);
+  const auto traces = GenerateWorkload(TargetApex(), options);
+  // First quarter (sin > 0) must carry substantially more traffic than the
+  // third quarter (sin < 0).
+  int q1 = 0;
+  int q3 = 0;
+  for (Time t : traces[0].times) {
+    if (t < Seconds(5)) {
+      ++q1;
+    } else if (t >= Seconds(10) && t < Seconds(15)) {
+      ++q3;
+    }
+  }
+  EXPECT_GT(q1, q3 * 2);
+}
+
+TEST(WorkloadReplayTest, RealisticWorkloadResolvesWithCacheHits) {
+  Testbed bed;
+  const HostAddress ans_addr = bed.NextAddress();
+  AuthoritativeServer& ans = bed.AddAuthoritative(ans_addr);
+  ans.AddZone(MakeTargetZone(TargetApex(), ans_addr));
+  const HostAddress resolver_addr = bed.NextAddress();
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr);
+  resolver.AddAuthorityHint(TargetApex(), ans_addr);
+
+  WorkloadOptions options = BaseOptions();
+  options.zipf_exponent = 1.0;
+  options.name_space = 500;
+  const auto traces = GenerateWorkload(TargetApex(), options);
+  const ReplayStats stats = ReplayWorkload(bed, resolver_addr, traces);
+
+  EXPECT_GT(stats.sent, 3000u);
+  EXPECT_GT(stats.SuccessRatio(), 0.99);
+  // Zipf reuse means far fewer upstream queries than requests (cache works).
+  EXPECT_LT(resolver.queries_sent(), stats.sent / 2);
+  EXPECT_GT(resolver.cache_hit_responses(), stats.sent / 3);
+  // Latency: cache hits dominate -> median well below one RTT-full miss.
+  EXPECT_GT(stats.latency.count(), 0);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,200 @@
+// Tests for the master-file zone parser (src/zone/zone_parser).
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+#include "src/zone/zone_parser.h"
+
+namespace dcc {
+namespace {
+
+TEST(ZoneParserTest, ParsesMinimalZone) {
+  const char* text = R"(
+$ORIGIN example.com.
+$TTL 600
+@    IN SOA ns1 hostmaster 2024010101 3600 600 86400 300
+@    IN NS  ns1
+ns1  IN A   10.0.0.1
+www  IN A   10.0.0.2
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0].message);
+  const Zone& zone = *result.zone;
+  EXPECT_EQ(zone.apex(), *Name::Parse("example.com"));
+  const auto lookup = zone.Lookup(*Name::Parse("www.example.com"), RecordType::kA);
+  ASSERT_EQ(lookup.status, LookupStatus::kSuccess);
+  EXPECT_EQ(lookup.records[0].address(), 0x0a000002u);
+  EXPECT_EQ(lookup.records[0].ttl, 600u);
+}
+
+TEST(ZoneParserTest, WildcardAndRelativeNames) {
+  const char* text = R"($ORIGIN target-domain.
+@      IN SOA ans hostmaster 1 1 1 1 60
+@      IN NS ans
+ans    IN A 10.0.0.1
+*.wc   IN A 127.0.0.1
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto lookup =
+      result.zone->Lookup(*Name::Parse("random123.wc.target-domain"), RecordType::kA);
+  EXPECT_EQ(lookup.status, LookupStatus::kSuccess);
+  EXPECT_TRUE(lookup.wildcard);
+}
+
+TEST(ZoneParserTest, AppendixAStyleDelegations) {
+  // Fig. 12(b): glue-less NS fan-out into another domain.
+  const char* text = R"($ORIGIN attacker-com.
+@     IN SOA ans hostmaster 1 1 1 1 60
+@     IN NS ans
+q-1   IN NS ns-a1-1
+q-1   IN NS ns-a2-1
+ns-a1-1 IN NS ns-t11-1.wc.target-domain.
+ns-a1-1 IN NS ns-t12-1.wc.target-domain.
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto referral =
+      result.zone->Lookup(*Name::Parse("q-1.attacker-com"), RecordType::kA);
+  ASSERT_EQ(referral.status, LookupStatus::kDelegation);
+  EXPECT_EQ(referral.records.size(), 2u);
+  const auto nested =
+      result.zone->Lookup(*Name::Parse("ns-a1-1.attacker-com"), RecordType::kA);
+  ASSERT_EQ(nested.status, LookupStatus::kDelegation);
+  EXPECT_EQ(nested.records[0].target(),
+            *Name::Parse("ns-t11-1.wc.target-domain"));
+}
+
+TEST(ZoneParserTest, CnameChains) {
+  const char* text = R"($ORIGIN t.
+@   IN SOA ans h 1 1 1 1 60
+a   IN CNAME b
+b   IN CNAME c
+c   IN A 1.2.3.4
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  auto step = result.zone->Lookup(*Name::Parse("a.t"), RecordType::kA);
+  ASSERT_EQ(step.status, LookupStatus::kCname);
+  EXPECT_EQ(step.records[0].target(), *Name::Parse("b.t"));
+}
+
+TEST(ZoneParserTest, PerRecordTtlAndClass) {
+  const char* text = R"($ORIGIN t.
+@   IN SOA ans h 1 1 1 1 60
+x   30 IN A 1.1.1.1
+y   IN A 2.2.2.2
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto x = result.zone->Lookup(*Name::Parse("x.t"), RecordType::kA);
+  ASSERT_EQ(x.status, LookupStatus::kSuccess);
+  EXPECT_EQ(x.records[0].ttl, 30u);
+}
+
+TEST(ZoneParserTest, BlankOwnerContinuesLastOwner) {
+  const char* text =
+      "$ORIGIN t.\n"
+      "@ IN SOA ans h 1 1 1 1 60\n"
+      "multi IN A 1.1.1.1\n"
+      "      IN A 2.2.2.2\n";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto lookup = result.zone->Lookup(*Name::Parse("multi.t"), RecordType::kA);
+  ASSERT_EQ(lookup.status, LookupStatus::kSuccess);
+  EXPECT_EQ(lookup.records.size(), 2u);
+}
+
+TEST(ZoneParserTest, TxtRecordsAndComments) {
+  const char* text = R"($ORIGIN t.
+@   IN SOA ans h 1 1 1 1 60
+txt IN TXT "hello" ; trailing comment
+; full-line comment
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto lookup = result.zone->Lookup(*Name::Parse("txt.t"), RecordType::kTxt);
+  ASSERT_EQ(lookup.status, LookupStatus::kSuccess);
+  EXPECT_EQ(lookup.records[0].txt().strings[0], "hello");
+}
+
+TEST(ZoneParserTest, ReportsErrorsWithLineNumbers) {
+  const char* text =
+      "$ORIGIN t.\n"
+      "@ IN SOA ans h 1 1 1 1 60\n"
+      "bad IN MX 10 mail.t.\n"   // Unsupported type.
+      "worse IN A notanip..\n";  // Bad rdata.
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line, 3);
+  EXPECT_EQ(result.errors[1].line, 4);
+}
+
+TEST(ZoneParserTest, MissingSoaSynthesized) {
+  const ZoneParseResult result =
+      ParseZoneText("www IN A 1.1.1.1\n", *Name::Parse("fallback.test"));
+  ASSERT_TRUE(result.zone.has_value());
+  EXPECT_EQ(result.zone->apex(), *Name::Parse("fallback.test"));
+  const auto lookup =
+      result.zone->Lookup(*Name::Parse("www.fallback.test"), RecordType::kA);
+  EXPECT_EQ(lookup.status, LookupStatus::kSuccess);
+}
+
+TEST(ZoneParserTest, FileNotFound) {
+  const ZoneParseResult result = ParseZoneFile("/nonexistent/zone.db");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 0);
+}
+
+TEST(ZoneParserTest, RoundTripWithAuthoritativeBehaviour) {
+  // A parsed zone behaves identically to a programmatically built one.
+  const char* text = R"($ORIGIN target-domain.
+$TTL 600
+@    IN SOA ans hostmaster 2024110401 3600 600 86400 600
+@    IN NS ans
+ans  IN A 10.0.0.1
+*.wc IN A 127.0.0.1
+)";
+  const ZoneParseResult result = ParseZoneText(text);
+  ASSERT_TRUE(result.ok());
+  const auto nx =
+      result.zone->Lookup(*Name::Parse("ghost.nx.target-domain"), RecordType::kA);
+  EXPECT_EQ(nx.status, LookupStatus::kNxDomain);
+  ASSERT_TRUE(nx.soa.has_value());
+  EXPECT_EQ(nx.soa->soa().minimum, 600u);
+}
+
+TEST(ZoneParserFuzzTest, RandomTextNeverCrashes) {
+  Rng rng(31337);
+  const char* fragments[] = {"$ORIGIN", "$TTL", "@", "IN", "SOA", "A", "NS",
+                             "CNAME", "TXT", "MX", "*.", "..", "10.0.0.1",
+                             "300", ";comment", "\"quoted\"", "name.test."};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int lines = static_cast<int>(rng.NextBelow(12));
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = static_cast<int>(rng.NextBelow(8));
+      for (int t = 0; t < tokens; ++t) {
+        if (rng.NextBool(0.7)) {
+          text += fragments[rng.NextBelow(std::size(fragments))];
+        } else {
+          text += rng.NextLabel(static_cast<int>(1 + rng.NextBelow(8)));
+        }
+        text += ' ';
+      }
+      text += '\n';
+    }
+    const ZoneParseResult result =
+        ParseZoneText(text, *Name::Parse("fuzz.test"));
+    // Must terminate and never crash; a zone object (possibly with errors)
+    // or a clean error list are both acceptable.
+    if (result.zone.has_value()) {
+      result.zone->Lookup(*Name::Parse("x.fuzz.test"), RecordType::kA);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,217 @@
+// dcc_sim — command-line front-end for the experiment scenarios.
+//
+// Usage:
+//   dcc_sim resilience [--pattern wc|nx|ff] [--attacker-qps N]
+//                      [--channel-qps N] [--vanilla] [--horizon SECONDS]
+//   dcc_sim validation [--setup a|b|c|d] [--attacker-qps N]
+//                      [--channel-qps N] [--egresses N]
+//   dcc_sim signaling  [--pattern nx|ff] [--attacker-qps N] [--no-signals]
+//   dcc_sim probe      [--irl N] [--nx-irl N] [--erl N]
+//                      (measure a synthetic resolver's rate limits with the
+//                       Appendix A methodology and report the estimates)
+//
+// Examples:
+//   dcc_sim resilience --pattern ff --attacker-qps 50
+//   dcc_sim validation --setup d --egresses 16 --attacker-qps 25
+//   dcc_sim signaling --pattern nx --no-signals
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/attack/scenarios.h"
+#include "src/measure/rate_limit_probe.h"
+
+namespace {
+
+using namespace dcc;
+
+// Minimal flag parsing: --key value / --flag.
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const char* value = FlagValue(argc, argv, name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+QueryPattern ParsePattern(const char* text, QueryPattern fallback) {
+  if (text == nullptr) {
+    return fallback;
+  }
+  const std::string pattern = text;
+  if (pattern == "wc") {
+    return QueryPattern::kWc;
+  }
+  if (pattern == "nx") {
+    return QueryPattern::kNx;
+  }
+  if (pattern == "ff") {
+    return QueryPattern::kFf;
+  }
+  std::fprintf(stderr, "unknown pattern '%s' (wc|nx|ff)\n", text);
+  std::exit(2);
+}
+
+void PrintClients(const ScenarioResult& result) {
+  std::printf("%-10s %10s %10s %12s\n", "client", "sent", "answered", "ratio");
+  for (const auto& client : result.clients) {
+    std::printf("%-10s %10llu %10llu %12.2f\n", client.label.c_str(),
+                static_cast<unsigned long long>(client.sent),
+                static_cast<unsigned long long>(client.succeeded),
+                client.success_ratio);
+  }
+}
+
+int RunResilience(int argc, char** argv) {
+  ResilienceOptions options;
+  options.dcc_enabled = !HasFlag(argc, argv, "--vanilla");
+  options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 1000);
+  const QueryPattern pattern =
+      ParsePattern(FlagValue(argc, argv, "--pattern"), QueryPattern::kWc);
+  const double default_qps = pattern == QueryPattern::kFf ? 50 : 1100;
+  options.clients =
+      Table2Clients(pattern, FlagDouble(argc, argv, "--attacker-qps", default_qps));
+  options.horizon = SecondsF(FlagDouble(argc, argv, "--horizon", 60));
+  for (auto& client : options.clients) {
+    client.stop = std::min(client.stop, options.horizon);
+  }
+  std::printf("resilience: %s resolver, channel %.0f QPS, horizon %s\n",
+              options.dcc_enabled ? "DCC-enabled" : "vanilla", options.channel_qps,
+              FormatDuration(options.horizon).c_str());
+  const ScenarioResult result = RunResilienceScenario(options);
+  PrintClients(result);
+  if (options.dcc_enabled) {
+    std::printf("dcc: convictions=%llu policed=%llu servfails=%llu signals=%llu\n",
+                static_cast<unsigned long long>(result.dcc_convictions),
+                static_cast<unsigned long long>(result.dcc_policed_drops),
+                static_cast<unsigned long long>(result.dcc_servfails),
+                static_cast<unsigned long long>(result.dcc_signals_attached));
+  }
+  return 0;
+}
+
+int RunValidation(int argc, char** argv) {
+  ValidationOptions options;
+  const char* setup = FlagValue(argc, argv, "--setup");
+  const char setup_id = setup != nullptr ? setup[0] : 'a';
+  switch (setup_id) {
+    case 'a':
+      options.setup = ValidationSetup::kRedundantAuth;
+      break;
+    case 'b':
+      options.setup = ValidationSetup::kRedundantResolver;
+      break;
+    case 'c':
+      options.setup = ValidationSetup::kForwarder;
+      break;
+    case 'd':
+      options.setup = ValidationSetup::kLargeResolver;
+      break;
+    default:
+      std::fprintf(stderr, "unknown setup '%s' (a|b|c|d)\n", setup);
+      return 2;
+  }
+  options.attacker_qps = FlagDouble(argc, argv, "--attacker-qps",
+                                    options.setup == ValidationSetup::kForwarder
+                                        ? 100
+                                        : 5);
+  options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 100);
+  options.egress_count =
+      static_cast<int>(FlagDouble(argc, argv, "--egresses", 4));
+  std::printf("validation setup (%c): attacker %.0f QPS, channel %.0f QPS\n",
+              setup_id, options.attacker_qps, options.channel_qps);
+  const ValidationResult result = RunValidationScenario(options);
+  std::printf("benign success ratio:   %.2f\n", result.benign_success_ratio);
+  std::printf("attacker success ratio: %.2f\n", result.attacker_success_ratio);
+  std::printf("victim ANS peak load:   %.0f QPS\n", result.ans_peak_qps);
+  return 0;
+}
+
+int RunSignaling(int argc, char** argv) {
+  SignalingOptions options;
+  options.signaling_enabled = !HasFlag(argc, argv, "--no-signals");
+  options.attacker_pattern =
+      ParsePattern(FlagValue(argc, argv, "--pattern"), QueryPattern::kNx);
+  options.attacker_qps =
+      FlagDouble(argc, argv, "--attacker-qps",
+                 options.attacker_pattern == QueryPattern::kFf ? 20 : 200);
+  std::printf("signaling %s, attacker %.0f QPS\n",
+              options.signaling_enabled ? "ON" : "OFF", options.attacker_qps);
+  const ScenarioResult result = RunSignalingScenario(options);
+  PrintClients(result);
+  std::printf("dcc: convictions=%llu policed=%llu signals=%llu\n",
+              static_cast<unsigned long long>(result.dcc_convictions),
+              static_cast<unsigned long long>(result.dcc_policed_drops),
+              static_cast<unsigned long long>(result.dcc_signals_attached));
+  return 0;
+}
+
+int RunProbe(int argc, char** argv) {
+  ResolverProfile profile;
+  profile.name = "cli";
+  profile.irl_noerror_qps = FlagDouble(argc, argv, "--irl", 300);
+  profile.irl_nxdomain_qps = FlagDouble(argc, argv, "--nx-irl", profile.irl_noerror_qps);
+  profile.egress_qps = FlagDouble(argc, argv, "--erl", 0);
+  ProbeConfig config;
+  config.step_duration = Seconds(2);
+  std::printf("probing synthetic resolver (true IRL %.0f / NX %.0f / ERL %s)\n",
+              profile.irl_noerror_qps, profile.irl_nxdomain_qps,
+              profile.egress_qps > 0 ? std::to_string((int)profile.egress_qps).c_str()
+                                     : "none");
+  const MeasuredLimits limits = ProbeResolver(profile, config, 1);
+  auto print = [](const char* label, double qps, bool uncertain) {
+    if (uncertain) {
+      std::printf("%-8s uncertain (>= probing cap)\n", label);
+    } else {
+      std::printf("%-8s ~%.0f QPS\n", label, qps);
+    }
+  };
+  print("IRL WC", limits.irl_wc, limits.irl_wc_uncertain);
+  print("IRL NX", limits.irl_nx, limits.irl_nx_uncertain);
+  print("ERL CQ", limits.erl_cq, limits.erl_cq_uncertain);
+  print("ERL FF", limits.erl_ff, limits.erl_ff_uncertain);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dcc_sim resilience|validation|signaling [options]\n"
+                 "see the header comment of tools/dcc_sim.cc for flags\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "resilience") {
+    return RunResilience(argc, argv);
+  }
+  if (command == "validation") {
+    return RunValidation(argc, argv);
+  }
+  if (command == "signaling") {
+    return RunSignaling(argc, argv);
+  }
+  if (command == "probe") {
+    return RunProbe(argc, argv);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

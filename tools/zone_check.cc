@@ -1,0 +1,122 @@
+// zone_check — validate a master-file zone and optionally answer queries
+// against it from the command line.
+//
+// Usage:
+//   zone_check <zonefile> [--origin NAME] [--query NAME TYPE]...
+//
+// Exit status: 0 if the zone parses cleanly, 1 on parse errors, 2 on usage
+// errors. With --query, prints the lookup result the authoritative engine
+// would serve for each (name, type).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/zone/zone_parser.h"
+
+namespace {
+
+using namespace dcc;
+
+RecordType ParseType(const std::string& text) {
+  if (text == "A" || text == "a") {
+    return RecordType::kA;
+  }
+  if (text == "AAAA" || text == "aaaa") {
+    return RecordType::kAaaa;
+  }
+  if (text == "NS" || text == "ns") {
+    return RecordType::kNs;
+  }
+  if (text == "CNAME" || text == "cname") {
+    return RecordType::kCname;
+  }
+  if (text == "SOA" || text == "soa") {
+    return RecordType::kSoa;
+  }
+  if (text == "TXT" || text == "txt") {
+    return RecordType::kTxt;
+  }
+  std::fprintf(stderr, "unknown type '%s'\n", text.c_str());
+  std::exit(2);
+}
+
+const char* StatusName(LookupStatus status) {
+  switch (status) {
+    case LookupStatus::kSuccess:
+      return "NOERROR";
+    case LookupStatus::kNoData:
+      return "NODATA";
+    case LookupStatus::kNxDomain:
+      return "NXDOMAIN";
+    case LookupStatus::kCname:
+      return "CNAME";
+    case LookupStatus::kDelegation:
+      return "DELEGATION";
+    case LookupStatus::kNotInZone:
+      return "NOT-IN-ZONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: zone_check <zonefile> [--origin NAME]"
+                         " [--query NAME TYPE]...\n");
+    return 2;
+  }
+  Name origin;
+  std::vector<std::pair<std::string, std::string>> queries;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--origin") == 0 && i + 1 < argc) {
+      const auto parsed = Name::Parse(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "invalid origin '%s'\n", argv[i]);
+        return 2;
+      }
+      origin = *parsed;
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 2 < argc) {
+      queries.emplace_back(argv[i + 1], argv[i + 2]);
+      i += 2;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const ZoneParseResult result = ParseZoneFile(argv[1], origin);
+  for (const auto& error : result.errors) {
+    std::fprintf(stderr, "%s:%d: %s\n", argv[1], error.line, error.message.c_str());
+  }
+  if (!result.zone.has_value()) {
+    return 1;
+  }
+  const Zone& zone = *result.zone;
+  std::printf("zone %s: %zu RRsets%s\n", zone.apex().ToString().c_str(),
+              zone.RrSetCount(), result.errors.empty() ? "" : " (with errors)");
+
+  for (const auto& [name_text, type_text] : queries) {
+    const auto qname = Name::Parse(name_text);
+    if (!qname.has_value()) {
+      std::fprintf(stderr, "invalid query name '%s'\n", name_text.c_str());
+      return 2;
+    }
+    const LookupResult lookup = zone.Lookup(*qname, ParseType(type_text));
+    std::printf("%s %s -> %s", qname->ToString().c_str(), type_text.c_str(),
+                StatusName(lookup.status));
+    if (lookup.wildcard) {
+      std::printf(" (wildcard)");
+    }
+    std::printf("\n");
+    for (const auto& rr : lookup.records) {
+      std::printf("  %s\n", rr.ToString().c_str());
+    }
+    for (const auto& rr : lookup.glue) {
+      std::printf("  glue: %s\n", rr.ToString().c_str());
+    }
+  }
+  return result.errors.empty() ? 0 : 1;
+}
