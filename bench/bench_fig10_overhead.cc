@@ -26,6 +26,7 @@
 #include "src/dns/edns_options.h"
 #include "src/server/resolver.h"
 #include "src/sim/event_loop.h"
+#include "src/telemetry/metrics.h"
 
 namespace dcc {
 namespace {
@@ -107,13 +108,26 @@ Measurement MeasureDcc(size_t clients, size_t servers, size_t ops) {
   }
   const double elapsed = NowSec() - start;
 
+  // Memory accounting through the registry's callback gauges (the same
+  // MemoryFootprint() bridges dcc_sim --metrics-out exports).
+  telemetry::MetricsRegistry registry;
+  registry.GetCallbackGauge(
+      "dcc_memory_bytes",
+      [&]() { return static_cast<double>(scheduler.MemoryFootprint()); },
+      {{"component", "scheduler"}});
+  registry.GetCallbackGauge(
+      "dcc_memory_bytes",
+      [&]() { return static_cast<double>(monitor.MemoryFootprint()); },
+      {{"component", "monitor"}});
+  registry.GetCallbackGauge(
+      "dcc_memory_bytes",
+      [&]() { return static_cast<double>(policer.MemoryFootprint()); },
+      {{"component", "policer"}});
+
   Measurement m;
   const double per_op = elapsed / static_cast<double>(ops);
   m.cpu_load_percent = per_op * 3000.0 * 100.0;
-  m.memory_mb = static_cast<double>(scheduler.MemoryFootprint() +
-                                    monitor.MemoryFootprint() +
-                                    policer.MemoryFootprint()) /
-                (1024.0 * 1024.0);
+  m.memory_mb = registry.Snapshot().Sum("dcc_memory_bytes") / (1024.0 * 1024.0);
   m.per_client_state = monitor.TrackedClients();
   m.per_server_state = scheduler.TrackedChannelCount();
   return m;
@@ -164,10 +178,15 @@ Measurement MeasureResolver(size_t clients, size_t servers, size_t ops) {
   const double elapsed = NowSec() - start;
   transport.loop().Run(transport.now() + Seconds(10));
 
+  telemetry::MetricsRegistry registry;
+  registry.GetCallbackGauge(
+      "resolver_memory_bytes",
+      [&]() { return static_cast<double>(resolver.MemoryFootprint()); });
+
   Measurement m;
   const double per_op = elapsed / static_cast<double>(ops);
   m.cpu_load_percent = per_op * 3000.0 * 100.0;
-  m.memory_mb = static_cast<double>(resolver.MemoryFootprint()) / (1024.0 * 1024.0);
+  m.memory_mb = registry.Snapshot().Sum("resolver_memory_bytes") / (1024.0 * 1024.0);
   m.per_client_state = clients;
   m.per_server_state = servers;
   return m;

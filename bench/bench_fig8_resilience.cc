@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/attack/scenarios.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dcc {
 namespace {
@@ -49,22 +50,31 @@ void RunScenario(const char* title, QueryPattern pattern, double attacker_qps) {
   std::printf("\n=== Scenario: %s (attacker %.0f QPS) ===\n", title, attacker_qps);
   const bool ff = pattern == QueryPattern::kFf;
   for (bool dcc_enabled : {false, true}) {
+    // Accounting flows through the telemetry registry (one vocabulary with
+    // the dcc_sim --metrics-out dump) rather than ad-hoc member counters.
+    telemetry::TelemetrySink sink;
     ResilienceOptions options;
+    options.telemetry = &sink;
     options.dcc_enabled = dcc_enabled;
     options.channel_qps = 1000;
     options.clients = Table2Clients(pattern, attacker_qps);
     ScenarioResult result = RunResilienceScenario(options);
     std::printf("\n--- %s ---\n", dcc_enabled ? "DCC-enabled resolver" : "vanilla resolver");
     PrintSeries(result, ff);
+    const telemetry::MetricsSnapshot snap = sink.metrics.Snapshot();
     std::printf("summary:");
     for (const auto& client : result.clients) {
       std::printf("  %s=%.2f", client.label.c_str(), client.success_ratio);
     }
     if (dcc_enabled) {
-      std::printf("  [convictions=%llu policed_drops=%llu servfails=%llu]",
-                  static_cast<unsigned long long>(result.dcc_convictions),
-                  static_cast<unsigned long long>(result.dcc_policed_drops),
-                  static_cast<unsigned long long>(result.dcc_servfails));
+      std::printf(
+          "  [convictions=%.0f policer_rejects=%.0f servfails=%.0f "
+          "enqueue_congested=%.0f dcc_mem=%.0fB]",
+          snap.Sum("dcc_convictions_total"), snap.Sum("dcc_policer_rejects_total"),
+          snap.Sum("dcc_servfails_synthesized_total"),
+          snap.Value("dcc_scheduler_enqueue_total",
+                     {{"outcome", "FAIL_CHANNEL_CONGESTED"}}),
+          snap.Sum("dcc_memory_bytes"));
     }
     std::printf("\n");
   }

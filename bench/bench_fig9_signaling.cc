@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "src/attack/scenarios.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dcc {
 namespace {
@@ -45,21 +46,30 @@ void PrintSeries(const ScenarioResult& result, bool ff_attacker) {
 void RunPattern(const char* title, QueryPattern pattern, double attacker_qps) {
   std::printf("\n=== Scenario: %s (attacker %.0f QPS) ===\n", title, attacker_qps);
   for (bool signaling : {false, true}) {
+    // Accounting flows through the telemetry registry, aggregating both DCC
+    // instances (forwarder + resolver) under the shared metric families.
+    telemetry::TelemetrySink sink;
     SignalingOptions options;
+    options.telemetry = &sink;
     options.signaling_enabled = signaling;
     options.attacker_pattern = pattern;
     options.attacker_qps = attacker_qps;
     const ScenarioResult result = RunSignalingScenario(options);
     std::printf("\n--- signaling %s ---\n", signaling ? "ON" : "OFF");
     PrintSeries(result, pattern == QueryPattern::kFf);
+    const telemetry::MetricsSnapshot snap = sink.metrics.Snapshot();
     std::printf("summary:");
     for (const auto& client : result.clients) {
       std::printf("  %s=%.2f", client.label.c_str(), client.success_ratio);
     }
-    std::printf("  [convictions=%llu policed=%llu signals=%llu]\n",
-                static_cast<unsigned long long>(result.dcc_convictions),
-                static_cast<unsigned long long>(result.dcc_policed_drops),
-                static_cast<unsigned long long>(result.dcc_signals_attached));
+    std::printf(
+        "  [convictions=%.0f policer_rejects=%.0f attached=%.0f "
+        "processed(pol/anom/cong)=%.0f/%.0f/%.0f]\n",
+        snap.Sum("dcc_convictions_total"), snap.Sum("dcc_policer_rejects_total"),
+        snap.Sum("dcc_signals_attached_total"),
+        snap.Value("dcc_signals_processed_total", {{"type", "policing"}}),
+        snap.Value("dcc_signals_processed_total", {{"type", "anomaly"}}),
+        snap.Value("dcc_signals_processed_total", {{"type", "congestion"}}));
   }
 }
 

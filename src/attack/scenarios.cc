@@ -126,6 +126,7 @@ ResilienceOptions::ResilienceOptions() {
 
 ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
   Testbed bed;
+  bed.AttachTelemetry(options.telemetry);
   // Real-network delay variance (the paper's inter-datacenter testbed);
   // without it, paced benign traffic and bursty attack traffic interleave
   // unrealistically favourably at rate limiters.
@@ -220,11 +221,15 @@ ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
     result.dcc_servfails = shim->servfails_synthesized();
     result.dcc_signals_attached = shim->signals_attached();
   }
+  if (options.telemetry != nullptr) {
+    options.telemetry->metrics.FreezeCallbacks();
+  }
   return result;
 }
 
 ValidationResult RunValidationScenario(const ValidationOptions& options) {
   Testbed bed;
+  bed.AttachTelemetry(options.telemetry);
   bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
   const Duration horizon = Seconds(50);
 
@@ -396,11 +401,15 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
   for (const AuthoritativeServer* ans : target_ans) {
     result.ans_peak_qps = std::max(result.ans_peak_qps, ans->PeakQps());
   }
+  if (options.telemetry != nullptr) {
+    options.telemetry->metrics.FreezeCallbacks();
+  }
   return result;
 }
 
 ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
   Testbed bed;
+  bed.AttachTelemetry(options.telemetry);
   bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
   const HostAddress target_ans = bed.NextAddress();
   AuthoritativeServer& auth = bed.AddAuthoritative(target_ans);
@@ -490,6 +499,9 @@ ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
       resolver_shim.servfails_synthesized() + forwarder_shim.servfails_synthesized();
   result.dcc_signals_attached =
       resolver_shim.signals_attached() + forwarder_shim.signals_attached();
+  if (options.telemetry != nullptr) {
+    options.telemetry->metrics.FreezeCallbacks();
+  }
   return result;
 }
 

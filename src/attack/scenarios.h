@@ -18,6 +18,7 @@
 
 #include "src/attack/testbed.h"
 #include "src/dcc/dcc_node.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dcc {
 
@@ -73,6 +74,10 @@ struct ResilienceOptions {
   // DCC parameters default to the paper's §5 settings; override as needed.
   DccConfig dcc;
   ResolverConfig resolver;
+  // Optional observability sink (not owned). When set, every host in the
+  // scenario is wired into it; callback gauges are frozen to their final
+  // values before the runner returns, so the sink outlives the testbed.
+  telemetry::TelemetrySink* telemetry = nullptr;
 
   ResilienceOptions();
 };
@@ -94,6 +99,8 @@ struct ValidationOptions {
   double channel_qps = 100;  // RA/RR channel capacity (paper: 100).
   int egress_count = 4;      // Setup (d) only.
   uint64_t seed = 1;
+  // Optional observability sink (see ResilienceOptions::telemetry).
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 struct ValidationResult {
@@ -113,6 +120,8 @@ struct SignalingOptions {
   double channel_qps = 1000;
   Duration horizon = Seconds(60);
   uint64_t seed = 1;
+  // Optional observability sink (see ResilienceOptions::telemetry).
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 ScenarioResult RunSignalingScenario(const SignalingOptions& options);

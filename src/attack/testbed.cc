@@ -2,6 +2,27 @@
 
 namespace dcc {
 
+void Testbed::AttachTelemetry(telemetry::TelemetrySink* sink) {
+  telemetry_ = sink;
+  if (sink == nullptr) {
+    return;
+  }
+  loop_.AttachTelemetry(&sink->metrics);
+  network_.AttachTelemetry(&sink->metrics);
+  for (auto& auth : auths_) {
+    auth->AttachTelemetry(&sink->metrics);
+  }
+  for (auto& resolver : resolvers_) {
+    resolver->AttachTelemetry(&sink->metrics, &sink->trace);
+  }
+  for (auto& stub : stubs_) {
+    stub->AttachTelemetry(&sink->metrics, &sink->trace);
+  }
+  for (auto& node : dcc_nodes_) {
+    node->AttachTelemetry(&sink->metrics, &sink->trace);
+  }
+}
+
 AuthoritativeServer& Testbed::AddAuthoritative(HostAddress addr,
                                                AuthoritativeConfig config) {
   auto host = std::make_unique<HostNode>(network_, addr);
@@ -9,6 +30,9 @@ AuthoritativeServer& Testbed::AddAuthoritative(HostAddress addr,
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   auths_.push_back(std::move(server));
+  if (telemetry_ != nullptr) {
+    auths_.back()->AttachTelemetry(&telemetry_->metrics);
+  }
   return *auths_.back();
 }
 
@@ -18,6 +42,9 @@ RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config)
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   resolvers_.push_back(std::move(server));
+  if (telemetry_ != nullptr) {
+    resolvers_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+  }
   return *resolvers_.back();
 }
 
@@ -37,6 +64,9 @@ StubClient& Testbed::AddStub(HostAddress addr, StubConfig config,
   host->SetHandler(stub.get());
   hosts_.push_back(std::move(host));
   stubs_.push_back(std::move(stub));
+  if (telemetry_ != nullptr) {
+    stubs_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+  }
   return *stubs_.back();
 }
 
@@ -51,6 +81,10 @@ std::pair<DccNode&, RecursiveResolver&> Testbed::AddDccResolver(
   RecursiveResolver& server_ref = *server;
   dcc_nodes_.push_back(std::move(shim));
   resolvers_.push_back(std::move(server));
+  if (telemetry_ != nullptr) {
+    shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+    server_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+  }
   return {shim_ref, server_ref};
 }
 
@@ -66,6 +100,9 @@ std::pair<DccNode&, Forwarder&> Testbed::AddDccForwarder(HostAddress addr,
   Forwarder& server_ref = *server;
   dcc_nodes_.push_back(std::move(shim));
   forwarders_.push_back(std::move(server));
+  if (telemetry_ != nullptr) {
+    shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+  }
   return {shim_ref, server_ref};
 }
 

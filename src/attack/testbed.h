@@ -19,15 +19,22 @@
 #include "src/server/transport.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/network.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dcc {
 
 class Testbed {
  public:
-  Testbed() : network_(loop_) {}
+  Testbed() : network_(loop_) { loop_.InstallLogClock(); }
 
   EventLoop& loop() { return loop_; }
   Network& network() { return network_; }
+
+  // Wires the event loop, network and every host built so far (and any added
+  // later) into `sink`'s registry/tracer. nullptr detaches future builders
+  // but leaves already-attached components untouched. The sink must outlive
+  // the testbed unless MetricsRegistry::FreezeCallbacks() has been called.
+  void AttachTelemetry(telemetry::TelemetrySink* sink);
 
   HostAddress NextAddress() { return next_address_++; }
 
@@ -53,6 +60,7 @@ class Testbed {
  private:
   EventLoop loop_;
   Network network_;
+  telemetry::TelemetrySink* telemetry_ = nullptr;
   HostAddress next_address_ = 0x0a000001;  // 10.0.0.1
 
   std::vector<std::unique_ptr<HostNode>> hosts_;

@@ -1,11 +1,13 @@
 #include "src/common/logging.h"
 
+#include <cinttypes>
 #include <cstdio>
 
 namespace dcc {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+std::function<uint64_t()> g_clock;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,9 +30,15 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+void SetLogClock(std::function<uint64_t()> clock) { g_clock = std::move(clock); }
+bool HasLogClock() { return static_cast<bool>(g_clock); }
+
 void Logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level) {
     return;
+  }
+  if (g_clock) {
+    std::fprintf(stderr, "[t=%" PRIu64 "us] ", g_clock());
   }
   std::fprintf(stderr, "[%s] ", LevelTag(level));
   va_list args;

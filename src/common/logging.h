@@ -5,6 +5,8 @@
 #define SRC_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 
 namespace dcc {
 
@@ -13,6 +15,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 // Sets the global threshold; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Optional clock hook: when set, every log line is prefixed with the clock's
+// current value in simulated microseconds ("[t=12345678us]"). The event loop
+// installs its virtual clock here (EventLoop::InstallLogClock) so log output
+// lines up with trace timestamps; pass nullptr to clear.
+void SetLogClock(std::function<uint64_t()> clock);
+bool HasLogClock();
 
 // printf-style log emission; prefixed with the level tag.
 void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

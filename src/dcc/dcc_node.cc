@@ -31,6 +31,78 @@ void DccNode::Start() {
   loop().SchedulePeriodic(config_.purge_interval, [this]() { PeriodicMaintenance(); });
 }
 
+void DccNode::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                              telemetry::QueryTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    for (auto& counter : enqueue_counters_) {
+      counter = nullptr;
+    }
+    eviction_counter_ = nullptr;
+    servfail_counter_ = nullptr;
+    policer_reject_counter_ = nullptr;
+    dequeue_counter_ = nullptr;
+    alarm_counter_ = nullptr;
+    conviction_nx_counter_ = nullptr;
+    conviction_other_counter_ = nullptr;
+    conviction_signal_counter_ = nullptr;
+    signal_attached_counter_ = nullptr;
+    signal_policing_counter_ = nullptr;
+    signal_anomaly_counter_ = nullptr;
+    signal_congestion_counter_ = nullptr;
+    capacity_update_counter_ = nullptr;
+    return;
+  }
+  const char* enqueue_help = "MOPI-FQ enqueue attempts by outcome";
+  for (int i = 0; i < 4; ++i) {
+    enqueue_counters_[i] = registry->GetCounter(
+        "dcc_scheduler_enqueue_total",
+        {{"outcome", EnqueueResultName(static_cast<EnqueueResult>(i))}}, enqueue_help);
+  }
+  eviction_counter_ = registry->GetCounter(
+      "dcc_scheduler_evictions_total", {}, "Queued queries evicted by a later arrival");
+  dequeue_counter_ = registry->GetCounter("dcc_scheduler_dequeue_total", {},
+                                          "Queries released by the scheduler");
+  servfail_counter_ = registry->GetCounter(
+      "dcc_servfails_synthesized_total", {}, "SERVFAILs synthesized toward the resolver");
+  policer_reject_counter_ = registry->GetCounter(
+      "dcc_policer_rejects_total", {}, "Queries rejected by pre-queue policing");
+  alarm_counter_ = registry->GetCounter("dcc_anomaly_alarms_total", {},
+                                        "Anomaly-window alarm events");
+  const char* conviction_help = "Client convictions by imposed policy";
+  conviction_nx_counter_ = registry->GetCounter(
+      "dcc_convictions_total", {{"policy", "rate_limit"}}, conviction_help);
+  conviction_other_counter_ = registry->GetCounter(
+      "dcc_convictions_total", {{"policy", "block"}}, conviction_help);
+  conviction_signal_counter_ = registry->GetCounter(
+      "dcc_convictions_total", {{"policy", "upstream_signal"}}, conviction_help);
+  signal_attached_counter_ = registry->GetCounter(
+      "dcc_signals_attached_total", {}, "DCC signals attached to client responses");
+  const char* processed_help = "Upstream DCC signals processed by type";
+  signal_policing_counter_ = registry->GetCounter(
+      "dcc_signals_processed_total", {{"type", "policing"}}, processed_help);
+  signal_anomaly_counter_ = registry->GetCounter(
+      "dcc_signals_processed_total", {{"type", "anomaly"}}, processed_help);
+  signal_congestion_counter_ = registry->GetCounter(
+      "dcc_signals_processed_total", {{"type", "congestion"}}, processed_help);
+  capacity_update_counter_ = registry->GetCounter(
+      "dcc_capacity_updates_total", {}, "AIMD channel-capacity re-estimations");
+  registry->GetCallbackGauge(
+      "dcc_memory_bytes", [this]() { return static_cast<double>(MemoryFootprint()); },
+      {}, "Total DCC state bytes (Table 1 / Fig. 10)");
+  registry->GetCallbackGauge(
+      "dcc_pending_queries",
+      [this]() { return static_cast<double>(pending_.size()); }, {},
+      "In-flight attributed upstream queries");
+  registry->GetCallbackGauge(
+      "dcc_queued_queries", [this]() { return static_cast<double>(queued_.size()); },
+      {}, "Queries held by the MOPI-FQ scheduler");
+  registry->GetCallbackGauge(
+      "dcc_per_client_state",
+      [this]() { return static_cast<double>(PerClientStateCount()); }, {},
+      "Per-client monitor + signaling state entries");
+}
+
 DccNode::ClientSignalState& DccNode::SignalStateFor(SourceId client) {
   ClientSignalState& state = client_signals_[client];
   state.last_active = now();
@@ -76,6 +148,13 @@ void DccNode::HandleIncomingAnswer(const Datagram& dgram, Message msg) {
   if (it != pending_.end()) {
     if (it->second.has_attribution) {
       culprit = AggregateClient(it->second.attribution.client_addr);
+      if (tracer_ != nullptr) {
+        const Attribution& a = it->second.attribution;
+        tracer_->Record(
+            telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id),
+            telemetry::SpanKind::kAuthResponse, now(), address(),
+            static_cast<int32_t>(dgram.src.addr));
+      }
     }
     pending_.erase(it);
   }
@@ -98,6 +177,9 @@ void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
   // §3.3.4 processing priority: policing > anomaly > congestion.
   if (auto policing = GetPolicingSignal(answer); policing.has_value()) {
     ++signals_processed_;
+    if (signal_policing_counter_ != nullptr) {
+      signal_policing_counter_->Inc();
+    }
     // We are being policed upstream: warn the culprit's path and raise
     // monitoring sensitivity, since we failed to catch it ourselves.
     SignalStateFor(culprit).relay_policing = *policing;
@@ -105,12 +187,18 @@ void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
   }
   if (auto anomaly = GetAnomalySignal(answer); anomaly.has_value()) {
     ++signals_processed_;
+    if (signal_anomaly_counter_ != nullptr) {
+      signal_anomaly_counter_->Inc();
+    }
     if (anomaly->countdown <= config_.countdown_police_threshold) {
       // Impending policing from upstream: control the culprit now (§3.3.1).
       policer_.Impose(culprit, config_.signal_policy, /*rate_qps=*/0,
                       config_.signal_policy_duration, AnomalyReason::kUpstreamSignal,
                       now());
       ++convictions_;
+      if (conviction_signal_counter_ != nullptr) {
+        conviction_signal_counter_->Inc();
+      }
       PolicingSignal local;
       local.policy = config_.signal_policy;
       local.expiry_remaining_ms = static_cast<uint32_t>(
@@ -128,6 +216,9 @@ void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
   }
   if (auto congestion = GetCongestionSignal(answer); congestion.has_value()) {
     ++signals_processed_;
+    if (signal_congestion_counter_ != nullptr) {
+      signal_congestion_counter_->Inc();
+    }
     SignalStateFor(culprit).relay_congestion = *congestion;
   }
 }
@@ -182,6 +273,9 @@ void DccNode::FailQuery(const QueuedQuery& queued, EnqueueResult reason) {
   dgram.dst = Endpoint{address(), queued.src_port};
   dgram.payload = EncodeMessage(response);
   ++servfails_synthesized_;
+  if (servfail_counter_ != nullptr) {
+    servfail_counter_->Inc();
+  }
   if (queued.has_attribution &&
       (reason == EnqueueResult::kChannelCongested ||
        reason == EnqueueResult::kQueueOverflow ||
@@ -204,7 +298,18 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
   const SourceId source = AttributionSource(msg, &attribution, &has_attribution);
 
   // Pre-queue policing (§3.2.3).
-  if (!policer_.AllowQuery(source, now())) {
+  const bool policer_allowed = policer_.AllowQuery(source, now());
+  if (tracer_ != nullptr && has_attribution) {
+    tracer_->Record(telemetry::MakeTraceId(attribution.client_addr,
+                                           attribution.client_port,
+                                           attribution.request_id),
+                    telemetry::SpanKind::kPolicerVerdict, now(), address(),
+                    policer_allowed ? 1 : 0);
+  }
+  if (!policer_allowed) {
+    if (policer_reject_counter_ != nullptr) {
+      policer_reject_counter_->Inc();
+    }
     QueuedQuery rejected;
     rejected.query = msg;
     rejected.src_port = src_port;
@@ -217,6 +322,9 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
     dgram.dst = Endpoint{address(), src_port};
     dgram.payload = EncodeMessage(response);
     ++servfails_synthesized_;
+    if (servfail_counter_ != nullptr) {
+      servfail_counter_->Inc();
+    }
     loop().ScheduleAfter(0, [this, dgram]() {
       if (server_ != nullptr) {
         server_->HandleDatagram(dgram);
@@ -246,8 +354,21 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
   sched.arrival = now();
   sched.cookie = cookie;
   const EnqueueOutcome outcome = scheduler_.Enqueue(sched, now());
+  if (enqueue_counters_[static_cast<int>(outcome.result)] != nullptr) {
+    enqueue_counters_[static_cast<int>(outcome.result)]->Inc();
+  }
+  if (tracer_ != nullptr && has_attribution) {
+    tracer_->Record(telemetry::MakeTraceId(attribution.client_addr,
+                                           attribution.client_port,
+                                           attribution.request_id),
+                    telemetry::SpanKind::kSchedulerEnqueue, now(), address(),
+                    static_cast<int32_t>(outcome.result));
+  }
   if (outcome.evicted.has_value()) {
     ++evictions_;
+    if (eviction_counter_ != nullptr) {
+      eviction_counter_->Inc();
+    }
     auto evicted = queued_.extract(outcome.evicted->cookie);
     if (!evicted.empty()) {
       FailQuery(evicted.mapped(), EnqueueResult::kChannelCongested);
@@ -287,6 +408,18 @@ void DccNode::Drain() {
     info.has_attribution = queued.has_attribution;
     info.created = now();
     info.output = queued.dst.addr;
+    if (dequeue_counter_ != nullptr) {
+      dequeue_counter_->Inc();
+    }
+    if (tracer_ != nullptr && queued.has_attribution) {
+      const Attribution& a = queued.attribution;
+      const uint64_t trace_id =
+          telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id);
+      tracer_->Record(trace_id, telemetry::SpanKind::kSchedulerDequeue, now(),
+                      address(), static_cast<int32_t>(queued.dst.addr));
+      tracer_->Record(trace_id, telemetry::SpanKind::kEgress, now(), address(),
+                      static_cast<int32_t>(queued.dst.addr));
+    }
     SendDatagram(queued.src_port, queued.dst, EncodeMessage(queued.query));
     ++queries_sent_;
   }
@@ -337,6 +470,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
     }
     state->relay_policing.reset();
     ++signals_attached_;
+    if (signal_attached_counter_ != nullptr) {
+      signal_attached_counter_->Inc();
+    }
   } else if (const ActivePolicy* policy = policer_.Get(client, t); policy != nullptr) {
     if (policer_.TakeDropCount(client) > 0 ||
         response.header.rcode == Rcode::kServFail) {
@@ -353,6 +489,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
                                        "dcc: policed"}));
       }
       ++signals_attached_;
+      if (signal_attached_counter_ != nullptr) {
+        signal_attached_counter_->Inc();
+      }
     }
   }
 
@@ -385,6 +524,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
     SetOption(response, EncodeAnomalySignal(*state->relay_anomaly));
     state->relay_anomaly.reset();
     ++signals_attached_;
+    if (signal_attached_counter_ != nullptr) {
+      signal_attached_counter_->Inc();
+    }
   } else if (monitor_.IsSuspicious(client, t) && response_is_anomalous) {
     AnomalySignal signal;
     signal.reason = local_reason;
@@ -396,6 +538,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
     signal.countdown = static_cast<uint16_t>(monitor_.CountdownFor(client));
     SetOption(response, EncodeAnomalySignal(signal));
     ++signals_attached_;
+    if (signal_attached_counter_ != nullptr) {
+      signal_attached_counter_->Inc();
+    }
   }
 
   // Congestion signal: relayed preferred, else local scheduler drops
@@ -404,6 +549,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
     SetOption(response, EncodeCongestionSignal(*state->relay_congestion));
     state->relay_congestion.reset();
     ++signals_attached_;
+    if (signal_attached_counter_ != nullptr) {
+      signal_attached_counter_->Inc();
+    }
   } else if (state != nullptr && state->congestion_drops > 0 &&
              response.header.rcode == Rcode::kServFail) {
     CongestionSignal signal;
@@ -419,6 +567,9 @@ void DccNode::AttachSignals(Message& response, SourceId client, uint16_t client_
     }
     state->congestion_drops = 0;
     ++signals_attached_;
+    if (signal_attached_counter_ != nullptr) {
+      signal_attached_counter_->Inc();
+    }
   }
 }
 
@@ -430,6 +581,9 @@ void DccNode::PeriodicMaintenance() {
   const Time t = now();
   // Window evaluation: convict clients that crossed the alarm threshold.
   for (const auto& event : monitor_.EvaluateWindows(t)) {
+    if (alarm_counter_ != nullptr) {
+      alarm_counter_->Inc();
+    }
     if (!event.convicted) {
       continue;
     }
@@ -437,9 +591,15 @@ void DccNode::PeriodicMaintenance() {
     if (event.reason == AnomalyReason::kNxDomainRatio) {
       policer_.Impose(event.client, PolicyType::kRateLimit, config_.nx_policy_qps,
                       config_.nx_policy_duration, event.reason, t);
+      if (conviction_nx_counter_ != nullptr) {
+        conviction_nx_counter_->Inc();
+      }
     } else {
       policer_.Impose(event.client, PolicyType::kBlock, /*rate_qps=*/0,
                       config_.amp_policy_duration, event.reason, t);
+      if (conviction_other_counter_ != nullptr) {
+        conviction_other_counter_->Inc();
+      }
     }
   }
   policer_.Purge(t);
@@ -448,6 +608,9 @@ void DccNode::PeriodicMaintenance() {
   if (capacity_estimator_.enabled()) {
     for (const auto& [output, qps] : capacity_estimator_.Tick(t)) {
       scheduler_.SetChannelCapacity(output, qps);
+      if (capacity_update_counter_ != nullptr) {
+        capacity_update_counter_->Inc();
+      }
     }
     capacity_estimator_.PurgeIdle(t, config_.state_idle_timeout);
   }

@@ -32,6 +32,8 @@
 #include "src/dcc/mopi_fq.h"
 #include "src/dcc/policer.h"
 #include "src/server/transport.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace dcc {
 
@@ -124,6 +126,13 @@ class DccNode : public Node, public Transport {
   size_t PerServerStateCount() const { return scheduler_.ActiveOutputCount(); }
   size_t PerRequestStateCount() const { return pending_.size(); }
 
+  // Wires enqueue-outcome / policing / signaling / conviction counters,
+  // state-depth and MemoryFootprint()-backed gauges, and the policer-verdict
+  // through auth-response lifecycle spans into the sinks. Either argument may
+  // be nullptr; passing both nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       telemetry::QueryTracer* tracer);
+
  private:
   struct QueuedQuery {
     Message query;  // Attribution already stripped.
@@ -196,6 +205,25 @@ class DccNode : public Node, public Transport {
   uint64_t signals_attached_ = 0;
   uint64_t signals_processed_ = 0;
   uint64_t convictions_ = 0;
+
+  // Telemetry (resolved once in AttachTelemetry; nullptr = disabled). The
+  // enqueue counters are indexed by the EnqueueResult ordinal so the hot
+  // path is a single array load + nullptr check.
+  telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::Counter* enqueue_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  telemetry::Counter* eviction_counter_ = nullptr;
+  telemetry::Counter* servfail_counter_ = nullptr;
+  telemetry::Counter* policer_reject_counter_ = nullptr;
+  telemetry::Counter* dequeue_counter_ = nullptr;
+  telemetry::Counter* alarm_counter_ = nullptr;
+  telemetry::Counter* conviction_nx_counter_ = nullptr;
+  telemetry::Counter* conviction_other_counter_ = nullptr;
+  telemetry::Counter* conviction_signal_counter_ = nullptr;
+  telemetry::Counter* signal_attached_counter_ = nullptr;
+  telemetry::Counter* signal_policing_counter_ = nullptr;
+  telemetry::Counter* signal_anomaly_counter_ = nullptr;
+  telemetry::Counter* signal_congestion_counter_ = nullptr;
+  telemetry::Counter* capacity_update_counter_ = nullptr;
 };
 
 }  // namespace dcc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/ids.h"
 #include "src/common/logging.h"
 #include "src/dns/codec.h"
 
@@ -11,6 +12,26 @@ AuthoritativeServer::AuthoritativeServer(Transport& transport, AuthoritativeConf
     : transport_(transport), config_(config) {}
 
 void AuthoritativeServer::AddZone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+void AuthoritativeServer::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    queries_counter_ = nullptr;
+    responses_counter_ = nullptr;
+    rate_limited_counter_ = nullptr;
+    return;
+  }
+  const telemetry::Labels server{{"server", FormatAddress(transport_.local_address())}};
+  queries_counter_ = registry->GetCounter("auth_queries_total", server,
+                                          "Queries received by the authoritative");
+  responses_counter_ = registry->GetCounter("auth_responses_total", server,
+                                            "Responses sent by the authoritative");
+  rate_limited_counter_ = registry->GetCounter(
+      "auth_rate_limited_total", server, "Responses suppressed or rewritten by RRL");
+  registry->GetCallbackGauge(
+      "auth_rrl_tracked_clients",
+      [this]() { return static_cast<double>(rrl_state_.size()); }, server,
+      "Client addresses with live RRL token buckets");
+}
 
 const Zone* AuthoritativeServer::FindZone(const Name& qname) const {
   const Zone* best = nullptr;
@@ -63,6 +84,9 @@ void AuthoritativeServer::Respond(const Datagram& request_dgram, Message respons
     transport_.Send(local_port, reply_to, std::move(wire));
   }
   ++responses_sent_;
+  if (responses_counter_ != nullptr) {
+    responses_counter_->Inc();
+  }
 }
 
 void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
@@ -72,6 +96,9 @@ void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
   }
   Message& query = *decoded;
   ++queries_received_;
+  if (queries_counter_ != nullptr) {
+    queries_counter_->Inc();
+  }
   if (!per_second_queries_.empty()) {
     const auto slot = static_cast<size_t>(transport_.now() / kSecond);
     if (slot < per_second_queries_.size()) {
@@ -130,6 +157,9 @@ void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
 
   if (!PassesRrl(dgram.src.addr, response.header.rcode)) {
     ++rate_limited_;
+    if (rate_limited_counter_ != nullptr) {
+      rate_limited_counter_->Inc();
+    }
     switch (config_.rrl.action) {
       case RateLimitAction::kDrop:
         return;

@@ -16,6 +16,7 @@
 #include "src/common/token_bucket.h"
 #include "src/dns/message.h"
 #include "src/server/transport.h"
+#include "src/telemetry/metrics.h"
 #include "src/zone/zone.h"
 
 namespace dcc {
@@ -70,6 +71,10 @@ class AuthoritativeServer : public DatagramHandler {
   // Queries received during second `i` of the log.
   double QpsAtSecond(size_t i) const;
 
+  // Wires query/response/RRL-drop counters and an RRL-state-depth gauge into
+  // `registry`. nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
  private:
   const Zone* FindZone(const Name& qname) const;
   bool PassesRrl(HostAddress client, Rcode rcode);
@@ -88,6 +93,11 @@ class AuthoritativeServer : public DatagramHandler {
   uint64_t responses_sent_ = 0;
   uint64_t rate_limited_ = 0;
   std::vector<int64_t> per_second_queries_;
+
+  // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
+  telemetry::Counter* queries_counter_ = nullptr;
+  telemetry::Counter* responses_counter_ = nullptr;
+  telemetry::Counter* rate_limited_counter_ = nullptr;
 };
 
 }  // namespace dcc

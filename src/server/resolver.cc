@@ -39,6 +39,57 @@ RecursiveResolver::RecursiveResolver(Transport& transport, ResolverConfig config
       rng_(seed),
       cache_(config.cache_max_entries) {}
 
+void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                        telemetry::QueryTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    cache_hit_counter_ = nullptr;
+    cache_miss_counter_ = nullptr;
+    ingress_rl_counter_ = nullptr;
+    egress_rl_counter_ = nullptr;
+    retry_counter_ = nullptr;
+    upstream_query_counter_ = nullptr;
+    return;
+  }
+  const telemetry::Labels host = {{"host", FormatAddress(transport_.local_address())}};
+  auto labeled = [&](std::string_view key, std::string_view value) {
+    telemetry::Labels labels = host;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  cache_hit_counter_ = registry->GetCounter(
+      "resolver_cache_lookups_total", labeled("outcome", "hit"),
+      "Client requests answered from / missing the cache");
+  cache_miss_counter_ = registry->GetCounter("resolver_cache_lookups_total",
+                                             labeled("outcome", "miss"));
+  ingress_rl_counter_ = registry->GetCounter(
+      "resolver_rate_limited_total", labeled("side", "ingress"),
+      "Responses suppressed by ingress RRL / queries dropped by egress RL");
+  egress_rl_counter_ = registry->GetCounter("resolver_rate_limited_total",
+                                            labeled("side", "egress"));
+  retry_counter_ = registry->GetCounter(
+      "resolver_upstream_retries_total", host,
+      "Upstream query retransmissions after timeout");
+  upstream_query_counter_ = registry->GetCounter(
+      "resolver_upstream_queries_total", host, "Queries sent to upstream servers");
+  registry->GetCallbackGauge(
+      "resolver_pending_requests",
+      [this]() { return static_cast<double>(requests_.size()); }, host,
+      "Client requests currently in resolution (pending-table depth)");
+  registry->GetCallbackGauge(
+      "resolver_outstanding_queries",
+      [this]() { return static_cast<double>(outstanding_.size()); }, host,
+      "Upstream queries awaiting an answer");
+  registry->GetCallbackGauge(
+      "resolver_cache_entries",
+      [this]() { return static_cast<double>(cache_.size()); }, host,
+      "Entries resident in the resolver cache");
+  registry->GetCallbackGauge(
+      "resolver_memory_bytes",
+      [this]() { return static_cast<double>(MemoryFootprint()); }, host,
+      "RecursiveResolver::MemoryFootprint()");
+}
+
 void RecursiveResolver::AddAuthorityHint(const Name& apex, HostAddress server) {
   hints_.emplace_back(apex, server);
 }
@@ -210,12 +261,31 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
 
   if (auto cached = AnswerFromCache(query, now); cached.has_value()) {
     ++cache_hit_responses_;
+    if (cache_hit_counter_ != nullptr) {
+      cache_hit_counter_->Inc();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Record(
+          telemetry::MakeTraceId(dgram.src.addr, dgram.src.port, query.header.id),
+          telemetry::SpanKind::kResolverIngress, now,
+          transport_.local_address(), /*detail=*/1);
+    }
     ClientRequest fast;
     fast.client = dgram.src;
     fast.local_port = dgram.dst.port;
     fast.query = query;
     RespondToClient(fast, std::move(*cached));
     return;
+  }
+
+  if (cache_miss_counter_ != nullptr) {
+    cache_miss_counter_->Inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(
+        telemetry::MakeTraceId(dgram.src.addr, dgram.src.port, query.header.id),
+        telemetry::SpanKind::kResolverIngress, now, transport_.local_address(),
+        /*detail=*/0);
   }
 
   const uint64_t request_id = next_request_id_++;
@@ -248,6 +318,9 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
 void RecursiveResolver::RespondToClient(ClientRequest& request, Message response) {
   if (!PassesIngressRrl(request.client.addr, response.header.rcode)) {
     ++ingress_rate_limited_;
+    if (ingress_rl_counter_ != nullptr) {
+      ingress_rl_counter_->Inc();
+    }
     switch (config_.ingress_rrl.action) {
       case RateLimitAction::kDrop:
         return;
@@ -262,6 +335,13 @@ void RecursiveResolver::RespondToClient(ClientRequest& request, Message response
   response.header.ra = true;
   if (request.query.edns.has_value()) {
     response.EnsureEdns();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(telemetry::MakeTraceId(request.client.addr, request.client.port,
+                                           request.query.header.id),
+                    telemetry::SpanKind::kResolverResponse, transport_.now(),
+                    transport_.local_address(),
+                    static_cast<int32_t>(response.header.rcode));
   }
   auto wire = EncodeMessage(response);
   const Endpoint client = request.client;
@@ -515,9 +595,15 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
   if (PassesEgressRl(server)) {
     transport_.Send(port, Endpoint{server, kDnsPort}, EncodeMessage(query));
     ++queries_sent_;
+    if (upstream_query_counter_ != nullptr) {
+      upstream_query_counter_->Inc();
+    }
   } else {
     // Dropped by our own egress rate limit; the timeout path handles it.
     ++egress_rate_limited_;
+    if (egress_rl_counter_ != nullptr) {
+      egress_rl_counter_->Inc();
+    }
   }
 
   const uint64_t generation = oq.generation;
@@ -539,6 +625,9 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
   }
   if (oq.retries_left > 0) {
     --oq.retries_left;
+    if (retry_counter_ != nullptr) {
+      retry_counter_->Inc();
+    }
     oq.generation = next_generation_++;
     Message query = MakeQuery(oq.id, oq.qname, oq.qtype, /*rd=*/false);
     query.EnsureEdns();
@@ -553,8 +642,14 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
     if (PassesEgressRl(oq.server)) {
       transport_.Send(port, Endpoint{oq.server, kDnsPort}, EncodeMessage(query));
       ++queries_sent_;
+      if (upstream_query_counter_ != nullptr) {
+        upstream_query_counter_->Inc();
+      }
     } else {
       ++egress_rate_limited_;
+      if (egress_rl_counter_ != nullptr) {
+        egress_rl_counter_->Inc();
+      }
     }
     const uint64_t new_generation = oq.generation;
     transport_.loop().ScheduleAfter(config_.upstream_timeout,

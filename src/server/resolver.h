@@ -35,6 +35,8 @@
 #include "src/server/authoritative.h"  // For ResponseRateLimitConfig.
 #include "src/server/cache.h"
 #include "src/server/transport.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace dcc {
 
@@ -104,6 +106,12 @@ class RecursiveResolver : public DatagramHandler {
 
   // Periodic maintenance (expired cache entries, stale RRL state).
   void Purge();
+
+  // Wires cache/RRL/retry counters, state-depth gauges (incl. a
+  // MemoryFootprint-backed gauge) and query-lifecycle spans into the sinks.
+  // Either argument may be nullptr; passing both nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       telemetry::QueryTracer* tracer);
 
   const ResolverConfig& config() const { return config_; }
 
@@ -224,6 +232,15 @@ class RecursiveResolver : public DatagramHandler {
   uint64_t ingress_rate_limited_ = 0;
   uint64_t egress_rate_limited_ = 0;
   uint64_t nsec_synthesized_ = 0;
+
+  // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
+  telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::Counter* cache_hit_counter_ = nullptr;
+  telemetry::Counter* cache_miss_counter_ = nullptr;
+  telemetry::Counter* ingress_rl_counter_ = nullptr;
+  telemetry::Counter* egress_rl_counter_ = nullptr;
+  telemetry::Counter* retry_counter_ = nullptr;
+  telemetry::Counter* upstream_query_counter_ = nullptr;
 };
 
 }  // namespace dcc

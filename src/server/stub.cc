@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/ids.h"
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
 
@@ -17,6 +18,30 @@ StubClient::StubClient(Transport& transport, StubConfig config,
       latency_(/*min_value=*/1.0, /*growth=*/1.05) {}
 
 void StubClient::AddResolver(HostAddress resolver) { resolvers_.push_back(resolver); }
+
+void StubClient::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                 telemetry::QueryTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    requests_counter_ = nullptr;
+    success_counter_ = nullptr;
+    failure_counter_ = nullptr;
+    latency_histogram_ = nullptr;
+    return;
+  }
+  const telemetry::Labels client{{"client", FormatAddress(transport_.local_address())}};
+  requests_counter_ = registry->GetCounter("stub_requests_total", client,
+                                           "Query attempts sent by the stub");
+  telemetry::Labels ok = client;
+  ok.emplace_back("outcome", "success");
+  telemetry::Labels bad = client;
+  bad.emplace_back("outcome", "failure");
+  const char* help = "Completed stub requests by outcome";
+  success_counter_ = registry->GetCounter("stub_responses_total", ok, help);
+  failure_counter_ = registry->GetCounter("stub_responses_total", bad, help);
+  latency_histogram_ = registry->GetHistogram(
+      "stub_latency_us", client, "End-to-end request latency of successful queries");
+}
 
 double StubClient::SuccessRatio() const {
   const uint64_t total = succeeded_ + failed_;
@@ -90,6 +115,15 @@ void StubClient::SendAttempt(uint16_t port) {
   transport_.Send(port, Endpoint{resolver, kDnsPort}, EncodeMessage(query));
   ++requests_sent_;
   sent_series_.Add(transport_.now());
+  if (requests_counter_ != nullptr) {
+    requests_counter_->Inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(telemetry::MakeTraceId(transport_.local_address(), port,
+                                           static_cast<uint16_t>(p.seq)),
+                    telemetry::SpanKind::kStubSend, transport_.now(),
+                    transport_.local_address(), static_cast<int32_t>(resolver));
+  }
 
   const uint64_t generation = p.generation;
   transport_.loop().ScheduleAfter(config_.timeout, [this, port, generation]() {
@@ -108,8 +142,17 @@ void StubClient::Finish(uint16_t port, bool success, Time now) {
     ++succeeded_;
     success_series_.Add(now);
     latency_.Add(static_cast<double>(now - p.sent_at));
+    if (success_counter_ != nullptr) {
+      success_counter_->Inc();
+    }
+    if (latency_histogram_ != nullptr) {
+      latency_histogram_->Observe(static_cast<double>(now - p.sent_at));
+    }
   } else {
     ++failed_;
+    if (failure_counter_ != nullptr) {
+      failure_counter_->Inc();
+    }
   }
 }
 
@@ -154,6 +197,12 @@ void StubClient::HandleDatagram(const Datagram& dgram) {
   const Rcode rcode = decoded->header.rcode;
   // The paper counts NOERROR and NXDOMAIN as successful responses (Fig. 8).
   const bool success = rcode == Rcode::kNoError || rcode == Rcode::kNxDomain;
+  if (tracer_ != nullptr) {
+    tracer_->Record(telemetry::MakeTraceId(transport_.local_address(), dgram.dst.port,
+                                           static_cast<uint16_t>(p.seq)),
+                    telemetry::SpanKind::kClientReceive, now,
+                    transport_.local_address(), static_cast<int32_t>(rcode));
+  }
   if (!success && p.attempts_left > 0) {
     --p.attempts_left;
     p.resolver_index = (p.resolver_index + 1) % std::max<size_t>(1, resolvers_.size());

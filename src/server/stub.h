@@ -17,6 +17,8 @@
 #include "src/common/stats.h"
 #include "src/dns/message.h"
 #include "src/server/transport.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace dcc {
 
@@ -70,6 +72,12 @@ class StubClient : public DatagramHandler {
   uint64_t anomaly_signals_seen() const { return anomaly_signals_seen_; }
   uint64_t extended_errors_seen() const { return extended_errors_seen_; }
 
+  // Wires per-client request/outcome counters, an end-to-end latency
+  // histogram, and the stub_send / client_receive lifecycle spans into the
+  // sinks. Either argument may be nullptr; passing both nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       telemetry::QueryTracer* tracer);
+
  private:
   struct Pending {
     uint64_t seq = 0;
@@ -106,6 +114,13 @@ class StubClient : public DatagramHandler {
   uint64_t policing_signals_seen_ = 0;
   uint64_t anomaly_signals_seen_ = 0;
   uint64_t extended_errors_seen_ = 0;
+
+  // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
+  telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::Counter* requests_counter_ = nullptr;
+  telemetry::Counter* success_counter_ = nullptr;
+  telemetry::Counter* failure_counter_ = nullptr;
+  telemetry::HistogramMetric* latency_histogram_ = nullptr;
 };
 
 }  // namespace dcc

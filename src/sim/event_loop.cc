@@ -3,7 +3,43 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace dcc {
+namespace {
+
+// The loop currently registered as the global log clock (last one wins);
+// tracked so destruction clears only its own registration.
+const EventLoop* g_log_clock_owner = nullptr;
+
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (g_log_clock_owner == this) {
+    SetLogClock(nullptr);
+    g_log_clock_owner = nullptr;
+  }
+}
+
+void EventLoop::InstallLogClock() {
+  g_log_clock_owner = this;
+  SetLogClock([this]() { return static_cast<uint64_t>(now_); });
+}
+
+void EventLoop::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_executed_ = nullptr;
+    return;
+  }
+  events_executed_ = registry->GetCounter(
+      "sim_events_executed_total", {}, "Event-loop handlers executed");
+  registry->GetCallbackGauge(
+      "sim_pending_events", [this]() { return static_cast<double>(pending()); },
+      {}, "Events currently scheduled in the loop");
+  registry->GetCallbackGauge(
+      "sim_virtual_time_us", [this]() { return static_cast<double>(now_); }, {},
+      "Current virtual clock in microseconds");
+}
 
 void EventLoop::ScheduleAt(Time t, Handler fn) {
   queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
@@ -38,6 +74,9 @@ size_t EventLoop::Run(Time until) {
     queue_.pop();
     fn();
     ++executed;
+    if (events_executed_ != nullptr) {
+      events_executed_->Inc();
+    }
   }
   if (queue_.empty() && until != kTimeInfinity) {
     now_ = std::max(now_, until);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/telemetry/metrics.h"
 
 namespace dcc {
 
@@ -21,7 +22,20 @@ class EventLoop {
  public:
   using Handler = std::function<void()>;
 
+  ~EventLoop();
+
   Time now() const { return now_; }
+
+  // Registers this loop's virtual clock with the logging layer so every log
+  // line is prefixed with the simulated time (see SetLogClock). The clock is
+  // deregistered automatically when this loop is destroyed.
+  void InstallLogClock();
+
+  // Wires the loop's own metrics into `registry`: executed-event counter and
+  // a pending-queue depth gauge. Safe to call with nullptr to detach. The
+  // gauge callback samples this loop, so snapshot (or freeze) the registry
+  // before the loop dies.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
 
   // Schedules `fn` at absolute time `t` (clamped to `now`).
   void ScheduleAt(Time t, Handler fn);
@@ -55,6 +69,7 @@ class EventLoop {
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   bool stopped_ = false;
+  telemetry::Counter* events_executed_ = nullptr;
 };
 
 }  // namespace dcc

@@ -46,21 +46,39 @@ void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
     auto it = host_down_.find(addr);
     return it != host_down_.end() && it->second;
   };
-  if (down(src.addr) || down(dst.addr) ||
-      (loss_probability_ > 0.0 && loss_rng_.NextBool(loss_probability_))) {
+  if (down(src.addr) || down(dst.addr)) {
     ++datagrams_dropped_;
+    if (dropped_host_down_counter_ != nullptr) {
+      dropped_host_down_counter_->Inc();
+    }
+    return;
+  }
+  if (loss_probability_ > 0.0 && loss_rng_.NextBool(loss_probability_)) {
+    ++datagrams_dropped_;
+    if (dropped_loss_counter_ != nullptr) {
+      dropped_loss_counter_->Inc();
+    }
     return;
   }
   Duration delay = DelayFor(src.addr, dst.addr);
   if (max_jitter_ > 0) {
     delay += static_cast<Duration>(jitter_rng_.NextBelow(static_cast<uint64_t>(max_jitter_)));
   }
+  if (delay_histogram_ != nullptr) {
+    delay_histogram_->Observe(static_cast<double>(delay));
+  }
   loop_.ScheduleAfter(delay, [this, src, dst, payload = std::move(payload)]() mutable {
     auto it = nodes_.find(dst.addr);
     if (it == nodes_.end()) {
       ++datagrams_dropped_;
+      if (dropped_unknown_counter_ != nullptr) {
+        dropped_unknown_counter_->Inc();
+      }
       DCC_LOG_DEBUG("datagram to unknown host %s dropped", FormatAddress(dst.addr).c_str());
       return;
+    }
+    if (delivered_counter_ != nullptr) {
+      delivered_counter_->Inc();
     }
     Datagram dgram{src, dst, std::move(payload)};
     it->second->OnDatagram(dgram);
@@ -82,5 +100,27 @@ void Network::SetDelayJitter(Duration max_jitter, uint64_t seed) {
 }
 
 void Network::SetHostDown(HostAddress addr, bool down) { host_down_[addr] = down; }
+
+void Network::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    delivered_counter_ = nullptr;
+    dropped_loss_counter_ = nullptr;
+    dropped_host_down_counter_ = nullptr;
+    dropped_unknown_counter_ = nullptr;
+    delay_histogram_ = nullptr;
+    return;
+  }
+  const char* help = "Datagrams by delivery outcome";
+  delivered_counter_ =
+      registry->GetCounter("net_datagrams_total", {{"outcome", "delivered"}}, help);
+  dropped_loss_counter_ = registry->GetCounter("net_datagrams_total",
+                                               {{"outcome", "dropped_loss"}}, help);
+  dropped_host_down_counter_ = registry->GetCounter(
+      "net_datagrams_total", {{"outcome", "dropped_host_down"}}, help);
+  dropped_unknown_counter_ = registry->GetCounter(
+      "net_datagrams_total", {{"outcome", "dropped_unknown_dst"}}, help);
+  delay_histogram_ = registry->GetHistogram(
+      "net_delivery_delay_us", {}, "One-way delivery delay incl. jitter");
+}
 
 }  // namespace dcc

@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/sim/event_loop.h"
+#include "src/telemetry/metrics.h"
 
 namespace dcc {
 
@@ -79,6 +80,11 @@ class Network {
   // Cuts or restores connectivity for `addr` (simulates host outage).
   void SetHostDown(HostAddress addr, bool down);
 
+  // Wires per-outcome datagram counters (delivered / dropped_loss /
+  // dropped_host_down / dropped_unknown_dst) and a delivery-delay histogram
+  // into `registry`. nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
   EventLoop& loop() { return loop_; }
 
   uint64_t datagrams_sent() const { return datagrams_sent_; }
@@ -98,6 +104,12 @@ class Network {
   Rng jitter_rng_{43};
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_dropped_ = 0;
+
+  telemetry::Counter* delivered_counter_ = nullptr;
+  telemetry::Counter* dropped_loss_counter_ = nullptr;
+  telemetry::Counter* dropped_host_down_counter_ = nullptr;
+  telemetry::Counter* dropped_unknown_counter_ = nullptr;
+  telemetry::HistogramMetric* delay_histogram_ = nullptr;
 };
 
 }  // namespace dcc

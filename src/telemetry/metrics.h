@@ -1,0 +1,168 @@
+// Metrics registry: named counter/gauge/histogram families with labels.
+//
+// Every experiment in this repository used to hand-roll its own accounting
+// (member counters plus ad-hoc printf tables). The registry gives all of
+// them one vocabulary: a *family* is a metric name with a help string and a
+// type; each distinct label set within a family is its own instrument
+// (e.g. `dcc_scheduler_enqueue_total{outcome="FAIL_CHANNEL_CONGESTED"}`).
+//
+// Cost model: instrumented components resolve their instrument pointers
+// ONCE at attach time (map lookup + possible allocation) and then update
+// through the returned pointer, so the steady-state hot path is a branch on
+// a nullptr plus an integer increment — nothing is allocated when no
+// registry is attached, and no lookup happens per event.
+//
+// Snapshots are value copies: mutating the registry after `Snapshot()` does
+// not change an existing snapshot. Exporters (Prometheus text format and
+// JSON-lines) render from a snapshot, so a file dump is internally
+// consistent even mid-simulation.
+
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace dcc {
+namespace telemetry {
+
+// Label set, e.g. {{"outcome", "SUCCESS"}}. Order-insensitive: the registry
+// canonicalizes by key before storing or comparing.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time value. A gauge may instead be backed by a callback (e.g.
+// wrapping an existing `MemoryFootprint()` hook), in which case reads sample
+// the callback; `MetricsRegistry::FreezeCallbacks()` converts callbacks into
+// their last sampled value so a snapshot survives the instrumented object.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return callback_ ? callback_() : value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0;
+  std::function<double()> callback_;
+};
+
+// Mergeable exponential-bucket histogram (reuses src/common/stats.h).
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(double min_value, double growth, int max_buckets)
+      : histogram_(min_value, growth, max_buckets) {}
+
+  void Observe(double value) { histogram_.Add(value); }
+  const Histogram& histogram() const { return histogram_; }
+
+ private:
+  Histogram histogram_;
+};
+
+// One sampled instrument, detached from the live registry.
+struct MetricSample {
+  std::string name;
+  Labels labels;  // Canonical (key-sorted) order.
+  MetricType type = MetricType::kCounter;
+  std::string help;
+  double value = 0;      // Counter / gauge value.
+  Histogram histogram;   // Histogram payload (count() == 0 otherwise).
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // Grouped by family, label-sorted.
+
+  // Sum of counter/gauge values across all label sets of `name`; 0 when the
+  // family is absent.
+  double Sum(std::string_view name) const;
+  // Value of the exact (name, labels) instrument, or `fallback`.
+  double Value(std::string_view name, const Labels& labels,
+               double fallback = 0) const;
+  const MetricSample* Find(std::string_view name, const Labels& labels) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The returned pointer is stable for the registry's
+  // lifetime; callers cache it and update through it. A name registered
+  // with conflicting types keeps its first type (the mismatched request
+  // returns a detached dummy instrument so callers never crash).
+  Counter* GetCounter(std::string_view name, Labels labels = {},
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, Labels labels = {},
+                  std::string_view help = "");
+  HistogramMetric* GetHistogram(std::string_view name, Labels labels = {},
+                                std::string_view help = "",
+                                double min_value = 1.0, double growth = 1.05,
+                                int max_buckets = 512);
+
+  // Registers a gauge whose reads sample `fn` — the bridge for existing
+  // introspection hooks like `MemoryFootprint()`.
+  Gauge* GetCallbackGauge(std::string_view name, std::function<double()> fn,
+                          Labels labels = {}, std::string_view help = "");
+
+  // Samples every callback gauge into a plain value and drops the callback.
+  // Scenario runners call this before the instrumented objects die, so the
+  // registry stays exportable afterwards.
+  void FreezeCallbacks();
+
+  MetricsSnapshot Snapshot() const;
+
+  // Prometheus text exposition format (counters/gauges/histograms, with
+  // HELP/TYPE headers). Rendered from a fresh snapshot.
+  std::string ExportPrometheus() const;
+  // One JSON object per line: {"name":...,"type":...,"labels":{...},...}.
+  std::string ExportJsonLines() const;
+
+  size_t InstrumentCount() const;
+
+ private:
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    // Keyed by the canonical label signature for cheap find-or-create.
+    std::map<std::string, Instrument> instruments;
+  };
+
+  Family* FamilyFor(std::string_view name, MetricType type,
+                    std::string_view help);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace telemetry
+}  // namespace dcc
+
+#endif  // SRC_TELEMETRY_METRICS_H_

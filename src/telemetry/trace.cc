@@ -1,0 +1,141 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/common/ids.h"
+
+namespace dcc {
+namespace telemetry {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kStubSend:
+      return "stub_send";
+    case SpanKind::kResolverIngress:
+      return "resolver_ingress";
+    case SpanKind::kPolicerVerdict:
+      return "policer_verdict";
+    case SpanKind::kSchedulerEnqueue:
+      return "scheduler_enqueue";
+    case SpanKind::kSchedulerDequeue:
+      return "scheduler_dequeue";
+    case SpanKind::kEgress:
+      return "egress";
+    case SpanKind::kAuthResponse:
+      return "auth_response";
+    case SpanKind::kResolverResponse:
+      return "resolver_response";
+    case SpanKind::kClientReceive:
+      return "client_receive";
+  }
+  return "?";
+}
+
+QueryTracer::QueryTracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  // Reserve eagerly so Record() never allocates on the hot path.
+  ring_.reserve(capacity_);
+}
+
+void QueryTracer::Record(uint64_t trace_id, SpanKind kind, Time at,
+                         uint32_t actor, int32_t detail) {
+  SpanEvent event{trace_id, at, actor, kind, detail};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_ % capacity_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_recorded_;
+}
+
+size_t QueryTracer::size() const { return ring_.size(); }
+
+uint64_t QueryTracer::dropped() const {
+  return total_recorded_ - static_cast<uint64_t>(ring_.size());
+}
+
+std::vector<SpanEvent> QueryTracer::Events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // `next_` points at the oldest retained event once the ring wrapped.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanEvent> QueryTracer::EventsFor(uint64_t trace_id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& event : Events()) {
+    if (event.trace_id == trace_id) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> QueryTracer::CompleteTraceIds() const {
+  std::unordered_set<uint64_t> sent;
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  for (const SpanEvent& event : Events()) {
+    if (event.kind == SpanKind::kStubSend) {
+      sent.insert(event.trace_id);
+    } else if (event.kind == SpanKind::kClientReceive &&
+               sent.contains(event.trace_id) &&
+               seen.insert(event.trace_id).second) {
+      out.push_back(event.trace_id);
+    }
+  }
+  return out;
+}
+
+std::string QueryTracer::ExportJsonLines() const {
+  std::string out;
+  char buf[256];
+  for (const SpanEvent& event : Events()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"trace_id\":\"%016" PRIx64
+                  "\",\"ts_us\":%" PRId64
+                  ",\"span\":\"%s\",\"actor\":\"%s\",\"detail\":%d}\n",
+                  event.trace_id, event.at, SpanKindName(event.kind),
+                  FormatAddress(event.actor).c_str(), event.detail);
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryTracer::BreakdownReport(uint64_t trace_id) const {
+  const std::vector<SpanEvent> events = EventsFor(trace_id);
+  if (events.empty()) {
+    return "";
+  }
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "trace %016" PRIx64 " (%zu spans)\n",
+                trace_id, events.size());
+  out += buf;
+  const Time origin = events.front().at;
+  Time previous = origin;
+  for (const SpanEvent& event : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "  +%8" PRId64 "us  (+%6" PRId64 "us)  %-18s %s detail=%d\n",
+                  event.at - origin, event.at - previous,
+                  SpanKindName(event.kind), FormatAddress(event.actor).c_str(),
+                  event.detail);
+    out += buf;
+    previous = event.at;
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace dcc

@@ -1,0 +1,103 @@
+// Query-lifecycle tracer: lightweight span events over the simulator's
+// virtual clock.
+//
+// A *trace id* identifies one client request end to end. It is derived from
+// the triple every hop already sees — the client's address, source port and
+// DNS message id — which the DCC attribution option (src/dns/edns_options.h)
+// carries on resolver-internal queries, so the stub, the resolver, the DCC
+// shim and the upstream answer path all stamp events onto the same trace
+// without any new wire format.
+//
+// Storage is a fixed-capacity ring buffer of POD events: recording never
+// allocates, and a long simulation simply keeps the most recent window of
+// spans (the bounded-memory property the §5.2 overhead claims require).
+
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace dcc {
+namespace telemetry {
+
+// Stages of a query's life, in path order.
+enum class SpanKind : uint8_t {
+  kStubSend = 0,         // Stub hands the query to the network.
+  kResolverIngress,      // Resolver accepts the client request (detail: 1 = cache hit).
+  kPolicerVerdict,       // DCC pre-queue policing (detail: 1 = allow, 0 = drop).
+  kSchedulerEnqueue,     // MOPI-FQ enqueue (detail: EnqueueResult ordinal).
+  kSchedulerDequeue,     // MOPI-FQ dequeue.
+  kEgress,               // Query leaves the DCC node toward the upstream.
+  kAuthResponse,         // Upstream/authoritative answer arrives back (detail: rcode).
+  kResolverResponse,     // Resolver emits the client-facing response (detail: rcode).
+  kClientReceive,        // Stub matches the response (detail: 1 = success).
+};
+
+inline constexpr int kSpanKindCount = 9;
+
+const char* SpanKindName(SpanKind kind);
+
+struct SpanEvent {
+  uint64_t trace_id = 0;
+  Time at = 0;           // Virtual µs.
+  uint32_t actor = 0;    // Host address of the component stamping the event.
+  SpanKind kind = SpanKind::kStubSend;
+  int32_t detail = 0;    // Kind-specific code (see SpanKind comments).
+};
+
+// Composes the end-to-end correlation key. `client_addr` is the stub's host
+// address, `client_port` its source port, `dns_id` the id of the query it
+// sent (which the resolver echoes into the attribution option).
+constexpr uint64_t MakeTraceId(uint32_t client_addr, uint16_t client_port,
+                               uint16_t dns_id) {
+  return (static_cast<uint64_t>(client_addr) << 32) |
+         (static_cast<uint64_t>(client_port) << 16) | dns_id;
+}
+
+class QueryTracer {
+ public:
+  explicit QueryTracer(size_t capacity = 1 << 16);
+
+  void Record(uint64_t trace_id, SpanKind kind, Time at, uint32_t actor = 0,
+              int32_t detail = 0);
+
+  // Events currently retained, oldest first. With a monotonic virtual clock
+  // this is also timestamp order.
+  std::vector<SpanEvent> Events() const;
+  // The retained events of one trace, oldest first.
+  std::vector<SpanEvent> EventsFor(uint64_t trace_id) const;
+  // Trace ids with a complete client-observed lifecycle (a kStubSend and a
+  // kClientReceive event) among the retained window.
+  std::vector<uint64_t> CompleteTraceIds() const;
+
+  size_t capacity() const { return capacity_; }
+  // Events retained right now (<= capacity).
+  size_t size() const;
+  // Events ever recorded, including overwritten ones.
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const;
+
+  // One JSON object per span event:
+  //   {"trace_id":"...","ts_us":...,"span":"stub_send","actor":"10.0.0.7","detail":...}
+  std::string ExportJsonLines() const;
+
+  // Human-readable per-stage latency breakdown of one trace: each retained
+  // span with its offset from the first span and the delta from the previous
+  // one. Returns an empty string for an unknown trace.
+  std::string BreakdownReport(uint64_t trace_id) const;
+
+ private:
+  size_t capacity_;
+  std::vector<SpanEvent> ring_;
+  size_t next_ = 0;          // Ring write cursor.
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace dcc
+
+#endif  // SRC_TELEMETRY_TRACE_H_

@@ -227,6 +227,59 @@ TEST(HistogramTest, QuantilesWithinRelativeError) {
   EXPECT_EQ(histogram.count(), 10000);
 }
 
+TEST(HistogramTest, EmptyHistogramQuantilesAreZero) {
+  Histogram histogram(1.0, 1.05);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.0);
+  EXPECT_TRUE(histogram.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleSampleLandsInItsBucket) {
+  Histogram histogram(1.0, 1.05);
+  histogram.Add(42.0);
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 42.0);
+  // Every positive quantile falls in the one occupied bucket (upper bound
+  // within a growth factor of the sample).
+  EXPECT_NEAR(histogram.Quantile(0.5), 42.0, 42.0 * 0.06);
+  EXPECT_NEAR(histogram.Quantile(1.0), 42.0, 42.0 * 0.06);
+}
+
+TEST(HistogramTest, MergeOfDisjointRanges) {
+  Histogram low(1.0, 1.05);
+  Histogram high(1.0, 1.05);
+  for (int i = 1; i <= 100; ++i) {
+    low.Add(static_cast<double>(i));          // [1, 100]
+    high.Add(static_cast<double>(1000 + i));  // [1001, 1100]
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 200);
+  EXPECT_DOUBLE_EQ(low.min(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max(), 1100.0);
+  // Below the median everything comes from the low range, above it from the
+  // high range.
+  EXPECT_LT(low.Quantile(0.25), 120.0);
+  EXPECT_GT(low.Quantile(0.75), 950.0);
+}
+
+TEST(HistogramTest, ValuesBelowMinLandInFirstBucket) {
+  Histogram histogram(10.0, 1.05);
+  histogram.Add(0.001);
+  histogram.Add(-5.0);
+  histogram.Add(10.0);
+  EXPECT_EQ(histogram.count(), 3);
+  // All three sit in bucket 0, whose upper bound is min_value.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 10.0);
+  const auto cdf = histogram.Cdf();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 1.0);
+}
+
 TEST(HistogramTest, CdfIsMonotonic) {
   Histogram histogram(1.0, 1.1);
   Rng rng(3);

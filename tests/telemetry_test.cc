@@ -1,0 +1,287 @@
+// Tests for the dcc_telemetry subsystem: metrics registry semantics
+// (find-or-create, label canonicalization, type conflicts, snapshot
+// isolation, exporters, callback gauges) and the query-lifecycle tracer
+// (ring bounding, trace-id composition, completeness, reports), plus an
+// end-to-end scenario run asserting a benign query's full path can be
+// reconstructed from the trace.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/attack/scenarios.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
+namespace dcc {
+namespace telemetry {
+namespace {
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterFindOrCreate) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", {{"outcome", "ok"}});
+  Counter* b = registry.GetCounter("requests_total", {{"outcome", "ok"}});
+  EXPECT_EQ(a, b);  // Same (name, labels) -> same instrument.
+  a->Inc(3);
+  EXPECT_EQ(b->value(), 3u);
+
+  Counter* other = registry.GetCounter("requests_total", {{"outcome", "fail"}});
+  EXPECT_NE(a, other);  // Distinct label set -> distinct instrument.
+  EXPECT_EQ(registry.InstrumentCount(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelsAreOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("m", {{"x", "1"}, {"y", "2"}});
+  Counter* b = registry.GetCounter("m", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.InstrumentCount(), 1u);
+  a->Inc();
+  // Lookup helpers canonicalize too.
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Value("m", {{"y", "2"}, {"x", "1"}}), 1.0);
+}
+
+TEST(MetricsRegistryTest, TypeConflictHandsOutDetachedDummy) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("m");
+  counter->Inc(5);
+  // Requesting the same family name as a different type must not crash and
+  // must not disturb the existing instrument.
+  Gauge* gauge = registry.GetGauge("m");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99);
+  HistogramMetric* histogram = registry.GetHistogram("m");
+  ASSERT_NE(histogram, nullptr);
+  histogram->Observe(1.0);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 5.0);
+  EXPECT_EQ(registry.InstrumentCount(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterMutation) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("m");
+  counter->Inc(3);
+  const MetricsSnapshot snap = registry.Snapshot();
+  counter->Inc(100);
+  EXPECT_DOUBLE_EQ(snap.Value("m", {}), 3.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Value("m", {}), 103.0);
+}
+
+TEST(MetricsRegistryTest, SumAddsAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.GetCounter("m", {{"k", "a"}})->Inc(2);
+  registry.GetCounter("m", {{"k", "b"}})->Inc(5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Sum("m"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.Sum("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Value("m", {{"k", "b"}}), 5.0);
+  EXPECT_DOUBLE_EQ(snap.Value("m", {{"k", "c"}}, -1.0), -1.0);
+  EXPECT_EQ(snap.Find("m", {{"k", "c"}}), nullptr);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", {{"outcome", "ok"}}, "Total requests.")
+      ->Inc(3);
+  registry.GetGauge("depth", {}, "Queue depth.")->Set(4.5);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("# HELP requests_total Total requests.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{outcome=\"ok\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 4.5\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramSeries) {
+  MetricsRegistry registry;
+  HistogramMetric* histogram = registry.GetHistogram("latency_us");
+  histogram->Observe(10);
+  histogram->Observe(100);
+  histogram->Observe(1000);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE latency_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_sum "), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonLinesExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("m", {{"k", "v"}})->Inc(2);
+  registry.GetHistogram("h")->Observe(7);
+  const std::string text = registry.ExportJsonLines();
+  EXPECT_NE(text.find("{\"name\":\"m\",\"type\":\"counter\","
+                      "\"labels\":{\"k\":\"v\"},\"value\":2}\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"h\",\"type\":\"histogram\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"count\":1"), std::string::npos);
+  // One JSON object per line, nothing else.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeSamplesLiveAndFreezes) {
+  MetricsRegistry registry;
+  double live = 7;
+  registry.GetCallbackGauge("mem_bytes", [&live] { return live; });
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Value("mem_bytes", {}), 7.0);
+  live = 9;
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Value("mem_bytes", {}), 9.0);
+  registry.FreezeCallbacks();
+  live = 11;  // After the freeze the callback is gone; value stays pinned.
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Value("mem_bytes", {}), 9.0);
+}
+
+// --- QueryTracer -------------------------------------------------------------
+
+TEST(QueryTracerTest, TraceIdComposesAddressPortAndDnsId) {
+  EXPECT_EQ(MakeTraceId(0x0a000001, 0x1234, 0xabcd), 0x0a0000011234abcdULL);
+  EXPECT_EQ(MakeTraceId(0, 0, 1), 1ULL);
+  EXPECT_NE(MakeTraceId(1, 2, 3), MakeTraceId(1, 3, 2));
+}
+
+TEST(QueryTracerTest, RingKeepsMostRecentWindow) {
+  QueryTracer tracer(4);
+  for (int i = 1; i <= 10; ++i) {
+    tracer.Record(static_cast<uint64_t>(i), SpanKind::kStubSend, i * 100);
+  }
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::vector<SpanEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: events 7..10 survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].trace_id, 7 + i);
+    EXPECT_EQ(events[i].at, static_cast<Time>((7 + i) * 100));
+  }
+}
+
+TEST(QueryTracerTest, EventsForFiltersOneTraceInOrder) {
+  QueryTracer tracer(16);
+  tracer.Record(1, SpanKind::kStubSend, 10);
+  tracer.Record(2, SpanKind::kStubSend, 11);
+  tracer.Record(1, SpanKind::kResolverIngress, 20, 0x0a000002);
+  tracer.Record(1, SpanKind::kClientReceive, 30, 0, 1);
+  const std::vector<SpanEvent> events = tracer.EventsFor(1);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, SpanKind::kStubSend);
+  EXPECT_EQ(events[1].kind, SpanKind::kResolverIngress);
+  EXPECT_EQ(events[1].actor, 0x0a000002u);
+  EXPECT_EQ(events[2].kind, SpanKind::kClientReceive);
+  EXPECT_EQ(events[2].detail, 1);
+}
+
+TEST(QueryTracerTest, CompleteTracesNeedSendAndReceive) {
+  QueryTracer tracer(16);
+  tracer.Record(1, SpanKind::kStubSend, 10);
+  tracer.Record(1, SpanKind::kClientReceive, 40);
+  tracer.Record(2, SpanKind::kStubSend, 20);  // No receive.
+  tracer.Record(3, SpanKind::kClientReceive, 30);  // Receive without send.
+  const std::vector<uint64_t> complete = tracer.CompleteTraceIds();
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0], 1u);
+}
+
+TEST(QueryTracerTest, ExportJsonLinesRendersSpans) {
+  QueryTracer tracer(16);
+  tracer.Record(MakeTraceId(0x0a000001, 5353, 7), SpanKind::kStubSend, 123,
+                0x0a000001);
+  const std::string text = tracer.ExportJsonLines();
+  EXPECT_NE(text.find("\"trace_id\":\"0a00000114e90007\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts_us\":123"), std::string::npos);
+  EXPECT_NE(text.find("\"span\":\"stub_send\""), std::string::npos);
+  EXPECT_NE(text.find("\"actor\":\"10.0.0.1\""), std::string::npos);
+}
+
+TEST(QueryTracerTest, BreakdownReportShowsOffsets) {
+  QueryTracer tracer(16);
+  tracer.Record(9, SpanKind::kStubSend, 100);
+  tracer.Record(9, SpanKind::kResolverIngress, 150);
+  tracer.Record(9, SpanKind::kClientReceive, 400);
+  const std::string report = tracer.BreakdownReport(9);
+  EXPECT_NE(report.find("3 spans"), std::string::npos);
+  EXPECT_NE(report.find("stub_send"), std::string::npos);
+  EXPECT_NE(report.find("client_receive"), std::string::npos);
+  EXPECT_NE(report.find("+     300us"), std::string::npos);
+  EXPECT_TRUE(tracer.BreakdownReport(12345).empty());
+}
+
+TEST(QueryTracerTest, SpanKindNamesCoverAllStages) {
+  for (int k = 0; k < kSpanKindCount; ++k) {
+    EXPECT_STRNE(SpanKindName(static_cast<SpanKind>(k)), "?");
+  }
+}
+
+// --- End-to-end: scenario run populates metrics and a full trace -------------
+
+TEST(TelemetryEndToEndTest, ScenarioProducesMetricsAndCompleteTrace) {
+  TelemetrySink sink;
+  ResilienceOptions options;
+  options.telemetry = &sink;
+  options.dcc_enabled = true;
+  options.horizon = Seconds(5);
+  ClientSpec benign;
+  benign.label = "Benign";
+  benign.qps = 40;
+  benign.stop = Seconds(5);
+  benign.pattern = QueryPattern::kWc;
+  options.clients = {benign};
+  RunResilienceScenario(options);
+
+  const MetricsSnapshot snap = sink.metrics.Snapshot();
+  EXPECT_GT(snap.Sum("stub_requests_total"), 0.0);
+  EXPECT_GT(snap.Sum("stub_latency_us"), 0.0);  // Histogram count.
+  EXPECT_GT(snap.Value("dcc_scheduler_enqueue_total", {{"outcome", "SUCCESS"}}),
+            0.0);
+  // MemoryFootprint()-backed gauges were frozen by the runner and must
+  // remain readable after the testbed died.
+  EXPECT_GT(snap.Sum("dcc_memory_bytes"), 0.0);
+
+  const std::vector<uint64_t> complete = sink.trace.CompleteTraceIds();
+  ASSERT_FALSE(complete.empty());
+  // At least one benign query must traverse the full path: stub -> resolver
+  // -> policer -> scheduler -> egress -> auth -> back to the client, with
+  // monotone timestamps (virtual clock).
+  bool found_full_path = false;
+  for (uint64_t id : complete) {
+    const std::vector<SpanEvent> events = sink.trace.EventsFor(id);
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, SpanKind::kStubSend);
+    EXPECT_EQ(events.back().kind, SpanKind::kClientReceive);
+    for (size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i].at, events[i - 1].at);
+    }
+    bool stages[kSpanKindCount] = {};
+    for (const SpanEvent& event : events) {
+      stages[static_cast<int>(event.kind)] = true;
+    }
+    if (stages[static_cast<int>(SpanKind::kResolverIngress)] &&
+        stages[static_cast<int>(SpanKind::kPolicerVerdict)] &&
+        stages[static_cast<int>(SpanKind::kSchedulerEnqueue)] &&
+        stages[static_cast<int>(SpanKind::kSchedulerDequeue)] &&
+        stages[static_cast<int>(SpanKind::kEgress)] &&
+        stages[static_cast<int>(SpanKind::kAuthResponse)]) {
+      found_full_path = true;
+      EXPECT_FALSE(sink.trace.BreakdownReport(id).empty());
+    }
+  }
+  EXPECT_TRUE(found_full_path);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace dcc

@@ -10,18 +10,31 @@
 //                      (measure a synthetic resolver's rate limits with the
 //                       Appendix A methodology and report the estimates)
 //
+// Options shared by resilience / validation / signaling:
+//   --log-level debug|info|warn|error
+//                      Logging threshold (default warn). Log lines are
+//                      prefixed with the simulated clock.
+//   --metrics-out FILE Dump the scenario's metrics registry to FILE in
+//                      Prometheus text format ("-.jsonl" suffix: JSON lines).
+//   --trace-out FILE   Dump the query-lifecycle trace to FILE as JSON lines,
+//                      one span event per line.
+//
 // Examples:
 //   dcc_sim resilience --pattern ff --attacker-qps 50
+//   dcc_sim resilience --pattern nx --metrics-out m.prom --trace-out t.jsonl
 //   dcc_sim validation --setup d --egresses 16 --attacker-qps 25
 //   dcc_sim signaling --pattern nx --no-signals
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/attack/scenarios.h"
+#include "src/common/logging.h"
 #include "src/measure/rate_limit_probe.h"
+#include "src/telemetry/telemetry.h"
 
 namespace {
 
@@ -69,6 +82,75 @@ QueryPattern ParsePattern(const char* text, QueryPattern fallback) {
   std::exit(2);
 }
 
+void ApplyLogLevel(int argc, char** argv) {
+  const char* text = FlagValue(argc, argv, "--log-level");
+  if (text == nullptr) {
+    return;
+  }
+  const std::string level = text;
+  if (level == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (level == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (level == "warn" || level == "warning") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (level == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "unknown log level '%s' (debug|info|warn|error)\n", text);
+    std::exit(2);
+  }
+}
+
+// Builds the telemetry sink when --metrics-out / --trace-out is given; the
+// scenario wires every host into it.
+std::unique_ptr<telemetry::TelemetrySink> MakeSink(int argc, char** argv) {
+  if (FlagValue(argc, argv, "--metrics-out") == nullptr &&
+      FlagValue(argc, argv, "--trace-out") == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<telemetry::TelemetrySink>();
+}
+
+bool WriteFile(const char* path, const std::string& contents) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int DumpTelemetry(int argc, char** argv, const telemetry::TelemetrySink* sink) {
+  if (sink == nullptr) {
+    return 0;
+  }
+  if (const char* path = FlagValue(argc, argv, "--metrics-out"); path != nullptr) {
+    const std::string out = EndsWith(path, ".jsonl") ? sink->metrics.ExportJsonLines()
+                                                     : sink->metrics.ExportPrometheus();
+    if (!WriteFile(path, out)) {
+      return 1;
+    }
+    std::printf("metrics: %zu instruments -> %s\n", sink->metrics.InstrumentCount(),
+                path);
+  }
+  if (const char* path = FlagValue(argc, argv, "--trace-out"); path != nullptr) {
+    if (!WriteFile(path, sink->trace.ExportJsonLines())) {
+      return 1;
+    }
+    std::printf("trace: %zu span events (%zu complete traces) -> %s\n",
+                sink->trace.size(), sink->trace.CompleteTraceIds().size(), path);
+  }
+  return 0;
+}
+
 void PrintClients(const ScenarioResult& result) {
   std::printf("%-10s %10s %10s %12s\n", "client", "sent", "answered", "ratio");
   for (const auto& client : result.clients) {
@@ -81,6 +163,8 @@ void PrintClients(const ScenarioResult& result) {
 
 int RunResilience(int argc, char** argv) {
   ResilienceOptions options;
+  auto sink = MakeSink(argc, argv);
+  options.telemetry = sink.get();
   options.dcc_enabled = !HasFlag(argc, argv, "--vanilla");
   options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 1000);
   const QueryPattern pattern =
@@ -104,11 +188,13 @@ int RunResilience(int argc, char** argv) {
                 static_cast<unsigned long long>(result.dcc_servfails),
                 static_cast<unsigned long long>(result.dcc_signals_attached));
   }
-  return 0;
+  return DumpTelemetry(argc, argv, sink.get());
 }
 
 int RunValidation(int argc, char** argv) {
   ValidationOptions options;
+  auto sink = MakeSink(argc, argv);
+  options.telemetry = sink.get();
   const char* setup = FlagValue(argc, argv, "--setup");
   const char setup_id = setup != nullptr ? setup[0] : 'a';
   switch (setup_id) {
@@ -141,11 +227,13 @@ int RunValidation(int argc, char** argv) {
   std::printf("benign success ratio:   %.2f\n", result.benign_success_ratio);
   std::printf("attacker success ratio: %.2f\n", result.attacker_success_ratio);
   std::printf("victim ANS peak load:   %.0f QPS\n", result.ans_peak_qps);
-  return 0;
+  return DumpTelemetry(argc, argv, sink.get());
 }
 
 int RunSignaling(int argc, char** argv) {
   SignalingOptions options;
+  auto sink = MakeSink(argc, argv);
+  options.telemetry = sink.get();
   options.signaling_enabled = !HasFlag(argc, argv, "--no-signals");
   options.attacker_pattern =
       ParsePattern(FlagValue(argc, argv, "--pattern"), QueryPattern::kNx);
@@ -160,7 +248,7 @@ int RunSignaling(int argc, char** argv) {
               static_cast<unsigned long long>(result.dcc_convictions),
               static_cast<unsigned long long>(result.dcc_policed_drops),
               static_cast<unsigned long long>(result.dcc_signals_attached));
-  return 0;
+  return DumpTelemetry(argc, argv, sink.get());
 }
 
 int RunProbe(int argc, char** argv) {
@@ -195,11 +283,14 @@ int RunProbe(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dcc_sim resilience|validation|signaling [options]\n"
-                 "see the header comment of tools/dcc_sim.cc for flags\n");
+                 "usage: dcc_sim resilience|validation|signaling|probe [options]\n"
+                 "common: --log-level debug|info|warn|error --metrics-out FILE "
+                 "--trace-out FILE\n"
+                 "see the header comment of tools/dcc_sim.cc for all flags\n");
     return 2;
   }
   const std::string command = argv[1];
+  ApplyLogLevel(argc, argv);
   if (command == "resilience") {
     return RunResilience(argc, argv);
   }
