@@ -204,6 +204,10 @@ ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
     stubs.push_back(&stub);
   }
 
+  if (!options.fault_plan.empty()) {
+    bed.InstallFaultPlan(options.fault_plan);
+  }
+
   bed.RunFor(options.horizon + Seconds(3));
 
   ScenarioResult result;
@@ -499,6 +503,121 @@ ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
       resolver_shim.servfails_synthesized() + forwarder_shim.servfails_synthesized();
   result.dcc_signals_attached =
       resolver_shim.signals_attached() + forwarder_shim.signals_attached();
+  if (options.telemetry != nullptr) {
+    options.telemetry->metrics.FreezeCallbacks();
+  }
+  return result;
+}
+
+ChaosOptions::ChaosOptions() {
+  // The chaos runner exists to exercise graceful degradation, so the
+  // robustness features are on regardless of the ResolverConfig defaults.
+  resolver.serve_stale = true;
+  resolver.adaptive_retry = true;
+  resolver.max_stale = Seconds(600);
+  resolver.upstream_timeout = Milliseconds(800);
+  resolver.upstream_retries = 1;
+  dcc.scheduler.pool_capacity = 100000;
+  dcc.scheduler.max_poq_depth = 100;
+  dcc.scheduler.max_rounds = 75;
+  // Hold-down -> capacity-collapse feedback requires the estimator.
+  dcc.capacity.enabled = true;
+}
+
+ChaosResult RunChaosScenario(const ChaosOptions& options) {
+  Testbed bed;
+  bed.AttachTelemetry(options.telemetry);
+  bed.network().SetDelayJitter(Milliseconds(5), options.seed * 13 + 1);
+
+  // Redundant authoritatives serving the target zone with short TTLs, so
+  // cached entries expire during the outage and the stale path is exercised.
+  TargetZoneOptions zone_options;
+  zone_options.ttl = options.zone_ttl;
+  std::vector<HostAddress> auth_addrs;
+  for (int i = 0; i < options.auth_count; ++i) {
+    const HostAddress addr = bed.NextAddress();
+    AuthoritativeServer& auth = bed.AddAuthoritative(addr);
+    auth.AddZone(MakeTargetZone(TargetApex(), addr, zone_options));
+    auth_addrs.push_back(addr);
+  }
+
+  const HostAddress resolver_addr = bed.NextAddress();
+  RecursiveResolver* resolver = nullptr;
+  if (options.dcc_enabled) {
+    DccConfig dcc = options.dcc;
+    dcc.scheduler.default_channel_qps = options.channel_qps;
+    auto [shim_ref, resolver_ref] =
+        bed.AddDccResolver(resolver_addr, dcc, options.resolver);
+    resolver = &resolver_ref;
+    for (HostAddress addr : auth_addrs) {
+      shim_ref.SetChannelCapacity(addr, options.channel_qps);
+    }
+  } else {
+    resolver = &bed.AddResolver(resolver_addr, options.resolver);
+  }
+  for (HostAddress addr : auth_addrs) {
+    resolver->AddAuthorityHint(TargetApex(), addr);
+  }
+
+  // One benign client cycling a small fixed name pool, so the cache (and
+  // later the stale cache) covers the whole workload.
+  StubConfig config;
+  config.start = 0;
+  config.stop = options.horizon;
+  config.qps = options.client_qps;
+  config.timeout = Milliseconds(1500);
+  config.series_horizon = options.horizon + Seconds(2);
+  StubClient& stub =
+      bed.AddStub(bed.NextAddress(), config,
+                  MakeWcGenerator(TargetApex(), options.seed * 101, options.name_pool));
+  stub.AddResolver(resolver_addr);
+  stub.Start();
+
+  fault::FaultPlan plan = options.fault_plan;
+  if (plan.empty()) {
+    plan.seed = options.seed;
+    for (HostAddress addr : auth_addrs) {
+      fault::FaultEvent event;
+      event.type = fault::FaultType::kBlackout;
+      event.start = options.blackout_start;
+      event.end = options.blackout_end;
+      event.a = addr;
+      plan.events.push_back(event);
+    }
+  }
+  fault::FaultInjector& injector = bed.InstallFaultPlan(std::move(plan));
+
+  // Per-second snapshots of the resolver's upstream sends and stale answers;
+  // deltas become the rate series in the result.
+  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
+  std::vector<uint64_t> sent_at(seconds + 1, 0);
+  std::vector<uint64_t> stale_at(seconds + 1, 0);
+  for (size_t s = 0; s <= seconds; ++s) {
+    bed.loop().ScheduleAt(static_cast<Time>(s) * kSecond, [&sent_at, &stale_at,
+                                                           resolver, s]() {
+      sent_at[s] = resolver->queries_sent();
+      stale_at[s] = resolver->stale_responses();
+    });
+  }
+
+  bed.RunFor(options.horizon + Seconds(3));
+
+  ChaosResult result;
+  ClientSpec spec;
+  spec.label = "Client";
+  spec.qps = options.client_qps;
+  result.client = CollectClient(spec, stub, options.horizon);
+  result.stale_served = resolver->stale_responses();
+  result.upstream_timeouts = resolver->upstream_tracker().timeouts_observed();
+  result.holddowns = resolver->upstream_tracker().holddowns_entered();
+  result.fault_activations = injector.activations();
+  result.upstream_send_qps.reserve(seconds);
+  result.stale_qps.reserve(seconds);
+  for (size_t s = 0; s < seconds; ++s) {
+    result.upstream_send_qps.push_back(
+        static_cast<double>(sent_at[s + 1] - sent_at[s]));
+    result.stale_qps.push_back(static_cast<double>(stale_at[s + 1] - stale_at[s]));
+  }
   if (options.telemetry != nullptr) {
     options.telemetry->metrics.FreezeCallbacks();
   }

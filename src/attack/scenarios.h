@@ -9,6 +9,10 @@
 //    DCC-enabled resolver; per-second effective QPS per client.
 //  * RunSignalingScenario   — the §5.1 signaling evaluation (Fig. 9):
 //    forwarder -> resolver path, both DCC-enabled, signaling on or off.
+//  * RunChaosScenario       — robustness under injected faults: a FaultPlan
+//    (default: blackout of every authoritative) against a serve-stale
+//    resolver; measures stale answers, hold-downs, upstream send rate and
+//    recovery.
 
 #ifndef SRC_ATTACK_SCENARIOS_H_
 #define SRC_ATTACK_SCENARIOS_H_
@@ -18,6 +22,7 @@
 
 #include "src/attack/testbed.h"
 #include "src/dcc/dcc_node.h"
+#include "src/fault/fault_plan.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dcc {
@@ -78,6 +83,11 @@ struct ResilienceOptions {
   // scenario is wired into it; callback gauges are frozen to their final
   // values before the runner returns, so the sink outlives the testbed.
   telemetry::TelemetrySink* telemetry = nullptr;
+  // Optional fault timeline, installed after the topology is built. Address
+  // layout for hand-written plans: the target ANS is the first address
+  // (10.0.0.1), the attacker ANS (FF workloads only) the second, the
+  // resolver next, then one address per client.
+  fault::FaultPlan fault_plan;
 
   ResilienceOptions();
 };
@@ -125,6 +135,52 @@ struct SignalingOptions {
 };
 
 ScenarioResult RunSignalingScenario(const SignalingOptions& options);
+
+// --- chaos / graceful degradation ---------------------------------------------
+
+// A benign client at `client_qps` over a small fixed name pool queries a
+// serve-stale resolver backed by `auth_count` redundant authoritatives whose
+// zone uses short TTLs (so cached entries go stale mid-outage). The fault
+// plan — by default a blackout of every authoritative over
+// [blackout_start, blackout_end) — runs on top. Demonstrates end-to-end
+// graceful degradation: stale answers during the outage, hold-down cutting
+// the upstream send rate, and recovery to fresh answers after it lifts.
+struct ChaosOptions {
+  bool dcc_enabled = false;
+  int auth_count = 2;
+  double client_qps = 40;
+  uint32_t zone_ttl = 2;      // Seconds; short so entries expire mid-blackout.
+  uint64_t name_pool = 12;    // Distinct names cycled by the client.
+  Duration horizon = Seconds(40);
+  Time blackout_start = Seconds(10);
+  Time blackout_end = Seconds(25);
+  uint64_t seed = 1;
+  // Overrides the default all-authoritative blackout when non-empty. Address
+  // layout: authoritatives take 10.0.0.1 .. 10.0.0.<auth_count>, the
+  // resolver the next address, then the client.
+  fault::FaultPlan fault_plan;
+  double channel_qps = 1000;  // DCC scheduler capacity (dcc_enabled only).
+  DccConfig dcc;
+  ResolverConfig resolver;  // serve_stale/adaptive_retry forced on by ctor.
+  telemetry::TelemetrySink* telemetry = nullptr;
+
+  ChaosOptions();
+};
+
+struct ChaosResult {
+  ClientResult client;
+  uint64_t stale_served = 0;        // Resolver answers from expired entries.
+  uint64_t upstream_timeouts = 0;   // Tracker-observed upstream timeouts.
+  uint64_t holddowns = 0;           // Dead-server hold-down windows entered.
+  uint64_t fault_activations = 0;   // Fault events that fired.
+  // Per-second resolver->upstream transmissions and stale answers (index =
+  // virtual second); the send series shows hold-down cutting retry pressure,
+  // the stale series shows degradation and recovery.
+  std::vector<double> upstream_send_qps;
+  std::vector<double> stale_qps;
+};
+
+ChaosResult RunChaosScenario(const ChaosOptions& options);
 
 }  // namespace dcc
 

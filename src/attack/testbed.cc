@@ -15,6 +15,12 @@ void Testbed::AttachTelemetry(telemetry::TelemetrySink* sink) {
   for (auto& resolver : resolvers_) {
     resolver->AttachTelemetry(&sink->metrics, &sink->trace);
   }
+  for (auto& forwarder : forwarders_) {
+    forwarder->AttachTelemetry(&sink->metrics);
+  }
+  for (auto& injector : fault_injectors_) {
+    injector->AttachTelemetry(&sink->metrics);
+  }
   for (auto& stub : stubs_) {
     stub->AttachTelemetry(&sink->metrics, &sink->trace);
   }
@@ -42,6 +48,7 @@ RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config)
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   resolvers_.push_back(std::move(server));
+  crash_resettables_[addr] = resolvers_.back().get();
   if (telemetry_ != nullptr) {
     resolvers_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
   }
@@ -50,10 +57,14 @@ RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config)
 
 Forwarder& Testbed::AddForwarder(HostAddress addr, ForwarderConfig config) {
   auto host = std::make_unique<HostNode>(network_, addr);
-  auto server = std::make_unique<Forwarder>(*host, config);
+  auto server = std::make_unique<Forwarder>(*host, config, /*seed=*/addr);
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   forwarders_.push_back(std::move(server));
+  crash_resettables_[addr] = forwarders_.back().get();
+  if (telemetry_ != nullptr) {
+    forwarders_.back()->AttachTelemetry(&telemetry_->metrics);
+  }
   return *forwarders_.back();
 }
 
@@ -79,8 +90,16 @@ std::pair<DccNode&, RecursiveResolver&> Testbed::AddDccResolver(
   shim->Start();
   DccNode& shim_ref = *shim;
   RecursiveResolver& server_ref = *server;
+  // Dead-server hold-downs feed the capacity estimator so MOPI-FQ stops
+  // offering load to blacked-out upstreams (tentpole: outage → capacity
+  // collapse → bounded retry pressure).
+  server_ref.upstream_tracker().SetHoldDownListener(
+      [&shim_ref](HostAddress upstream, bool down, Time now) {
+        shim_ref.OnUpstreamHoldDown(upstream, down, now);
+      });
   dcc_nodes_.push_back(std::move(shim));
   resolvers_.push_back(std::move(server));
+  crash_resettables_[addr] = resolvers_.back().get();
   if (telemetry_ != nullptr) {
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
     server_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
@@ -93,17 +112,36 @@ std::pair<DccNode&, Forwarder&> Testbed::AddDccForwarder(HostAddress addr,
                                                          ForwarderConfig config) {
   config.attach_attribution = true;
   auto shim = std::make_unique<DccNode>(network_, addr, dcc_config);
-  auto server = std::make_unique<Forwarder>(*shim, config);
+  auto server = std::make_unique<Forwarder>(*shim, config, /*seed=*/addr);
   shim->SetServer(server.get());
   shim->Start();
   DccNode& shim_ref = *shim;
   Forwarder& server_ref = *server;
+  server_ref.upstream_tracker().SetHoldDownListener(
+      [&shim_ref](HostAddress upstream, bool down, Time now) {
+        shim_ref.OnUpstreamHoldDown(upstream, down, now);
+      });
   dcc_nodes_.push_back(std::move(shim));
   forwarders_.push_back(std::move(server));
+  crash_resettables_[addr] = forwarders_.back().get();
   if (telemetry_ != nullptr) {
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+    server_ref.AttachTelemetry(&telemetry_->metrics);
   }
   return {shim_ref, server_ref};
+}
+
+fault::FaultInjector& Testbed::InstallFaultPlan(fault::FaultPlan plan) {
+  auto injector = std::make_unique<fault::FaultInjector>(network_, std::move(plan));
+  for (const auto& [addr, resettable] : crash_resettables_) {
+    injector->SetCrashHandler(addr, [resettable]() { resettable->CrashReset(); });
+  }
+  if (telemetry_ != nullptr) {
+    injector->AttachTelemetry(&telemetry_->metrics);
+  }
+  injector->Arm();
+  fault_injectors_.push_back(std::move(injector));
+  return *fault_injectors_.back();
 }
 
 }  // namespace dcc

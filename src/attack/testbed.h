@@ -9,9 +9,11 @@
 #define SRC_ATTACK_TESTBED_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/dcc/dcc_node.h"
+#include "src/fault/fault_injector.h"
 #include "src/server/authoritative.h"
 #include "src/server/forwarder.h"
 #include "src/server/resolver.h"
@@ -54,6 +56,14 @@ class Testbed {
   std::pair<DccNode&, Forwarder&> AddDccForwarder(HostAddress addr, DccConfig dcc_config,
                                                   ForwarderConfig config = {});
 
+  // --- fault injection --------------------------------------------------------
+  // Builds, wires and arms a FaultInjector for `plan`: crash handlers are
+  // registered for every crash-capable server added so far (servers added
+  // later are not covered — install the plan after the topology is built),
+  // and telemetry is attached when a sink is. The injector is owned by the
+  // testbed and starts executing immediately on Arm().
+  fault::FaultInjector& InstallFaultPlan(fault::FaultPlan plan);
+
   // Runs the simulation until `until`.
   void RunFor(Duration duration) { loop_.Run(loop_.now() + duration); }
 
@@ -69,6 +79,9 @@ class Testbed {
   std::vector<std::unique_ptr<RecursiveResolver>> resolvers_;
   std::vector<std::unique_ptr<Forwarder>> forwarders_;
   std::vector<std::unique_ptr<StubClient>> stubs_;
+  std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
+  // Servers that lose volatile state on a kCrash fault event, by address.
+  std::unordered_map<HostAddress, CrashResettable*> crash_resettables_;
 };
 
 }  // namespace dcc

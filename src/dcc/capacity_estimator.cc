@@ -71,6 +71,15 @@ std::vector<std::pair<OutputId, double>> CapacityEstimator::Tick(Time now) {
   return updates;
 }
 
+double CapacityEstimator::NotifyOutage(OutputId output, Time now) {
+  ChannelState& state = StateFor(output, now);
+  state.estimate = config_.min_qps;
+  state.answered = 0;
+  state.lost = 0;
+  state.window_start = now;
+  return state.estimate;
+}
+
 double CapacityEstimator::EstimateFor(OutputId output) const {
   auto it = channels_.find(output);
   return it != channels_.end() ? it->second.estimate : config_.initial_qps;

@@ -60,6 +60,13 @@ class CapacityEstimator {
   // every channel whose estimate changed this tick.
   std::vector<std::pair<OutputId, double>> Tick(Time now);
 
+  // Out-of-band outage signal (e.g. the wrapped server's dead-server
+  // hold-down fired): collapse the channel's estimate towards min_qps so the
+  // scheduler stops offering load a blacked-out upstream can't take, and
+  // reset the window so stale pre-outage samples don't trigger a bogus
+  // additive increase on recovery. Returns the new estimate.
+  double NotifyOutage(OutputId output, Time now);
+
   // Current estimate (initial_qps for unknown channels).
   double EstimateFor(OutputId output) const;
 

@@ -27,6 +27,17 @@ void DccNode::SetClientShare(HostAddress client, double share) {
   scheduler_.SetSourceShare(client, share);
 }
 
+void DccNode::OnUpstreamHoldDown(HostAddress server, bool down, Time now) {
+  if (!down || !capacity_estimator_.enabled()) {
+    return;
+  }
+  const double qps = capacity_estimator_.NotifyOutage(server, now);
+  scheduler_.SetChannelCapacity(server, qps);
+  if (capacity_update_counter_ != nullptr) {
+    capacity_update_counter_->Inc();
+  }
+}
+
 void DccNode::Start() {
   loop().SchedulePeriodic(config_.purge_interval, [this]() { PeriodicMaintenance(); });
 }

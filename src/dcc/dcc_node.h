@@ -91,6 +91,13 @@ class DccNode : public Node, public Transport {
   // Starts periodic window evaluation / state purging.
   void Start();
 
+  // Hold-down transition from the wrapped server's upstream tracker
+  // (UpstreamTracker::SetHoldDownListener). On `down` the channel's capacity
+  // estimate collapses to the configured floor so MOPI-FQ stops feeding a
+  // dead upstream; recovery is left to the AIMD loop (responses resume →
+  // clean windows → additive increase), so `down == false` is a no-op.
+  void OnUpstreamHoldDown(HostAddress server, bool down, Time now);
+
   // Node:
   void OnDatagram(const Datagram& dgram) override;
 

@@ -4,7 +4,8 @@
 
 namespace dcc {
 
-DnsCache::DnsCache(size_t max_entries) : max_entries_(std::max<size_t>(1, max_entries)) {}
+DnsCache::DnsCache(size_t max_entries, Duration stale_retention)
+    : max_entries_(std::max<size_t>(1, max_entries)), stale_retention_(stale_retention) {}
 
 const CacheEntry* DnsCache::Lookup(const Name& name, RecordType type, Time now) {
   auto it = entries_.find(Key{name, type});
@@ -13,11 +14,29 @@ const CacheEntry* DnsCache::Lookup(const Name& name, RecordType type, Time now) 
     return nullptr;
   }
   if (it->second.expiry <= now) {
-    entries_.erase(it);
+    // Expired: keep the body within the stale-retention window so a later
+    // LookupStale can still serve it, but report a miss either way.
+    if (it->second.expiry + stale_retention_ <= now) {
+      entries_.erase(it);
+    }
     ++misses_;
     return nullptr;
   }
   ++hits_;
+  return &it->second;
+}
+
+const CacheEntry* DnsCache::LookupStale(const Name& name, RecordType type, Time now,
+                                        Duration max_stale) {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  const Duration bound = std::min(max_stale, stale_retention_);
+  if (it->second.expiry + bound <= now) {
+    return nullptr;
+  }
+  ++stale_hits_;
   return &it->second;
 }
 
@@ -65,7 +84,7 @@ size_t DnsCache::MemoryFootprint() const {
 
 void DnsCache::PurgeExpired(Time now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expiry <= now) {
+    if (it->second.expiry + stale_retention_ <= now) {
       it = entries_.erase(it);
     } else {
       ++it;

@@ -31,11 +31,21 @@ struct CacheEntry {
 
 class DnsCache {
  public:
-  explicit DnsCache(size_t max_entries = 1 << 20);
+  // `stale_retention` > 0 keeps expired entries around for that long past
+  // their expiry so they can be served via LookupStale (RFC 8767 serve-stale);
+  // 0 restores the classic erase-on-expiry behaviour.
+  explicit DnsCache(size_t max_entries = 1 << 20, Duration stale_retention = 0);
 
   // Returns the live entry for (name, type), or nullptr if absent/expired.
-  // Expired entries are removed on access.
+  // Expired entries past the stale-retention window are removed on access.
   const CacheEntry* Lookup(const Name& name, RecordType type, Time now);
+
+  // Returns an *expired* entry for (name, type) whose expiry is within
+  // `max_stale` of `now` (and within the retention window), or nullptr.
+  // Fresh entries are returned too — callers use this as a fallback after
+  // Lookup, so returning a still-live entry is never wrong.
+  const CacheEntry* LookupStale(const Name& name, RecordType type, Time now,
+                                Duration max_stale);
 
   void StorePositive(const Name& name, RecordType type, RrSet records, Time now);
   void StoreNegative(const Name& name, RecordType type, CacheEntryKind kind,
@@ -45,8 +55,10 @@ class DnsCache {
   size_t MemoryFootprint() const;
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t stale_hits() const { return stale_hits_; }
 
-  // Removes all expired entries (periodic maintenance).
+  // Removes entries expired beyond the stale-retention window (periodic
+  // maintenance).
   void PurgeExpired(Time now);
 
  private:
@@ -66,9 +78,11 @@ class DnsCache {
   void EvictOneIfFull();
 
   size_t max_entries_;
+  Duration stale_retention_;
   std::unordered_map<Key, CacheEntry, KeyHash> entries_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t stale_hits_ = 0;
 };
 
 }  // namespace dcc

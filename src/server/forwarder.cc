@@ -1,14 +1,62 @@
 #include "src/server/forwarder.h"
 
+#include <algorithm>
+
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
 
 namespace dcc {
 
-Forwarder::Forwarder(Transport& transport, ForwarderConfig config)
-    : transport_(transport), config_(config), cache_(config.cache_max_entries) {}
+Forwarder::Forwarder(Transport& transport, ForwarderConfig config, uint64_t seed)
+    : transport_(transport),
+      config_(config),
+      rng_(seed),
+      cache_(config.cache_max_entries, config.serve_stale ? config.max_stale : 0),
+      tracker_(config.upstream, seed ^ 0x666f7277ULL) {}
 
 void Forwarder::AddUpstream(HostAddress resolver) { upstreams_.push_back(resolver); }
+
+void Forwarder::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    request_counter_ = nullptr;
+    stale_counter_ = nullptr;
+    tracker_.AttachTelemetry(nullptr, {});
+    return;
+  }
+  const telemetry::Labels host = {{"host", FormatAddress(transport_.local_address())}};
+  request_counter_ = registry->GetCounter("forwarder_requests_total", host,
+                                          "Client requests received by the forwarder");
+  stale_counter_ = registry->GetCounter(
+      "forwarder_stale_answers_total", host,
+      "Responses served from expired cache entries (RFC 8767 serve-stale)");
+  tracker_.AttachTelemetry(registry, host);
+  registry->GetCallbackGauge(
+      "forwarder_pending_requests",
+      [this]() { return static_cast<double>(pending_.size()); }, host,
+      "Relayed queries awaiting an upstream answer");
+}
+
+void Forwarder::CrashReset() {
+  pending_.clear();
+  cache_ = DnsCache(config_.cache_max_entries,
+                    config_.serve_stale ? config_.max_stale : 0);
+}
+
+Duration Forwarder::AttemptTimeout(HostAddress upstream, int attempt) {
+  if (!config_.adaptive_retry) {
+    return config_.upstream_timeout;
+  }
+  double timeout =
+      static_cast<double>(tracker_.RetransmitTimeout(upstream, config_.upstream_timeout));
+  for (int i = 0; i < attempt; ++i) {
+    timeout *= config_.retry_backoff_factor;
+  }
+  timeout = std::min(timeout, static_cast<double>(config_.retry_backoff_max));
+  if (config_.retry_jitter > 0.0) {
+    timeout *= 1.0 + (2.0 * rng_.NextDouble() - 1.0) * config_.retry_jitter;
+  }
+  return std::max<Duration>(static_cast<Duration>(timeout), kMillisecond);
+}
 
 uint16_t Forwarder::AllocatePort() {
   for (int attempts = 0; attempts < 65536; ++attempts) {
@@ -50,6 +98,9 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
 
   if (decoded->IsQuery() && dgram.dst.port == kDnsPort) {
     ++requests_received_;
+    if (request_counter_ != nullptr) {
+      request_counter_->Inc();
+    }
     if (decoded->question.empty() || upstreams_.empty()) {
       Message response = MakeResponse(*decoded, Rcode::kServFail);
       transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
@@ -96,6 +147,10 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
         decoded->question.empty() || !(decoded->Q().qname == pending.query.Q().qname)) {
       return;
     }
+    if (pending.last_upstream != kInvalidAddress) {
+      tracker_.OnResponse(pending.last_upstream, transport_.now() - pending.sent_at,
+                          transport_.now());
+    }
     // Cache the relayed response.
     if (config_.cache_enabled) {
       const Question& q = pending.query.Q();
@@ -119,6 +174,32 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
   }
 }
 
+void Forwarder::FailPending(Pending done) {
+  if (config_.serve_stale && config_.cache_enabled) {
+    const Question& q = done.query.Q();
+    if (const CacheEntry* entry =
+            cache_.LookupStale(q.qname, q.qtype, transport_.now(), config_.max_stale);
+        entry != nullptr) {
+      Message response = MakeResponse(done.query, Rcode::kNoError);
+      if (entry->kind == CacheEntryKind::kPositive) {
+        for (ResourceRecord rr : entry->records) {
+          rr.ttl = std::min(rr.ttl, config_.stale_answer_ttl);
+          response.answers.push_back(std::move(rr));
+        }
+      } else if (entry->kind == CacheEntryKind::kNegativeNxDomain) {
+        response.header.rcode = Rcode::kNxDomain;
+      }
+      ++stale_responses_;
+      if (stale_counter_ != nullptr) {
+        stale_counter_->Inc();
+      }
+      RespondToClient(done, std::move(response));
+      return;
+    }
+  }
+  RespondToClient(done, MakeResponse(done.query, Rcode::kServFail));
+}
+
 void Forwarder::ForwardQuery(uint16_t port) {
   auto it = pending_.find(port);
   if (it == pending_.end()) {
@@ -128,13 +209,39 @@ void Forwarder::ForwardQuery(uint16_t port) {
   if (pending.attempts_left <= 0) {
     Pending done = std::move(pending);
     pending_.erase(it);
-    RespondToClient(done, MakeResponse(done.query, Rcode::kServFail));
+    FailPending(std::move(done));
     return;
+  }
+  const Time now = transport_.now();
+  size_t slot = pending.upstream_index % upstreams_.size();
+  if (config_.adaptive_retry) {
+    // Skip held-down upstreams (the round-robin start already rotates per
+    // request). If every upstream is held down and stale answers can cover,
+    // fail fast instead of burning attempts against a dead set.
+    bool found_live = false;
+    for (size_t k = 0; k < upstreams_.size(); ++k) {
+      const size_t candidate = (pending.upstream_index + k) % upstreams_.size();
+      if (!tracker_.IsHeldDown(upstreams_[candidate], now)) {
+        slot = candidate;
+        pending.upstream_index = candidate;
+        found_live = true;
+        break;
+      }
+    }
+    if (!found_live && config_.serve_stale) {
+      Pending done = std::move(pending);
+      pending_.erase(it);
+      FailPending(std::move(done));
+      return;
+    }
   }
   --pending.attempts_left;
   pending.generation = next_generation_++;
-  const HostAddress upstream = upstreams_[pending.upstream_index % upstreams_.size()];
+  const HostAddress upstream = upstreams_[slot];
   ++pending.upstream_index;
+  pending.last_upstream = upstream;
+  pending.sent_at = now;
+  const int attempt = pending.attempt++;
 
   Message query = pending.query;
   query.header.rd = true;
@@ -147,9 +254,10 @@ void Forwarder::ForwardQuery(uint16_t port) {
   ++queries_sent_;
 
   const uint64_t generation = pending.generation;
-  transport_.loop().ScheduleAfter(config_.upstream_timeout, [this, port, generation]() {
-    OnTimeout(port, generation);
-  });
+  transport_.loop().ScheduleAfter(AttemptTimeout(upstream, attempt),
+                                  [this, port, generation]() {
+                                    OnTimeout(port, generation);
+                                  });
 }
 
 void Forwarder::OnTimeout(uint16_t port, uint64_t generation) {
@@ -157,11 +265,14 @@ void Forwarder::OnTimeout(uint16_t port, uint64_t generation) {
   if (it == pending_.end() || it->second.generation != generation) {
     return;
   }
+  if (it->second.last_upstream != kInvalidAddress) {
+    tracker_.OnTimeout(it->second.last_upstream, transport_.now());
+  }
   ForwardQuery(port);
 }
 
 size_t Forwarder::MemoryFootprint() const {
-  size_t bytes = cache_.MemoryFootprint();
+  size_t bytes = cache_.MemoryFootprint() + tracker_.MemoryFootprint();
   bytes += pending_.size() * (sizeof(uint16_t) + sizeof(Pending) + 128);
   return bytes;
 }

@@ -10,9 +10,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/dns/message.h"
 #include "src/server/cache.h"
 #include "src/server/transport.h"
+#include "src/server/upstream_tracker.h"
+#include "src/telemetry/metrics.h"
 
 namespace dcc {
 
@@ -25,11 +28,23 @@ struct ForwarderConfig {
   Duration processing_delay = Microseconds(20);
   // Emit the DCC attribution option on forwarded queries (§5).
   bool attach_attribution = false;
+  // Adaptive retry: SRTT-based per-upstream timeouts with exponential
+  // backoff/jitter, and hold-down-aware upstream selection (see
+  // ResolverConfig for the same knobs).
+  bool adaptive_retry = true;
+  double retry_backoff_factor = 2.0;
+  Duration retry_backoff_max = Seconds(6);
+  double retry_jitter = 0.1;
+  UpstreamTrackerConfig upstream;
+  // RFC 8767 serve-stale on upstream exhaustion.
+  bool serve_stale = false;
+  Duration max_stale = Seconds(3600);
+  uint32_t stale_answer_ttl = 30;
 };
 
-class Forwarder : public DatagramHandler {
+class Forwarder : public DatagramHandler, public CrashResettable {
  public:
-  Forwarder(Transport& transport, ForwarderConfig config);
+  Forwarder(Transport& transport, ForwarderConfig config, uint64_t seed = 1);
 
   void AddUpstream(HostAddress resolver);
 
@@ -39,8 +54,19 @@ class Forwarder : public DatagramHandler {
   uint64_t responses_sent() const { return responses_sent_; }
   uint64_t queries_sent() const { return queries_sent_; }
   uint64_t cache_hit_responses() const { return cache_hit_responses_; }
+  uint64_t stale_responses() const { return stale_responses_; }
   size_t PendingCount() const { return pending_.size(); }
   size_t MemoryFootprint() const;
+
+  UpstreamTracker& upstream_tracker() { return tracker_; }
+
+  // Wires request/response counters and the per-upstream tracker metrics
+  // into `registry`. nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
+  // Simulated process crash: drops all relayed-in-flight queries and the
+  // in-memory cache.
+  void CrashReset() override;
 
  private:
   struct Pending {
@@ -50,17 +76,25 @@ class Forwarder : public DatagramHandler {
     int attempts_left = 0;
     size_t upstream_index = 0;
     uint64_t generation = 0;
+    HostAddress last_upstream = kInvalidAddress;
+    Time sent_at = 0;
+    int attempt = 0;  // Transmissions already made (0 before the first).
   };
 
   void ForwardQuery(uint16_t port);
   void OnTimeout(uint16_t port, uint64_t generation);
   void RespondToClient(const Pending& pending, Message response);
+  // Answers `pending` from a stale cache entry (TTL capped) or SERVFAIL.
+  void FailPending(Pending done);
+  Duration AttemptTimeout(HostAddress upstream, int attempt);
 
   uint16_t AllocatePort();
 
   Transport& transport_;
   ForwarderConfig config_;
+  Rng rng_;
   DnsCache cache_;
+  UpstreamTracker tracker_;
   std::vector<HostAddress> upstreams_;
   std::unordered_map<uint16_t, Pending> pending_;
   size_t next_upstream_ = 0;
@@ -71,6 +105,10 @@ class Forwarder : public DatagramHandler {
   uint64_t responses_sent_ = 0;
   uint64_t queries_sent_ = 0;
   uint64_t cache_hit_responses_ = 0;
+  uint64_t stale_responses_ = 0;
+
+  telemetry::Counter* request_counter_ = nullptr;
+  telemetry::Counter* stale_counter_ = nullptr;
 };
 
 }  // namespace dcc

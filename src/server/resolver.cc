@@ -37,7 +37,8 @@ RecursiveResolver::RecursiveResolver(Transport& transport, ResolverConfig config
     : transport_(transport),
       config_(config),
       rng_(seed),
-      cache_(config.cache_max_entries) {}
+      cache_(config.cache_max_entries, config.serve_stale ? config.max_stale : 0),
+      tracker_(config.upstream, seed ^ 0x7570747261636bULL) {}
 
 void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
                                         telemetry::QueryTracer* tracer) {
@@ -49,6 +50,8 @@ void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
     egress_rl_counter_ = nullptr;
     retry_counter_ = nullptr;
     upstream_query_counter_ = nullptr;
+    stale_counter_ = nullptr;
+    tracker_.AttachTelemetry(nullptr, {});
     return;
   }
   const telemetry::Labels host = {{"host", FormatAddress(transport_.local_address())}};
@@ -72,6 +75,10 @@ void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
       "Upstream query retransmissions after timeout");
   upstream_query_counter_ = registry->GetCounter(
       "resolver_upstream_queries_total", host, "Queries sent to upstream servers");
+  stale_counter_ = registry->GetCounter(
+      "resolver_stale_answers_total", host,
+      "Responses served from expired cache entries (RFC 8767 serve-stale)");
+  tracker_.AttachTelemetry(registry, host);
   registry->GetCallbackGauge(
       "resolver_pending_requests",
       [this]() { return static_cast<double>(requests_.size()); }, host,
@@ -250,6 +257,64 @@ std::optional<Message> RecursiveResolver::AnswerFromCache(const Message& query, 
   return std::nullopt;
 }
 
+std::optional<Message> RecursiveResolver::StaleAnswer(const Message& query, Time now) {
+  if (!config_.serve_stale) {
+    return std::nullopt;
+  }
+  const Question& q = query.Q();
+  Name name = q.qname;
+  RrSet chain;
+  const uint32_t cap = config_.stale_answer_ttl;
+  for (int hops = 0; hops <= config_.max_cname_chain; ++hops) {
+    if (const CacheEntry* entry = cache_.LookupStale(name, q.qtype, now, config_.max_stale);
+        entry != nullptr) {
+      Message response = MakeResponse(query, Rcode::kNoError);
+      response.answers = chain;
+      switch (entry->kind) {
+        case CacheEntryKind::kPositive:
+          for (ResourceRecord rr : entry->records) {
+            rr.ttl = std::min(rr.ttl, cap);
+            response.answers.push_back(std::move(rr));
+          }
+          break;
+        case CacheEntryKind::kNegativeNxDomain:
+          response.header.rcode = Rcode::kNxDomain;
+          break;
+        case CacheEntryKind::kNegativeNoData:
+          break;
+      }
+      return response;
+    }
+    if (q.qtype == RecordType::kCname) {
+      return std::nullopt;
+    }
+    const CacheEntry* centry =
+        cache_.LookupStale(name, RecordType::kCname, now, config_.max_stale);
+    if (centry == nullptr || centry->kind != CacheEntryKind::kPositive ||
+        centry->records.empty()) {
+      return std::nullopt;
+    }
+    ResourceRecord cname = centry->records.front();
+    cname.ttl = std::min(cname.ttl, cap);
+    name = cname.target();
+    chain.push_back(std::move(cname));
+  }
+  return std::nullopt;
+}
+
+bool RecursiveResolver::TryServeStale(ClientRequest& request) {
+  auto stale = StaleAnswer(request.query, transport_.now());
+  if (!stale.has_value()) {
+    return false;
+  }
+  ++stale_responses_;
+  if (stale_counter_ != nullptr) {
+    stale_counter_->Inc();
+  }
+  RespondToClient(request, std::move(*stale));
+  return true;
+}
+
 void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query) {
   ++requests_received_;
   if (query.question.empty()) {
@@ -303,12 +368,15 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
     if (it == requests_.end() || it->second.done) {
       return;
     }
-    // Deadline exceeded: tear down the resolution tree and SERVFAIL.
+    // Deadline exceeded: tear down the resolution tree and answer stale if
+    // possible, SERVFAIL otherwise.
     const uint64_t root = it->second.root_task;
     FailChildrenOf(root);
     tasks_.erase(root);
-    Message response = MakeResponse(it->second.query, Rcode::kServFail);
-    RespondToClient(it->second, std::move(response));
+    if (!TryServeStale(it->second)) {
+      Message response = MakeResponse(it->second.query, Rcode::kServFail);
+      RespondToClient(it->second, std::move(response));
+    }
     requests_.erase(request_id);
   });
 
@@ -383,6 +451,28 @@ void RecursiveResolver::ResetQminProgress(Task& task) {
   task.qmin_labels = std::min(task.qmin_labels, task.qname.LabelCount());
 }
 
+void RecursiveResolver::RankTaskServers(Task& task) {
+  if (config_.adaptive_retry && task.servers.size() > 1) {
+    tracker_.Rank(task.servers, transport_.now());
+  }
+}
+
+Duration RecursiveResolver::AttemptTimeout(HostAddress server, int attempt) {
+  if (!config_.adaptive_retry) {
+    return config_.upstream_timeout;
+  }
+  double timeout =
+      static_cast<double>(tracker_.RetransmitTimeout(server, config_.upstream_timeout));
+  for (int i = 0; i < attempt; ++i) {
+    timeout *= config_.retry_backoff_factor;
+  }
+  timeout = std::min(timeout, static_cast<double>(config_.retry_backoff_max));
+  if (config_.retry_jitter > 0.0) {
+    timeout *= 1.0 + (2.0 * rng_.NextDouble() - 1.0) * config_.retry_jitter;
+  }
+  return std::max<Duration>(static_cast<Duration>(timeout), kMillisecond);
+}
+
 bool RecursiveResolver::EstablishZoneCut(Task& task) {
   const Time now = transport_.now();
   for (size_t labels = task.qname.LabelCount();; --labels) {
@@ -410,6 +500,7 @@ bool RecursiveResolver::EstablishZoneCut(Task& task) {
         task.servers = std::move(servers);
         task.unresolved_ns = std::move(unresolved);
         task.server_index = 0;
+        RankTaskServers(task);
         ResetQminProgress(task);
         return true;
       }
@@ -426,6 +517,7 @@ bool RecursiveResolver::EstablishZoneCut(Task& task) {
       task.servers = std::move(hinted);
       task.unresolved_ns.clear();
       task.server_index = 0;
+      RankTaskServers(task);
       ResetQminProgress(task);
       return true;
     }
@@ -568,7 +660,31 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
     return;
   }
 
-  const HostAddress server = t.servers[t.server_index % t.servers.size()];
+  const Time now = transport_.now();
+  size_t chosen = t.server_index % t.servers.size();
+  if (config_.adaptive_retry) {
+    // Prefer the first candidate at or after server_index that is not held
+    // down. When every remaining candidate is held down: with serve-stale we
+    // fail fast instead of hammering a dead server set (the client gets a
+    // stale answer, and the hold-down expiry doubles as the re-probe
+    // schedule); without it we fall through and use the scheduled candidate
+    // as a last resort.
+    bool found_live = false;
+    for (size_t k = chosen; k < t.servers.size(); ++k) {
+      if (!tracker_.IsHeldDown(t.servers[k], now)) {
+        chosen = k;
+        found_live = true;
+        break;
+      }
+    }
+    if (found_live) {
+      t.server_index = chosen;
+    } else if (config_.serve_stale && t.unresolved_ns.empty()) {
+      CompleteTask(task_id, TaskStatus::kFail, {});
+      return;
+    }
+  }
+  const HostAddress server = t.servers[chosen];
   const Name sname = t.qname.Suffix(t.qmin_labels == 0 ? t.qname.LabelCount()
                                                        : t.qmin_labels);
   const RecordType stype =
@@ -584,6 +700,8 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
   oq.qtype = stype;
   oq.retries_left = config_.upstream_retries;
   oq.generation = next_generation_++;
+  oq.sent_at = now;
+  oq.attempt = 0;
 
   Message query = MakeQuery(qid, sname, stype, /*rd=*/false);
   query.EnsureEdns();
@@ -593,6 +711,7 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
                                                    request.query.header.id}));
   }
   if (PassesEgressRl(server)) {
+    oq.sent = true;
     transport_.Send(port, Endpoint{server, kDnsPort}, EncodeMessage(query));
     ++queries_sent_;
     if (upstream_query_counter_ != nullptr) {
@@ -600,6 +719,7 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
     }
   } else {
     // Dropped by our own egress rate limit; the timeout path handles it.
+    // sent stays false so the drop is not misread as a server timeout.
     ++egress_rate_limited_;
     if (egress_rl_counter_ != nullptr) {
       egress_rl_counter_->Inc();
@@ -607,9 +727,10 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
   }
 
   const uint64_t generation = oq.generation;
-  transport_.loop().ScheduleAfter(config_.upstream_timeout, [this, port, generation]() {
-    OnQueryTimeout(port, generation);
-  });
+  transport_.loop().ScheduleAfter(AttemptTimeout(server, /*attempt=*/0),
+                                  [this, port, generation]() {
+                                    OnQueryTimeout(port, generation);
+                                  });
 }
 
 void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
@@ -623,8 +744,31 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
     outstanding_.erase(it);
     return;
   }
-  if (oq.retries_left > 0) {
+  const Time now = transport_.now();
+  if (oq.sent) {
+    // Egress-RL drops never reached the server, so they don't count against
+    // its health.
+    tracker_.OnTimeout(oq.server, now);
+  }
+  bool skip_retries = false;
+  if (config_.adaptive_retry && oq.retries_left > 0 &&
+      tracker_.IsHeldDown(oq.server, now)) {
+    // The server just entered (or is in) hold-down: spending the remaining
+    // retransmissions on it is pointless if the task knows a live
+    // alternative — fail over immediately instead.
+    const Task& t = tit->second;
+    for (size_t k = t.server_index + 1; k < t.servers.size(); ++k) {
+      if (!tracker_.IsHeldDown(t.servers[k], now)) {
+        skip_retries = true;
+        break;
+      }
+    }
+  }
+  if (oq.retries_left > 0 && !skip_retries) {
     --oq.retries_left;
+    ++oq.attempt;
+    oq.sent_at = now;
+    oq.sent = false;
     if (retry_counter_ != nullptr) {
       retry_counter_->Inc();
     }
@@ -640,6 +784,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
       }
     }
     if (PassesEgressRl(oq.server)) {
+      oq.sent = true;
       transport_.Send(port, Endpoint{oq.server, kDnsPort}, EncodeMessage(query));
       ++queries_sent_;
       if (upstream_query_counter_ != nullptr) {
@@ -652,7 +797,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
       }
     }
     const uint64_t new_generation = oq.generation;
-    transport_.loop().ScheduleAfter(config_.upstream_timeout,
+    transport_.loop().ScheduleAfter(AttemptTimeout(oq.server, oq.attempt),
                                     [this, port, new_generation]() {
                                       OnQueryTimeout(port, new_generation);
                                     });
@@ -698,6 +843,14 @@ void RecursiveResolver::HandleUpstreamResponse(const Datagram& dgram, Message re
     return;
   }
   outstanding_.erase(it);
+
+  // Health sample for the answering server. For retransmitted queries the
+  // RTT is measured from the latest transmission, which may undershoot when
+  // the answer belongs to an earlier attempt — an accepted simplification of
+  // Karn's algorithm (the sample is still a lower bound).
+  if (oq.sent) {
+    tracker_.OnResponse(oq.server, transport_.now() - oq.sent_at, transport_.now());
+  }
 
   auto tit = tasks_.find(oq.task_id);
   if (tit == tasks_.end()) {
@@ -806,6 +959,7 @@ void RecursiveResolver::HandleUpstreamResponse(const Datagram& dgram, Message re
         t.unresolved_ns.push_back(ns.target());
       }
     }
+    RankTaskServers(t);
     ResetQminProgress(t);
     if (!t.servers.empty()) {
       SendQuery(task_id);
@@ -887,6 +1041,7 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
     }
     if (!parent.servers.empty()) {
       parent.waiting_children = false;
+      RankTaskServers(parent);
       SendQuery(task.parent_task);
     } else if (parent.pending_children == 0) {
       if (!parent.unresolved_ns.empty()) {
@@ -919,6 +1074,11 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
       response.answers = task.cname_chain;
       break;
     case TaskStatus::kFail:
+      // Total resolution failure: RFC 8767 serve-stale before SERVFAIL.
+      if (TryServeStale(request)) {
+        requests_.erase(rit);
+        return;
+      }
       response = MakeResponse(request.query, Rcode::kServFail);
       break;
   }
@@ -930,8 +1090,20 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
 // Maintenance / introspection
 // ---------------------------------------------------------------------------
 
+void RecursiveResolver::CrashReset() {
+  requests_.clear();
+  tasks_.clear();
+  outstanding_.clear();
+  cache_ = DnsCache(config_.cache_max_entries, config_.serve_stale ? config_.max_stale : 0);
+  nsec_cache_.clear();
+  ingress_rrl_state_.clear();
+  egress_rl_state_.clear();
+  // Pending timeout/deadline timers find their request/query gone and
+  // no-op; statistics counters survive (they model external observation).
+}
+
 size_t RecursiveResolver::MemoryFootprint() const {
-  size_t bytes = cache_.MemoryFootprint();
+  size_t bytes = cache_.MemoryFootprint() + tracker_.MemoryFootprint();
   bytes += requests_.size() * (sizeof(uint64_t) + sizeof(ClientRequest) + 128);
   bytes += tasks_.size() * (sizeof(uint64_t) + sizeof(Task) + 128);
   bytes += outstanding_.size() * (sizeof(uint16_t) + sizeof(OutstandingQuery) + 64);
@@ -947,6 +1119,7 @@ size_t RecursiveResolver::MemoryFootprint() const {
 void RecursiveResolver::Purge() {
   const Time now = transport_.now();
   cache_.PurgeExpired(now);
+  tracker_.Purge(now, kMinute);
   for (auto it = nsec_cache_.begin(); it != nsec_cache_.end();) {
     if (it->second.expiry <= now) {
       it = nsec_cache_.erase(it);

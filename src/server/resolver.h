@@ -35,6 +35,7 @@
 #include "src/server/authoritative.h"  // For ResponseRateLimitConfig.
 #include "src/server/cache.h"
 #include "src/server/transport.h"
+#include "src/server/upstream_tracker.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -74,9 +75,26 @@ struct ResolverConfig {
   double egress_burst = 20.0;
   // Per-request compute cost model.
   Duration processing_delay = Microseconds(50);
+  // --- robustness / graceful degradation ----------------------------------
+  // Adaptive upstream retry: per-server SRTT-based retransmission timeouts
+  // (RFC 6298) with exponential backoff and jitter across attempts, plus
+  // dead-server hold-down steering server selection. `upstream_timeout`
+  // remains the timeout for servers without an RTT sample. When disabled the
+  // classic fixed-timeout behaviour is preserved exactly.
+  bool adaptive_retry = true;
+  double retry_backoff_factor = 2.0;
+  Duration retry_backoff_max = Seconds(6);
+  double retry_jitter = 0.1;  // +/- fraction of the timeout.
+  UpstreamTrackerConfig upstream;
+  // RFC 8767 serve-stale: when resolution fails (all upstreams dead or the
+  // request deadline fires), answer from expired cache entries up to
+  // `max_stale` past expiry, capping record TTLs at `stale_answer_ttl`.
+  bool serve_stale = false;
+  Duration max_stale = Seconds(3600);
+  uint32_t stale_answer_ttl = 30;
 };
 
-class RecursiveResolver : public DatagramHandler {
+class RecursiveResolver : public DatagramHandler, public CrashResettable {
  public:
   RecursiveResolver(Transport& transport, ResolverConfig config, uint64_t seed = 1);
 
@@ -99,6 +117,7 @@ class RecursiveResolver : public DatagramHandler {
   uint64_t nsec_synthesized() const { return nsec_synthesized_; }
   uint64_t ingress_rate_limited() const { return ingress_rate_limited_; }
   uint64_t egress_rate_limited() const { return egress_rate_limited_; }
+  uint64_t stale_responses() const { return stale_responses_; }
   size_t ActiveRequestCount() const { return requests_.size(); }
   size_t OutstandingQueryCount() const { return outstanding_.size(); }
   size_t CacheSize() const { return cache_.size(); }
@@ -114,6 +133,15 @@ class RecursiveResolver : public DatagramHandler {
                        telemetry::QueryTracer* tracer);
 
   const ResolverConfig& config() const { return config_; }
+
+  // Per-upstream SRTT / loss / hold-down state (read-mostly; scenario code
+  // wires its hold-down listener into the DCC capacity estimator).
+  UpstreamTracker& upstream_tracker() { return tracker_; }
+
+  // Simulated process crash: drops every client request, resolution task,
+  // outstanding upstream query, and the (in-memory) cache, as a restart
+  // would. Stale timers for the dropped state become no-ops.
+  void CrashReset() override;
 
  private:
   // ---- internal state ------------------------------------------------------
@@ -158,6 +186,9 @@ class RecursiveResolver : public DatagramHandler {
     RecordType qtype = RecordType::kA;
     int retries_left = 0;
     uint64_t generation = 0;
+    Time sent_at = 0;   // Last transmission time (feeds the SRTT sample).
+    int attempt = 0;    // 0 = initial send; grows with each retransmission.
+    bool sent = false;  // False when the egress rate limit dropped the send.
   };
 
   // ---- request / response plumbing ----------------------------------------
@@ -168,6 +199,13 @@ class RecursiveResolver : public DatagramHandler {
   // Serves (qname, qtype) fully from cache, following cached CNAMEs.
   // Returns nullopt when recursion is required.
   std::optional<Message> AnswerFromCache(const Message& query, Time now);
+
+  // RFC 8767 fallback: like AnswerFromCache but willing to use entries up to
+  // `max_stale` past expiry, with TTLs capped at `stale_answer_ttl`. Returns
+  // nullopt when serve-stale is disabled or nothing usable is cached.
+  std::optional<Message> StaleAnswer(const Message& query, Time now);
+  // Serves `request` from stale cache if possible; returns true on success.
+  bool TryServeStale(ClientRequest& request);
 
   // ---- task machinery ------------------------------------------------------
   uint64_t CreateTask(uint64_t request_id, uint64_t parent, int depth,
@@ -184,6 +222,12 @@ class RecursiveResolver : public DatagramHandler {
   // even a hint covers the name.
   bool EstablishZoneCut(Task& task);
   void ResetQminProgress(Task& task);
+  // Best-server-first ordering of a freshly built server list (no-op unless
+  // adaptive_retry).
+  void RankTaskServers(Task& task);
+  // Timeout for transmission number `attempt` (0-based) to `server`:
+  // SRTT-based RTO (fallback upstream_timeout), exponential backoff, jitter.
+  Duration AttemptTimeout(HostAddress server, int attempt);
 
   // RFC 8198: true when a cached NSEC interval proves `name` nonexistent.
   bool CoveredByNsec(const Name& name, Time now);
@@ -198,6 +242,7 @@ class RecursiveResolver : public DatagramHandler {
   ResolverConfig config_;
   Rng rng_;
   DnsCache cache_;
+  UpstreamTracker tracker_;
 
   std::vector<std::pair<Name, HostAddress>> hints_;
 
@@ -232,6 +277,7 @@ class RecursiveResolver : public DatagramHandler {
   uint64_t ingress_rate_limited_ = 0;
   uint64_t egress_rate_limited_ = 0;
   uint64_t nsec_synthesized_ = 0;
+  uint64_t stale_responses_ = 0;
 
   // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
   telemetry::QueryTracer* tracer_ = nullptr;
@@ -241,6 +287,7 @@ class RecursiveResolver : public DatagramHandler {
   telemetry::Counter* egress_rl_counter_ = nullptr;
   telemetry::Counter* retry_counter_ = nullptr;
   telemetry::Counter* upstream_query_counter_ = nullptr;
+  telemetry::Counter* stale_counter_ = nullptr;
 };
 
 }  // namespace dcc

@@ -43,6 +43,15 @@ class DatagramHandler {
   virtual void HandleDatagram(const Datagram& dgram) = 0;
 };
 
+// Optional interface for servers whose volatile state can be wiped by the
+// fault layer's crash/restart events (the host loses its in-flight queries
+// and in-memory cache, as a real process restart would).
+class CrashResettable {
+ public:
+  virtual ~CrashResettable() = default;
+  virtual void CrashReset() = 0;
+};
+
 // Plain host: binds one handler to one address on the network.
 class HostNode : public Node, public Transport {
  public:

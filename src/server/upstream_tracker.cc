@@ -1,0 +1,160 @@
+#include "src/server/upstream_tracker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace dcc {
+
+UpstreamTracker::UpstreamTracker(UpstreamTrackerConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+UpstreamTracker::ServerState& UpstreamTracker::StateFor(HostAddress server, Time now) {
+  ServerState& state = servers_[server];
+  state.last_active = now;
+  return state;
+}
+
+void UpstreamTracker::UpdateSrttGauge(HostAddress server, ServerState& state) {
+  if (registry_ == nullptr) return;
+  if (state.srtt_gauge == nullptr) {
+    telemetry::Labels labels = base_labels_;
+    labels.emplace_back("upstream", FormatAddress(server));
+    state.srtt_gauge = registry_->GetGauge("srtt_ms", std::move(labels),
+                                           "Smoothed RTT to the upstream server");
+  }
+  state.srtt_gauge->Set(ToMilliseconds(state.srtt));
+}
+
+void UpstreamTracker::OnResponse(HostAddress server, Duration rtt, Time now) {
+  ServerState& state = StateFor(server, now);
+  if (rtt < 0) rtt = 0;
+  if (!state.has_sample) {
+    // RFC 6298 §2.2: first sample sets SRTT = R, RTTVAR = R/2.
+    state.srtt = rtt;
+    state.rttvar = rtt / 2;
+    state.has_sample = true;
+  } else {
+    Duration err = rtt - state.srtt;
+    state.rttvar += static_cast<Duration>(
+        config_.rttvar_beta * (static_cast<double>(std::abs(err)) -
+                               static_cast<double>(state.rttvar)));
+    state.srtt += static_cast<Duration>(config_.srtt_alpha * static_cast<double>(err));
+  }
+  state.loss *= 1.0 - config_.loss_alpha;
+  state.consecutive_timeouts = 0;
+  state.holddown = 0;
+  if (state.down_until > now) {
+    state.down_until = 0;
+    if (holddown_listener_) holddown_listener_(server, false, now);
+  }
+  UpdateSrttGauge(server, state);
+}
+
+void UpstreamTracker::OnTimeout(HostAddress server, Time now) {
+  ++timeouts_observed_;
+  if (timeout_counter_ != nullptr) timeout_counter_->Inc();
+  ServerState& state = StateFor(server, now);
+  state.loss = state.loss * (1.0 - config_.loss_alpha) + config_.loss_alpha;
+  ++state.consecutive_timeouts;
+  if (state.consecutive_timeouts >= config_.holddown_after && state.down_until <= now) {
+    state.holddown = state.holddown == 0
+                         ? config_.holddown_initial
+                         : static_cast<Duration>(config_.holddown_growth *
+                                                 static_cast<double>(state.holddown));
+    state.holddown = std::min(state.holddown, config_.holddown_max);
+    state.down_until = now + state.holddown;
+    ++holddowns_entered_;
+    if (holddown_counter_ != nullptr) holddown_counter_->Inc();
+    if (holddown_listener_) holddown_listener_(server, true, now);
+  }
+}
+
+bool UpstreamTracker::IsHeldDown(HostAddress server, Time now) const {
+  auto it = servers_.find(server);
+  return it != servers_.end() && it->second.down_until > now;
+}
+
+Duration UpstreamTracker::Srtt(HostAddress server, Duration fallback) const {
+  auto it = servers_.find(server);
+  return it != servers_.end() && it->second.has_sample ? it->second.srtt : fallback;
+}
+
+double UpstreamTracker::LossRate(HostAddress server) const {
+  auto it = servers_.find(server);
+  return it != servers_.end() ? it->second.loss : 0.0;
+}
+
+Duration UpstreamTracker::RetransmitTimeout(HostAddress server, Duration fallback) const {
+  auto it = servers_.find(server);
+  if (it == servers_.end() || !it->second.has_sample) {
+    return std::min(fallback, config_.max_rto);
+  }
+  Duration rto = it->second.srtt +
+                 static_cast<Duration>(config_.rto_k *
+                                       static_cast<double>(it->second.rttvar));
+  return std::clamp(rto, config_.min_rto, config_.max_rto);
+}
+
+void UpstreamTracker::Rank(std::vector<HostAddress>& servers, Time now) {
+  if (servers.size() < 2) return;
+  auto key = [this, now](HostAddress server) -> std::pair<int, Duration> {
+    auto it = servers_.find(server);
+    if (it == servers_.end() || !it->second.has_sample) {
+      // Unknown servers sort ahead of sampled ones: probing them is how the
+      // tracker learns, and a fresh server cannot be worse than a dead one.
+      return {IsHeldDown(server, now) ? 1 : 0, -1};
+    }
+    return {it->second.down_until > now ? 1 : 0, it->second.srtt};
+  };
+  std::stable_sort(servers.begin(), servers.end(),
+                   [&key](HostAddress a, HostAddress b) { return key(a) < key(b); });
+  if (config_.explore_probability > 0.0 && rng_.NextBool(config_.explore_probability)) {
+    // Promote a random non-best live candidate to the front (re-probe).
+    size_t live = 0;
+    while (live < servers.size() && !IsHeldDown(servers[live], now)) ++live;
+    if (live > 1) {
+      size_t pick = 1 + static_cast<size_t>(rng_.NextBelow(live - 1));
+      std::rotate(servers.begin(), servers.begin() + pick, servers.begin() + pick + 1);
+    }
+  }
+}
+
+void UpstreamTracker::SetHoldDownListener(
+    std::function<void(HostAddress, bool, Time)> listener) {
+  holddown_listener_ = std::move(listener);
+}
+
+void UpstreamTracker::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                      const telemetry::Labels& base_labels) {
+  registry_ = registry;
+  base_labels_ = base_labels;
+  for (auto& [server, state] : servers_) {
+    state.srtt_gauge = nullptr;  // Re-resolved lazily against the new registry.
+  }
+  if (registry == nullptr) {
+    timeout_counter_ = nullptr;
+    holddown_counter_ = nullptr;
+    return;
+  }
+  timeout_counter_ = registry->GetCounter("upstream_timeouts_total", base_labels_,
+                                          "Upstream query timeouts observed");
+  holddown_counter_ = registry->GetCounter("upstream_holddowns_total", base_labels_,
+                                           "Dead-server hold-downs entered");
+}
+
+size_t UpstreamTracker::MemoryFootprint() const {
+  return servers_.size() * (sizeof(HostAddress) + sizeof(ServerState));
+}
+
+void UpstreamTracker::Purge(Time now, Duration idle) {
+  for (auto it = servers_.begin(); it != servers_.end();) {
+    if (it->second.last_active + idle < now && it->second.down_until <= now) {
+      it = servers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dcc

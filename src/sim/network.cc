@@ -53,6 +53,25 @@ void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
     }
     return;
   }
+  if (IsLinkDown(src.addr, dst.addr)) {
+    ++datagrams_dropped_;
+    if (dropped_link_down_counter_ != nullptr) {
+      dropped_link_down_counter_->Inc();
+    }
+    return;
+  }
+  Duration fault_delay = 0;
+  if (fault_hook_ != nullptr) {
+    NetworkFaultHook::Verdict verdict = fault_hook_->OnDatagram(src, dst, payload);
+    if (verdict.drop) {
+      ++datagrams_dropped_;
+      if (dropped_fault_counter_ != nullptr) {
+        dropped_fault_counter_->Inc();
+      }
+      return;
+    }
+    fault_delay = verdict.extra_delay;
+  }
   if (loss_probability_ > 0.0 && loss_rng_.NextBool(loss_probability_)) {
     ++datagrams_dropped_;
     if (dropped_loss_counter_ != nullptr) {
@@ -60,7 +79,7 @@ void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
     }
     return;
   }
-  Duration delay = DelayFor(src.addr, dst.addr);
+  Duration delay = DelayFor(src.addr, dst.addr) + fault_delay;
   if (max_jitter_ > 0) {
     delay += static_cast<Duration>(jitter_rng_.NextBelow(static_cast<uint64_t>(max_jitter_)));
   }
@@ -91,21 +110,48 @@ void Network::SetPairDelay(HostAddress a, HostAddress b, Duration one_way) {
 
 void Network::SetLossProbability(double p, uint64_t seed) {
   loss_probability_ = p;
-  loss_rng_ = Rng(seed);
+  // Only reseed when the seed actually changes: reconfiguring the probability
+  // mid-run (fault windows ramping loss up/down) must continue the existing
+  // decision stream, not replay it from the start.
+  if (seed != loss_seed_) {
+    loss_seed_ = seed;
+    loss_rng_ = Rng(seed);
+  }
 }
 
 void Network::SetDelayJitter(Duration max_jitter, uint64_t seed) {
   max_jitter_ = max_jitter;
-  jitter_rng_ = Rng(seed);
+  // Same contract as SetLossProbability: adjusting the jitter bound mid-run
+  // continues the stream; only a new seed restarts it.
+  if (seed != jitter_seed_) {
+    jitter_seed_ = seed;
+    jitter_rng_ = Rng(seed);
+  }
 }
 
 void Network::SetHostDown(HostAddress addr, bool down) { host_down_[addr] = down; }
+
+bool Network::IsHostDown(HostAddress addr) const {
+  auto it = host_down_.find(addr);
+  return it != host_down_.end() && it->second;
+}
+
+void Network::SetLinkDown(HostAddress a, HostAddress b, bool down) {
+  link_down_[PairKey(a, b)] = down;
+}
+
+bool Network::IsLinkDown(HostAddress a, HostAddress b) const {
+  auto it = link_down_.find(PairKey(a, b));
+  return it != link_down_.end() && it->second;
+}
 
 void Network::AttachTelemetry(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
     delivered_counter_ = nullptr;
     dropped_loss_counter_ = nullptr;
     dropped_host_down_counter_ = nullptr;
+    dropped_link_down_counter_ = nullptr;
+    dropped_fault_counter_ = nullptr;
     dropped_unknown_counter_ = nullptr;
     delay_histogram_ = nullptr;
     return;
@@ -117,6 +163,10 @@ void Network::AttachTelemetry(telemetry::MetricsRegistry* registry) {
                                                {{"outcome", "dropped_loss"}}, help);
   dropped_host_down_counter_ = registry->GetCounter(
       "net_datagrams_total", {{"outcome", "dropped_host_down"}}, help);
+  dropped_link_down_counter_ = registry->GetCounter(
+      "net_datagrams_total", {{"outcome", "dropped_link_down"}}, help);
+  dropped_fault_counter_ = registry->GetCounter(
+      "net_datagrams_total", {{"outcome", "dropped_fault"}}, help);
   dropped_unknown_counter_ = registry->GetCounter(
       "net_datagrams_total", {{"outcome", "dropped_unknown_dst"}}, help);
   delay_histogram_ = registry->GetHistogram(

@@ -30,6 +30,24 @@ struct Datagram {
 
 class Network;
 
+// Per-datagram fault seam consulted by Network::Send before its own loss and
+// delay model. The fault layer (src/fault) implements this to apply scripted
+// loss windows, latency spikes, and payload corruption/truncation. The hook
+// may mutate `payload` in place; a returned `drop` discards the datagram and
+// `extra_delay` is added on top of the pair delay + jitter.
+class NetworkFaultHook {
+ public:
+  virtual ~NetworkFaultHook() = default;
+
+  struct Verdict {
+    bool drop = false;
+    Duration extra_delay = 0;
+  };
+
+  virtual Verdict OnDatagram(const Endpoint& src, const Endpoint& dst,
+                             std::vector<uint8_t>& payload) = 0;
+};
+
 // Base class for simulated hosts. Subclasses implement OnDatagram and use
 // SendDatagram to transmit. Attach() is called by Network::RegisterNode.
 class Node {
@@ -70,6 +88,13 @@ class Network {
   void SetPairDelay(HostAddress a, HostAddress b, Duration one_way);
 
   // Global probability in [0,1] that any datagram is dropped.
+  //
+  // Determinism contract: the drop decision stream is produced by a dedicated
+  // RNG seeded with `seed`. Changing only `p` (e.g. ramping loss up and down
+  // mid-run) continues the existing stream, so a run remains a deterministic
+  // function of the initial seed; passing a *different* seed restarts the
+  // stream from that seed. Re-passing the current seed is a no-op for the
+  // RNG state — it does NOT replay earlier drop decisions.
   void SetLossProbability(double p, uint64_t seed = 42);
 
   // Adds uniform random jitter in [0, max_jitter) to every delivery delay,
@@ -79,10 +104,23 @@ class Network {
 
   // Cuts or restores connectivity for `addr` (simulates host outage).
   void SetHostDown(HostAddress addr, bool down);
+  bool IsHostDown(HostAddress addr) const;
+
+  // Cuts or restores the (a, b) link, both directions. Independent from
+  // SetHostDown: a link can be down while both endpoints stay reachable via
+  // other links (flaps, partitions).
+  void SetLinkDown(HostAddress a, HostAddress b, bool down);
+  bool IsLinkDown(HostAddress a, HostAddress b) const;
+
+  // Installs the fault-injection hook (not owned; nullptr detaches). The
+  // hook sees every datagram after the host/link down checks and before the
+  // loss/delay model.
+  void SetFaultHook(NetworkFaultHook* hook) { fault_hook_ = hook; }
 
   // Wires per-outcome datagram counters (delivered / dropped_loss /
-  // dropped_host_down / dropped_unknown_dst) and a delivery-delay histogram
-  // into `registry`. nullptr detaches.
+  // dropped_host_down / dropped_link_down / dropped_fault /
+  // dropped_unknown_dst) and a delivery-delay histogram into `registry`.
+  // nullptr detaches.
   void AttachTelemetry(telemetry::MetricsRegistry* registry);
 
   EventLoop& loop() { return loop_; }
@@ -98,9 +136,13 @@ class Network {
   std::unordered_map<HostAddress, Node*> nodes_;
   std::unordered_map<uint64_t, Duration> pair_delay_;
   std::unordered_map<HostAddress, bool> host_down_;
+  std::unordered_map<uint64_t, bool> link_down_;
+  NetworkFaultHook* fault_hook_ = nullptr;
   double loss_probability_ = 0.0;
+  uint64_t loss_seed_ = 42;
   Rng loss_rng_{42};
   Duration max_jitter_ = 0;
+  uint64_t jitter_seed_ = 43;
   Rng jitter_rng_{43};
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_dropped_ = 0;
@@ -108,6 +150,8 @@ class Network {
   telemetry::Counter* delivered_counter_ = nullptr;
   telemetry::Counter* dropped_loss_counter_ = nullptr;
   telemetry::Counter* dropped_host_down_counter_ = nullptr;
+  telemetry::Counter* dropped_link_down_counter_ = nullptr;
+  telemetry::Counter* dropped_fault_counter_ = nullptr;
   telemetry::Counter* dropped_unknown_counter_ = nullptr;
   telemetry::HistogramMetric* delay_histogram_ = nullptr;
 };

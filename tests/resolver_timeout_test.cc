@@ -1,0 +1,132 @@
+// Resolver timeout-path tests: the per-query deadline timer must be a no-op
+// once the answer has arrived, and retry exhaustion against a dead upstream
+// must produce a SERVFAIL plus retry telemetry.
+
+#include <gtest/gtest.h>
+
+#include "src/attack/testbed.h"
+#include "src/common/ids.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+const Name& TargetApex() {
+  static const Name apex = *Name::Parse("target-domain");
+  return apex;
+}
+
+StubConfig OneShot(Duration timeout = Seconds(5)) {
+  StubConfig config;
+  config.start = 0;
+  config.stop = Seconds(1);
+  config.qps = 1;
+  config.timeout = timeout;
+  config.series_horizon = Seconds(30);
+  return config;
+}
+
+QuestionGenerator FixedQuestion(const char* text) {
+  const Name qname = *Name::Parse(text);
+  return [qname](uint64_t) { return Question{qname, RecordType::kA}; };
+}
+
+TEST(ResolverTimeoutTest, DeadlineTimerAfterAnswerIsNoOp) {
+  Testbed bed;
+  const HostAddress auth_addr = bed.NextAddress();
+  const HostAddress resolver_addr = bed.NextAddress();
+  AuthoritativeServer& auth = bed.AddAuthoritative(auth_addr);
+  auth.AddZone(MakeTargetZone(TargetApex(), auth_addr));
+  ResolverConfig config;
+  config.upstream_timeout = Milliseconds(500);
+  config.upstream_retries = 2;
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr, config);
+  resolver.AddAuthorityHint(TargetApex(), auth_addr);
+  StubClient& stub = bed.AddStub(bed.NextAddress(), OneShot(),
+                                 FixedQuestion("one.wc.target-domain"));
+  stub.AddResolver(resolver_addr);
+  stub.Start();
+  // Run far past the upstream timeout so the stale deadline timer fires.
+  bed.RunFor(Seconds(10));
+  EXPECT_EQ(stub.succeeded(), 1u);
+  EXPECT_EQ(stub.failed(), 0u);
+  // The answered query's timer must not count as a timeout or trigger a
+  // retransmission. QMIN costs one query per label under the hinted apex
+  // ("wc" then "one"), so a clean resolution is exactly 2 sends.
+  EXPECT_EQ(resolver.upstream_tracker().timeouts_observed(), 0u);
+  EXPECT_EQ(resolver.queries_sent(), 2u);
+  EXPECT_EQ(resolver.responses_sent(), 1u);
+  EXPECT_EQ(resolver.stale_responses(), 0u);
+}
+
+TEST(ResolverTimeoutTest, RetryExhaustionYieldsServfailAndRetryTelemetry) {
+  Testbed bed;
+  telemetry::TelemetrySink sink;
+  bed.AttachTelemetry(&sink);
+  const HostAddress auth_addr = bed.NextAddress();
+  const HostAddress resolver_addr = bed.NextAddress();
+  AuthoritativeServer& auth = bed.AddAuthoritative(auth_addr);
+  auth.AddZone(MakeTargetZone(TargetApex(), auth_addr));
+  ResolverConfig config;
+  config.upstream_timeout = Milliseconds(200);
+  config.upstream_retries = 2;
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr, config);
+  resolver.AddAuthorityHint(TargetApex(), auth_addr);
+  StubClient& stub = bed.AddStub(bed.NextAddress(), OneShot(Seconds(20)),
+                                 FixedQuestion("dead.wc.target-domain"));
+  stub.AddResolver(resolver_addr);
+  // The only upstream is dark for the whole run.
+  bed.network().SetHostDown(auth_addr, true);
+  stub.Start();
+  bed.RunFor(Seconds(25));
+
+  // 1 initial attempt + 2 retransmissions, all timing out, then SERVFAIL.
+  EXPECT_EQ(stub.succeeded(), 0u);
+  EXPECT_EQ(stub.failed(), 1u);
+  EXPECT_EQ(resolver.queries_sent(), 3u);
+  EXPECT_EQ(resolver.upstream_tracker().timeouts_observed(), 3u);
+  EXPECT_EQ(resolver.responses_sent(), 1u);
+
+  const auto snapshot = sink.metrics.Snapshot();
+  const telemetry::Labels host = {{"host", FormatAddress(resolver_addr)}};
+  EXPECT_EQ(snapshot.Value("resolver_upstream_retries_total", host), 2.0);
+  EXPECT_EQ(snapshot.Value("upstream_timeouts_total", host), 3.0);
+}
+
+TEST(ResolverTimeoutTest, HoldDownSkipsRemainingRetriesWhenAlternativeIsLive) {
+  // Two upstreams for the same zone, the preferred one dead. Once the dead
+  // server enters hold-down, remaining retransmissions to it are skipped in
+  // favor of the live alternative, so the client still gets an answer.
+  Testbed bed;
+  const HostAddress dead_addr = bed.NextAddress();
+  const HostAddress live_addr = bed.NextAddress();
+  const HostAddress resolver_addr = bed.NextAddress();
+  AuthoritativeServer& dead = bed.AddAuthoritative(dead_addr);
+  dead.AddZone(MakeTargetZone(TargetApex(), dead_addr));
+  AuthoritativeServer& live = bed.AddAuthoritative(live_addr);
+  live.AddZone(MakeTargetZone(TargetApex(), live_addr));
+  ResolverConfig config;
+  config.upstream_timeout = Milliseconds(200);
+  config.upstream_retries = 3;
+  config.upstream.holddown_after = 2;
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr, config);
+  resolver.AddAuthorityHint(TargetApex(), dead_addr);
+  resolver.AddAuthorityHint(TargetApex(), live_addr);
+  StubClient& stub = bed.AddStub(bed.NextAddress(), OneShot(Seconds(20)),
+                                 FixedQuestion("failover.wc.target-domain"));
+  stub.AddResolver(resolver_addr);
+  bed.network().SetHostDown(dead_addr, true);
+  stub.Start();
+  bed.RunFor(Seconds(25));
+
+  EXPECT_EQ(stub.succeeded(), 1u);
+  // Hold-down after 2 timeouts cut the remaining 2 retransmissions to the
+  // dead server: 2 sends there, then the 2 QMIN steps against the live one.
+  // Without the skip this resolution would cost 4 dead + 2 live sends.
+  EXPECT_TRUE(resolver.upstream_tracker().IsHeldDown(dead_addr, Seconds(1)));
+  EXPECT_EQ(resolver.upstream_tracker().timeouts_observed(), 2u);
+  EXPECT_EQ(resolver.queries_sent(), 4u);
+}
+
+}  // namespace
+}  // namespace dcc

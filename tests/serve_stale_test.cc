@@ -1,0 +1,223 @@
+// RFC 8767 serve-stale tests: cache stale-retention semantics, and the
+// resolver/forwarder answering from expired entries while their upstreams
+// are blacked out, then returning to fresh answers after recovery.
+
+#include <gtest/gtest.h>
+
+#include "src/attack/patterns.h"
+#include "src/attack/testbed.h"
+#include "src/server/cache.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace {
+
+const Name& TargetApex() {
+  static const Name apex = *Name::Parse("target-domain");
+  return apex;
+}
+
+const Name& N(const char* text) {
+  static Name name;
+  name = *Name::Parse(text);
+  return name;
+}
+
+TEST(StaleCacheTest, RetentionKeepsExpiredEntriesForStaleLookups) {
+  DnsCache cache(1 << 10, /*stale_retention=*/Seconds(100));
+  cache.StorePositive(N("s.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("s.example"), 10, 1)}, 0);
+  // Normal lookups miss after expiry, but the entry is retained.
+  EXPECT_EQ(cache.Lookup(N("s.example"), RecordType::kA, Seconds(11)), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  // Stale lookups serve it within min(max_stale, retention) past expiry.
+  EXPECT_NE(cache.LookupStale(N("s.example"), RecordType::kA, Seconds(50),
+                              Seconds(100)),
+            nullptr);
+  EXPECT_EQ(cache.stale_hits(), 1u);
+  // max_stale tighter than retention bounds the window.
+  EXPECT_EQ(cache.LookupStale(N("s.example"), RecordType::kA, Seconds(50),
+                              Seconds(20)),
+            nullptr);
+  // Beyond retention the entry is truly gone.
+  EXPECT_EQ(cache.LookupStale(N("s.example"), RecordType::kA, Seconds(111),
+                              Seconds(500)),
+            nullptr);
+  EXPECT_EQ(cache.Lookup(N("s.example"), RecordType::kA, Seconds(111)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StaleCacheTest, ZeroRetentionPreservesLegacyEviction) {
+  DnsCache cache;  // Default: no stale retention.
+  cache.StorePositive(N("s.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("s.example"), 10, 1)}, 0);
+  EXPECT_EQ(cache.Lookup(N("s.example"), RecordType::kA, Seconds(10)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);  // Erased on access, as before.
+}
+
+TEST(StaleCacheTest, FreshEntriesPassStaleLookupToo) {
+  DnsCache cache(1 << 10, Seconds(100));
+  cache.StorePositive(N("f.example"), RecordType::kA,
+                      {MakeA(*Name::Parse("f.example"), 100, 1)}, 0);
+  EXPECT_NE(cache.LookupStale(N("f.example"), RecordType::kA, Seconds(1),
+                              Seconds(100)),
+            nullptr);
+}
+
+// One auth, one serve-stale resolver, one client querying a single name.
+// Short zone TTL so the cached answer expires during the outage.
+struct StaleDeployment {
+  explicit StaleDeployment(Duration max_stale = Seconds(600)) {
+    TargetZoneOptions zone_options;
+    zone_options.ttl = 2;
+    ResolverConfig config;
+    config.serve_stale = true;
+    config.max_stale = max_stale;
+    config.upstream_timeout = Milliseconds(300);
+    config.upstream_retries = 1;
+    auth_addr = bed.NextAddress();
+    resolver_addr = bed.NextAddress();
+    auth = &bed.AddAuthoritative(auth_addr);
+    auth->AddZone(MakeTargetZone(TargetApex(), auth_addr, zone_options));
+    resolver = &bed.AddResolver(resolver_addr, config);
+    resolver->AddAuthorityHint(TargetApex(), auth_addr);
+  }
+
+  StubClient& AddSteadyClient(double qps, Duration horizon) {
+    StubConfig config;
+    config.start = 0;
+    config.stop = horizon;
+    config.qps = qps;
+    config.timeout = Seconds(2);
+    config.series_horizon = horizon + Seconds(5);
+    const Name qname = *Name::Parse("fixed.wc.target-domain");
+    StubClient& stub = bed.AddStub(bed.NextAddress(), config, [qname](uint64_t) {
+      return Question{qname, RecordType::kA};
+    });
+    stub.AddResolver(resolver_addr);
+    return stub;
+  }
+
+  Testbed bed;
+  HostAddress auth_addr = 0;
+  HostAddress resolver_addr = 0;
+  AuthoritativeServer* auth = nullptr;
+  RecursiveResolver* resolver = nullptr;
+};
+
+TEST(ServeStaleTest, ResolverAnswersStaleDuringBlackoutAndRecovers) {
+  StaleDeployment d;
+  StubClient& stub = d.AddSteadyClient(10, Seconds(30));
+  stub.Start();
+  // Blackout [5 s, 20 s): long past the 2 s zone TTL.
+  d.bed.loop().ScheduleAt(Seconds(5),
+                          [&d] { d.bed.network().SetHostDown(d.auth_addr, true); });
+  d.bed.loop().ScheduleAt(Seconds(20),
+                          [&d] { d.bed.network().SetHostDown(d.auth_addr, false); });
+  d.bed.RunFor(Seconds(32));
+
+  // Stale answers covered the outage: client failures stay rare.
+  EXPECT_GT(d.resolver->stale_responses(), 50u);
+  EXPECT_GT(stub.SuccessRatio(), 0.9);
+  // Hold-down kicked in: far fewer upstream sends than 10 QPS x 15 s worth
+  // of retry storms.
+  EXPECT_GE(d.resolver->upstream_tracker().holddowns_entered(), 1u);
+  // After recovery the resolver goes back to fresh answers: the client keeps
+  // succeeding and the stale counter stops moving.
+  const uint64_t stale_at_25s = d.resolver->stale_responses();
+  d.bed.RunFor(Seconds(3));
+  EXPECT_EQ(d.resolver->stale_responses(), stale_at_25s);
+}
+
+TEST(ServeStaleTest, StalenessIsBoundedByMaxStale) {
+  // With a tight max_stale the resolver stops answering once the cached entry
+  // is more than max_stale past expiry, even while the outage continues.
+  StaleDeployment d(/*max_stale=*/Seconds(4));
+  StubClient& stub = d.AddSteadyClient(10, Seconds(30));
+  stub.Start();
+  d.bed.loop().ScheduleAt(Seconds(3),
+                          [&d] { d.bed.network().SetHostDown(d.auth_addr, true); });
+  d.bed.RunFor(Seconds(32));
+  // Stale served only in roughly [expiry, expiry + 4 s): far fewer answers
+  // than the ~25 s of outage would produce with unbounded staleness.
+  EXPECT_GT(d.resolver->stale_responses(), 0u);
+  EXPECT_LT(d.resolver->stale_responses(), 100u);
+  // Past the staleness bound the client sees hard failures again.
+  EXPECT_GT(stub.failed(), 100u);
+}
+
+TEST(ServeStaleTest, DisabledServeStaleFailsDuringBlackout) {
+  Testbed bed;
+  TargetZoneOptions zone_options;
+  zone_options.ttl = 2;
+  ResolverConfig config;
+  config.serve_stale = false;
+  config.upstream_timeout = Milliseconds(300);
+  config.upstream_retries = 1;
+  const HostAddress auth_addr = bed.NextAddress();
+  const HostAddress resolver_addr = bed.NextAddress();
+  AuthoritativeServer& auth = bed.AddAuthoritative(auth_addr);
+  auth.AddZone(MakeTargetZone(TargetApex(), auth_addr, zone_options));
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr, config);
+  resolver.AddAuthorityHint(TargetApex(), auth_addr);
+  StubConfig stub_config;
+  stub_config.start = 0;
+  stub_config.stop = Seconds(20);
+  stub_config.qps = 10;
+  stub_config.timeout = Seconds(2);
+  stub_config.series_horizon = Seconds(25);
+  const Name qname = *Name::Parse("fixed.wc.target-domain");
+  StubClient& stub = bed.AddStub(bed.NextAddress(), stub_config, [qname](uint64_t) {
+    return Question{qname, RecordType::kA};
+  });
+  stub.AddResolver(resolver_addr);
+  stub.Start();
+  bed.loop().ScheduleAt(Seconds(5),
+                        [&bed, auth_addr] { bed.network().SetHostDown(auth_addr, true); });
+  bed.RunFor(Seconds(22));
+  EXPECT_EQ(resolver.stale_responses(), 0u);
+  EXPECT_GT(stub.failed(), 50u);  // SERVFAILs once the cached entry expires.
+}
+
+TEST(ServeStaleTest, ForwarderServesStaleWhenUpstreamDies) {
+  Testbed bed;
+  TargetZoneOptions zone_options;
+  zone_options.ttl = 2;
+  const HostAddress auth_addr = bed.NextAddress();
+  const HostAddress resolver_addr = bed.NextAddress();
+  const HostAddress fwd_addr = bed.NextAddress();
+  AuthoritativeServer& auth = bed.AddAuthoritative(auth_addr);
+  auth.AddZone(MakeTargetZone(TargetApex(), auth_addr, zone_options));
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr);
+  resolver.AddAuthorityHint(TargetApex(), auth_addr);
+  ForwarderConfig fwd_config;
+  fwd_config.serve_stale = true;
+  fwd_config.max_stale = Seconds(600);
+  fwd_config.upstream_timeout = Milliseconds(300);
+  fwd_config.upstream_attempts = 2;
+  Forwarder& forwarder = bed.AddForwarder(fwd_addr, fwd_config);
+  forwarder.AddUpstream(resolver_addr);
+  StubConfig config;
+  config.start = 0;
+  config.stop = Seconds(20);
+  config.qps = 10;
+  config.timeout = Seconds(2);
+  config.series_horizon = Seconds(25);
+  const Name qname = *Name::Parse("fwd-stale.wc.target-domain");
+  StubClient& stub = bed.AddStub(bed.NextAddress(), config, [qname](uint64_t) {
+    return Question{qname, RecordType::kA};
+  });
+  stub.AddResolver(fwd_addr);
+  stub.Start();
+  // Kill the forwarder's only upstream mid-run.
+  bed.loop().ScheduleAt(Seconds(5), [&bed, resolver_addr] {
+    bed.network().SetHostDown(resolver_addr, true);
+  });
+  bed.RunFor(Seconds(22));
+  EXPECT_GT(forwarder.stale_responses(), 50u);
+  EXPECT_GT(stub.SuccessRatio(), 0.85);
+  EXPECT_GE(forwarder.upstream_tracker().holddowns_entered(), 1u);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -476,6 +476,39 @@ TEST(ForwarderTest, ServfailWhenAllUpstreamsDead) {
   EXPECT_EQ(forwarder.PendingCount(), 0u);
 }
 
+TEST(ForwarderTest, HoldDownSkipsDeadUpstreamOnLaterRequests) {
+  // Upstreams alternate round-robin per request. Once the dead one has
+  // accumulated enough timeouts to enter hold-down, later requests that
+  // would start there go straight to the live upstream instead of burning
+  // another timeout.
+  Deployment d;
+  const HostAddress dead_resolver = d.bed.NextAddress();
+  const HostAddress fwd_addr = d.bed.NextAddress();
+  ForwarderConfig fwd_config;
+  fwd_config.upstream_timeout = Milliseconds(200);
+  fwd_config.upstream_attempts = 2;
+  fwd_config.upstream.holddown_after = 2;
+  Forwarder& forwarder = d.bed.AddForwarder(fwd_addr, fwd_config);
+  forwarder.AddUpstream(dead_resolver);  // Nothing listens here.
+  forwarder.AddUpstream(d.resolver_addr);
+  StubConfig config = OneShot(6, 1.0);  // One request per second.
+  config.timeout = Seconds(3);
+  StubClient& stub =
+      d.bed.AddStub(d.client_addr, config, MakeWcGenerator(TargetApex(), 21));
+  stub.AddResolver(fwd_addr);
+  stub.Start();
+  d.bed.RunFor(Seconds(10));
+
+  EXPECT_EQ(stub.succeeded(), 6u);
+  // Requests 0 and 2 start at the dead upstream and time out (entering
+  // hold-down on the second timeout); request 4, arriving inside the
+  // hold-down window, skips it without a timeout.
+  EXPECT_EQ(forwarder.upstream_tracker().timeouts_observed(), 2u);
+  EXPECT_EQ(forwarder.upstream_tracker().holddowns_entered(), 1u);
+  // 6 requests + 2 retransmissions; a third timeout would have made 9.
+  EXPECT_EQ(forwarder.queries_sent(), 8u);
+}
+
 TEST(StubTest, RetriesSwitchResolver) {
   Deployment d;
   const HostAddress dead = d.bed.NextAddress();

@@ -180,6 +180,84 @@ TEST(NetworkTest, HostDownBlocksTraffic) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
+TEST(NetworkTest, LinkDownBlocksBothDirectionsAndLifts) {
+  EventLoop loop;
+  Network net(loop);
+  RecordingNode a;
+  RecordingNode b;
+  RecordingNode c;
+  net.RegisterNode(&a, 1);
+  net.RegisterNode(&b, 2);
+  net.RegisterNode(&c, 3);
+  net.SetLinkDown(1, 2, true);
+  net.Send(Endpoint{1, 1000}, Endpoint{2, 53}, {1});
+  net.Send(Endpoint{2, 1000}, Endpoint{1, 53}, {2});
+  net.Send(Endpoint{1, 1000}, Endpoint{3, 53}, {3});  // Unaffected link.
+  loop.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(a.received.empty());
+  ASSERT_EQ(c.received.size(), 1u);
+  net.SetLinkDown(1, 2, false);
+  net.Send(Endpoint{1, 1000}, Endpoint{2, 53}, {4});
+  loop.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].payload, (std::vector<uint8_t>{4}));
+}
+
+// Which sequence numbers survive a lossy link: sends `n` sequenced datagrams
+// 1->2, optionally re-applying the loss config after the first half.
+std::vector<uint8_t> LossySurvivors(double p, uint64_t seed, int n,
+                                    bool reapply_midway,
+                                    uint64_t midway_seed = 0) {
+  EventLoop loop;
+  Network net(loop);
+  RecordingNode a;
+  RecordingNode b;
+  net.RegisterNode(&a, 1);
+  net.RegisterNode(&b, 2);
+  net.SetLossProbability(p, seed);
+  for (int i = 0; i < n; ++i) {
+    if (reapply_midway && i == n / 2) {
+      net.SetLossProbability(p, midway_seed);
+    }
+    net.Send(Endpoint{1, 1000}, Endpoint{2, 53}, {static_cast<uint8_t>(i)});
+  }
+  loop.Run();
+  std::vector<uint8_t> survivors;
+  for (const Datagram& dgram : b.received) {
+    survivors.push_back(dgram.payload[0]);
+  }
+  return survivors;
+}
+
+TEST(NetworkTest, LossReapplySameSeedContinuesDecisionStream) {
+  // Reconfiguring loss mid-run with the same (p, seed) must not rewind the
+  // RNG: the delivery pattern matches an uninterrupted run exactly.
+  const auto uninterrupted = LossySurvivors(0.3, 9, 200, false);
+  const auto reapplied = LossySurvivors(0.3, 9, 200, true, /*midway_seed=*/9);
+  EXPECT_EQ(reapplied, uninterrupted);
+}
+
+TEST(NetworkTest, LossReseedRestartsDecisionStream) {
+  // A genuinely new seed restarts the stream: the second half of the run
+  // matches the first half of a fresh network seeded the same way.
+  const auto reseeded = LossySurvivors(0.3, 9, 200, true, /*midway_seed=*/11);
+  const auto fresh = LossySurvivors(0.3, 11, 200, false);
+  std::vector<uint8_t> reseeded_tail;
+  for (uint8_t seq : reseeded) {
+    if (seq >= 100) {
+      reseeded_tail.push_back(static_cast<uint8_t>(seq - 100));
+    }
+  }
+  std::vector<uint8_t> fresh_head;
+  for (uint8_t seq : fresh) {
+    if (seq < 100) {
+      fresh_head.push_back(seq);
+    }
+  }
+  EXPECT_EQ(reseeded_tail, fresh_head);
+}
+
 TEST(NetworkTest, UnregisterStopsDelivery) {
   EventLoop loop;
   Network net(loop);

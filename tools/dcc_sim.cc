@@ -3,9 +3,16 @@
 // Usage:
 //   dcc_sim resilience [--pattern wc|nx|ff] [--attacker-qps N]
 //                      [--channel-qps N] [--vanilla] [--horizon SECONDS]
+//                      [--fault-plan FILE]
 //   dcc_sim validation [--setup a|b|c|d] [--attacker-qps N]
 //                      [--channel-qps N] [--egresses N]
 //   dcc_sim signaling  [--pattern nx|ff] [--attacker-qps N] [--no-signals]
+//   dcc_sim chaos      [--dcc] [--client-qps N] [--horizon SECONDS]
+//                      [--auths N] [--seed N] [--fault-plan FILE]
+//                      (graceful-degradation run: a fault plan — default
+//                       blackout of every authoritative from 10 s to 25 s —
+//                       against a serve-stale resolver; see
+//                       examples/fault_plans/ for the plan format)
 //   dcc_sim probe      [--irl N] [--nx-irl N] [--erl N]
 //                      (measure a synthetic resolver's rate limits with the
 //                       Appendix A methodology and report the estimates)
@@ -33,6 +40,7 @@
 
 #include "src/attack/scenarios.h"
 #include "src/common/logging.h"
+#include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
 #include "src/telemetry/telemetry.h"
 
@@ -100,6 +108,22 @@ void ApplyLogLevel(int argc, char** argv) {
     std::fprintf(stderr, "unknown log level '%s' (debug|info|warn|error)\n", text);
     std::exit(2);
   }
+}
+
+// Loads --fault-plan FILE into `plan` (untouched when the flag is absent);
+// exits with a parse diagnostic on failure.
+void LoadFaultPlanArg(int argc, char** argv, fault::FaultPlan* plan) {
+  const char* path = FlagValue(argc, argv, "--fault-plan");
+  if (path == nullptr) {
+    return;
+  }
+  std::string error;
+  if (!fault::LoadFaultPlanFile(path, plan, &error)) {
+    std::fprintf(stderr, "--fault-plan %s: %s\n", path, error.c_str());
+    std::exit(2);
+  }
+  std::printf("fault plan: %zu events (seed %llu) from %s\n", plan->events.size(),
+              static_cast<unsigned long long>(plan->seed), path);
 }
 
 // Builds the telemetry sink when --metrics-out / --trace-out is given; the
@@ -176,6 +200,7 @@ int RunResilience(int argc, char** argv) {
   for (auto& client : options.clients) {
     client.stop = std::min(client.stop, options.horizon);
   }
+  LoadFaultPlanArg(argc, argv, &options.fault_plan);
   std::printf("resilience: %s resolver, channel %.0f QPS, horizon %s\n",
               options.dcc_enabled ? "DCC-enabled" : "vanilla", options.channel_qps,
               FormatDuration(options.horizon).c_str());
@@ -251,6 +276,45 @@ int RunSignaling(int argc, char** argv) {
   return DumpTelemetry(argc, argv, sink.get());
 }
 
+int RunChaos(int argc, char** argv) {
+  ChaosOptions options;
+  auto sink = MakeSink(argc, argv);
+  options.telemetry = sink.get();
+  options.dcc_enabled = HasFlag(argc, argv, "--dcc");
+  options.client_qps = FlagDouble(argc, argv, "--client-qps", options.client_qps);
+  options.horizon = SecondsF(FlagDouble(argc, argv, "--horizon", 40));
+  options.auth_count =
+      static_cast<int>(FlagDouble(argc, argv, "--auths", options.auth_count));
+  options.seed = static_cast<uint64_t>(FlagDouble(argc, argv, "--seed", 1));
+  LoadFaultPlanArg(argc, argv, &options.fault_plan);
+  std::printf("chaos: %s resolver, %d auths, client %.0f QPS, horizon %s, %s\n",
+              options.dcc_enabled ? "DCC-enabled" : "vanilla", options.auth_count,
+              options.client_qps, FormatDuration(options.horizon).c_str(),
+              options.fault_plan.empty() ? "default all-auth blackout"
+                                         : "user fault plan");
+  const ChaosResult result = RunChaosScenario(options);
+  std::printf("client: sent=%llu answered=%llu ratio=%.2f\n",
+              static_cast<unsigned long long>(result.client.sent),
+              static_cast<unsigned long long>(result.client.succeeded),
+              result.client.success_ratio);
+  std::printf("faults: activations=%llu upstream_timeouts=%llu holddowns=%llu "
+              "stale_served=%llu\n",
+              static_cast<unsigned long long>(result.fault_activations),
+              static_cast<unsigned long long>(result.upstream_timeouts),
+              static_cast<unsigned long long>(result.holddowns),
+              static_cast<unsigned long long>(result.stale_served));
+  std::printf("%4s %14s %10s %12s\n", "sec", "upstream-qps", "stale-qps",
+              "client-qps");
+  for (size_t s = 0; s < result.upstream_send_qps.size(); ++s) {
+    std::printf("%4zu %14.0f %10.0f %12.1f\n", s, result.upstream_send_qps[s],
+                result.stale_qps[s],
+                s < result.client.effective_qps.size()
+                    ? result.client.effective_qps[s]
+                    : 0.0);
+  }
+  return DumpTelemetry(argc, argv, sink.get());
+}
+
 int RunProbe(int argc, char** argv) {
   ResolverProfile profile;
   profile.name = "cli";
@@ -283,7 +347,7 @@ int RunProbe(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dcc_sim resilience|validation|signaling|probe [options]\n"
+                 "usage: dcc_sim resilience|validation|signaling|chaos|probe [options]\n"
                  "common: --log-level debug|info|warn|error --metrics-out FILE "
                  "--trace-out FILE\n"
                  "see the header comment of tools/dcc_sim.cc for all flags\n");
@@ -299,6 +363,9 @@ int main(int argc, char** argv) {
   }
   if (command == "signaling") {
     return RunSignaling(argc, argv);
+  }
+  if (command == "chaos") {
+    return RunChaos(argc, argv);
   }
   if (command == "probe") {
     return RunProbe(argc, argv);
