@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/benches.h"
 #include "src/dcc/mopi_fq.h"
 
 namespace dcc {
@@ -83,16 +84,22 @@ void RunCase(const Case& test_case) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunAblationFairness(const BenchOptions& options) {
   std::printf("MOPI-FQ vs analytic max-min fair (water-filling) allocations\n");
   std::printf("(Theorem B.1; constant-rate sources over one channel, 30 s)\n");
-  dcc::RunCase({"two equal heavy sources", 100, {300, 300}, {}});
-  dcc::RunCase({"light + heavy", 100, {10, 400}, {}});
-  dcc::RunCase({"Fig. 14 staircase", 100, {5, 45, 80, 300}, {}});
-  dcc::RunCase({"Table 2 client mix", 1000, {600, 350, 150, 1100}, {}});
-  dcc::RunCase({"weighted 2:1:1", 120, {200, 200, 200}, {2, 1, 1}});
-  dcc::RunCase({"weighted, partially satisfied", 100, {15, 300, 300}, {1, 3, 1}});
+  RunCase({"two equal heavy sources", 100, {300, 300}, {}});
+  RunCase({"light + heavy", 100, {10, 400}, {}});
+  RunCase({"Fig. 14 staircase", 100, {5, 45, 80, 300}, {}});
+  if (!options.quick) {
+    RunCase({"Table 2 client mix", 1000, {600, 350, 150, 1100}, {}});
+    RunCase({"weighted 2:1:1", 120, {200, 200, 200}, {2, 1, 1}});
+    RunCase({"weighted, partially satisfied", 100, {15, 300, 300}, {1, 3, 1}});
+  }
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

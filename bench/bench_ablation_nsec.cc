@@ -9,7 +9,9 @@
 // benign client's fate.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench/benches.h"
 #include "src/attack/patterns.h"
 #include "src/attack/testbed.h"
 #include "src/zone/experiment_zones.h"
@@ -43,7 +45,6 @@ Outcome Run(bool aggressive_nsec, bool dcc_enabled) {
   Zone zone = MakeTargetZone(TargetApex(), ans_addr);
   zone.EnableNsec();  // The zone is signed either way; caching is opt-in.
   ans.AddZone(std::move(zone));
-  ans.EnableQueryLog(horizon + Seconds(2));
 
   const HostAddress resolver_addr = bed.NextAddress();
   ResolverConfig resolver_config;
@@ -65,7 +66,6 @@ Outcome Run(bool aggressive_nsec, bool dcc_enabled) {
   attacker_config.qps = 300;  // NX flood well above the channel capacity.
   attacker_config.stop = horizon;
   attacker_config.timeout = Milliseconds(900);
-  attacker_config.series_horizon = horizon + Seconds(2);
   StubClient& attacker = bed.AddStub(bed.NextAddress(), attacker_config,
                                      MakeNxGenerator(TargetApex(), 1));
   attacker.AddResolver(resolver_addr);
@@ -75,7 +75,6 @@ Outcome Run(bool aggressive_nsec, bool dcc_enabled) {
   benign_config.qps = 20;
   benign_config.stop = horizon;
   benign_config.timeout = Milliseconds(900);
-  benign_config.series_horizon = horizon + Seconds(2);
   StubClient& benign = bed.AddStub(bed.NextAddress(), benign_config,
                                    MakeWcGenerator(TargetApex(), 2));
   benign.AddResolver(resolver_addr);
@@ -92,9 +91,10 @@ Outcome Run(bool aggressive_nsec, bool dcc_enabled) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunAblationNsec(const BenchOptions& options) {
   std::printf("Aggressive NSEC caching (RFC 8198) vs the NX pattern\n");
   std::printf("(NX attacker 300 QPS + benign WC client 20 QPS, 100-QPS channel)\n\n");
   std::printf("%-34s %14s %14s %16s\n", "configuration", "benign ok", "ANS load(QPS)",
@@ -104,10 +104,13 @@ int main() {
     bool nsec;
     bool dcc;
   };
-  for (const Config& config : {Config{"vanilla resolver", false, false},
-                               Config{"resolver + aggressive NSEC", true, false},
-                               Config{"DCC (no NSEC)", false, true},
-                               Config{"DCC + aggressive NSEC", true, true}}) {
+  std::vector<Config> configs = {Config{"vanilla resolver", false, false},
+                                 Config{"resolver + aggressive NSEC", true, false}};
+  if (!options.quick) {
+    configs.push_back(Config{"DCC (no NSEC)", false, true});
+    configs.push_back(Config{"DCC + aggressive NSEC", true, true});
+  }
+  for (const Config& config : configs) {
     const dcc::Outcome outcome = dcc::Run(config.nsec, config.dcc);
     std::printf("%-34s %14.2f %14.0f %16llu\n", config.label, outcome.benign_success,
                 outcome.ans_load_qps,
@@ -118,3 +121,6 @@ int main() {
   std::printf("guarantees the benign client's share even without DNSSEC.\n");
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/benches.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/dcc/baseline_schedulers.h"
@@ -118,9 +119,10 @@ double RunCrossOutput(Scheduler& scheduler) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunAblationSchedulers(const BenchOptions&) {
   std::printf("Scheduler design-space ablation (Fig. 7)\n\n");
   std::printf("%-10s %8s %10s %12s %12s %12s\n", "scheduler", "jain",
               "wf-dist", "victim-frac", "queued", "memory(KB)");
@@ -151,3 +153,6 @@ int main() {
       "        pre-allocates its fixed 100K-entry pool\n");
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/benches.h"
 #include "src/common/rng.h"
 #include "src/dcc/anomaly.h"
 #include "src/dcc/mopi_fq.h"
@@ -192,12 +193,15 @@ Measurement MeasureResolver(size_t clients, size_t servers, size_t ops) {
   return m;
 }
 
-void RunSweep(const char* title, bool vary_servers) {
+void RunSweep(const char* title, bool vary_servers, bool quick) {
   std::printf("\n--- %s ---\n", title);
   std::printf("%-12s %14s %14s %14s %14s\n", "entities", "BIND CPU(%)",
               "DCC CPU(%)", "BIND mem(MB)", "DCC mem(MB)");
-  const size_t ops = 200000;
-  for (size_t n : {10000u, 20000u, 40000u, 60000u, 80000u, 100000u}) {
+  const size_t ops = quick ? 50000 : 200000;
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{10000u, 40000u}
+            : std::vector<size_t>{10000u, 20000u, 40000u, 60000u, 80000u, 100000u};
+  for (size_t n : sizes) {
     const size_t clients = vary_servers ? 1000 : n;
     const size_t servers = vary_servers ? n : 1000;
     const Measurement dcc = MeasureDcc(clients, servers, ops);
@@ -218,17 +222,21 @@ void PrintTable1(size_t clients, size_t servers) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig10Overhead(const BenchOptions& options) {
   std::printf("Fig. 10 — CPU load and memory usage of DCC vs the vanilla\n");
   std::printf("resolver at an aggregate 3000 QPS (WC pattern), with entity\n");
   std::printf("counts simulated by mapping operations onto client/server ID\n");
   std::printf("spaces (the paper's methodology, §5.2)\n");
-  dcc::RunSweep("(a) fixed 1K clients, varying number of active servers",
-                /*vary_servers=*/true);
-  dcc::RunSweep("(b) fixed 1K servers, varying number of active clients",
-                /*vary_servers=*/false);
-  dcc::PrintTable1(1000, 1000);
+  RunSweep("(a) fixed 1K clients, varying number of active servers",
+           /*vary_servers=*/true, options.quick);
+  RunSweep("(b) fixed 1K servers, varying number of active clients",
+           /*vary_servers=*/false, options.quick);
+  PrintTable1(1000, 1000);
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -12,7 +12,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench/benches.h"
 #include "src/attack/patterns.h"
 #include "src/attack/testbed.h"
 #include "src/common/rng.h"
@@ -54,7 +56,6 @@ Histogram RunStack(bool dcc_enabled, uint64_t requests) {
   config.qps = 3000;
   config.stop = static_cast<Time>(static_cast<double>(requests) / config.qps * kSecond);
   config.timeout = Seconds(2);
-  config.series_horizon = config.stop + Seconds(5);
   StubClient& stub =
       bed.AddStub(bed.NextAddress(), config, MakeWcGenerator(TargetApex(), 5));
   stub.AddResolver(resolver_addr);
@@ -104,15 +105,17 @@ void SchedulerOpCost(size_t clients, size_t servers) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig11Latency(const BenchOptions& options) {
   std::printf("Fig. 11 — processing delay, vanilla vs DCC-enabled resolver\n");
   std::printf("(cache-missing WC requests, 1 ms simulated RTT)\n\n");
-  const dcc::Histogram vanilla = dcc::RunStack(false, 100000);
-  const dcc::Histogram with_dcc = dcc::RunStack(true, 100000);
-  dcc::PrintCdf("vanilla resolver", vanilla);
-  dcc::PrintCdf("DCC-enabled resolver", with_dcc);
+  const uint64_t requests = options.quick ? 20000 : 100000;
+  const Histogram vanilla = RunStack(false, requests);
+  const Histogram with_dcc = RunStack(true, requests);
+  PrintCdf("vanilla resolver", vanilla);
+  PrintCdf("DCC-enabled resolver", with_dcc);
   std::printf("\nCDF points (latency ms -> cumulative fraction):\n");
   std::printf("%-12s %-12s %-12s\n", "fraction", "vanilla", "DCC");
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
@@ -121,10 +124,16 @@ int main() {
   }
 
   std::printf("\nScheduling-path cost vs tracked entities (paper's C/S sweep):\n");
-  for (size_t clients : {1000u, 100000u}) {
-    for (size_t servers : {1000u, 100000u}) {
-      dcc::SchedulerOpCost(clients, servers);
+  const std::vector<size_t> entity_counts =
+      options.quick ? std::vector<size_t>{1000u}
+                    : std::vector<size_t>{1000u, 100000u};
+  for (size_t clients : entity_counts) {
+    for (size_t servers : entity_counts) {
+      SchedulerOpCost(clients, servers);
     }
   }
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/benches.h"
 #include "src/measure/rate_limit_probe.h"
 
 namespace dcc {
@@ -32,16 +33,20 @@ void PrintHistogram(const Fig2Histogram& histogram) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig2RlMeasurement(const BenchOptions& options) {
   std::printf("Fig. 2 — ingress/egress rate limits measured on 45 synthetic\n");
   std::printf("public resolvers (WC/NX ingress probing to 5000 QPS; CQ/FF\n");
   std::printf("amplification egress probing)\n\n");
   std::printf("%-6s %10s %10s %10s | %10s %10s %10s %10s\n", "name", "true-IRL",
               "true-NX", "true-ERL", "IRL-WC", "IRL-NX", "ERL-CQ", "ERL-FF");
 
-  const auto population = dcc::MakeFig2Population(/*seed=*/2024);
+  auto population = dcc::MakeFig2Population(/*seed=*/2024);
+  if (options.quick && population.size() > 6) {
+    population.resize(6);
+  }
   dcc::ProbeConfig config;
   config.step_duration = dcc::Seconds(2);
   std::vector<dcc::MeasuredLimits> measurements;
@@ -71,3 +76,6 @@ int main() {
   dcc::PrintHistogram(dcc::BuildFig2Histogram(measurements));
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/benches.h"
 #include "src/attack/scenarios.h"
 
 namespace dcc {
@@ -19,7 +20,7 @@ namespace {
 
 void Sweep(const char* title, ValidationSetup setup,
            const std::vector<double>& attacker_rates, double channel_qps,
-           int egress_count = 4) {
+           int seeds, int egress_count = 4) {
   std::printf("\n--- %s (channel %.0f QPS", title, channel_qps);
   if (setup == ValidationSetup::kLargeResolver) {
     std::printf(", %d egresses", egress_count);
@@ -28,11 +29,11 @@ void Sweep(const char* title, ValidationSetup setup,
   std::printf("%-14s %-16s %-16s %-12s\n", "attacker QPS", "benign success",
               "attacker success", "ANS peak QPS");
   for (double rate : attacker_rates) {
-    // Average over three seeds: the punitive-RRL dynamics make single runs
+    // Average over several seeds: the punitive-RRL dynamics make single runs
     // noisy, exactly as the paper's cloud measurements were.
     ValidationResult mean;
-    constexpr int kSeeds = 3;
-    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const int kSeeds = seeds;
+    for (uint64_t seed = 1; seed <= static_cast<uint64_t>(kSeeds); ++seed) {
       ValidationOptions options;
       options.setup = setup;
       options.attacker_qps = rate;
@@ -52,24 +53,36 @@ void Sweep(const char* title, ValidationSetup setup,
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig4Validation(const BenchOptions& options) {
   std::printf("Fig. 4 — attack validation: benign request success ratio vs\n");
   std::printf("attacker QPS (vanilla resolvers, 100-QPS channels, FF MAF ~50)\n");
 
-  const std::vector<double> ff_rates = {1, 2, 3, 4, 5, 6, 7, 8};
-  dcc::Sweep("(a) redundant authoritative servers",
-             dcc::ValidationSetup::kRedundantAuth, ff_rates, 100);
-  dcc::Sweep("(b) redundant resolvers", dcc::ValidationSetup::kRedundantResolver,
-             ff_rates, 100);
-  const std::vector<double> wc_rates = {60, 70, 80, 90, 100, 110, 120, 130};
-  dcc::Sweep("(c) forwarding resolver", dcc::ValidationSetup::kForwarder, wc_rates,
-             100);
-  const std::vector<double> lr_rates = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
-  for (int egresses : {4, 16, 25}) {
-    dcc::Sweep("(d) large resolver system", dcc::ValidationSetup::kLargeResolver,
-               lr_rates, 100, egresses);
+  const int seeds = options.quick ? 1 : 3;
+  const std::vector<double> ff_rates =
+      options.quick ? std::vector<double>{2, 5, 8}
+                    : std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8};
+  Sweep("(a) redundant authoritative servers", ValidationSetup::kRedundantAuth,
+        ff_rates, 100, seeds);
+  Sweep("(b) redundant resolvers", ValidationSetup::kRedundantResolver, ff_rates,
+        100, seeds);
+  const std::vector<double> wc_rates =
+      options.quick ? std::vector<double>{80, 110}
+                    : std::vector<double>{60, 70, 80, 90, 100, 110, 120, 130};
+  Sweep("(c) forwarding resolver", ValidationSetup::kForwarder, wc_rates, 100,
+        seeds);
+  const std::vector<double> lr_rates =
+      options.quick ? std::vector<double>{10, 30, 50}
+                    : std::vector<double>{5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  for (int egresses : options.quick ? std::vector<int>{4}
+                                    : std::vector<int>{4, 16, 25}) {
+    Sweep("(d) large resolver system", ValidationSetup::kLargeResolver, lr_rates,
+          100, seeds, egresses);
   }
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

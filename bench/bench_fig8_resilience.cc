@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/benches.h"
 #include "src/attack/scenarios.h"
 #include "src/telemetry/telemetry.h"
 
@@ -81,14 +82,20 @@ void RunScenario(const char* title, QueryPattern pattern, double attacker_qps) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig8Resilience(const BenchOptions& options) {
   std::printf("Fig. 8 — client dynamics under adversarial congestion\n");
   std::printf("(channel capacity 1000 QPS; Table 2 client mix; effective QPS\n");
   std::printf(" = successful responses per second)\n");
-  dcc::RunScenario("(a) WC wildcard pattern", dcc::QueryPattern::kWc, 1100);
-  dcc::RunScenario("(b) NX pseudo-random subdomain pattern", dcc::QueryPattern::kNx, 1100);
-  dcc::RunScenario("(c) FF amplification pattern", dcc::QueryPattern::kFf, 50);
+  RunScenario("(a) WC wildcard pattern", QueryPattern::kWc, 1100);
+  if (!options.quick) {
+    RunScenario("(b) NX pseudo-random subdomain pattern", QueryPattern::kNx, 1100);
+    RunScenario("(c) FF amplification pattern", QueryPattern::kFf, 50);
+  }
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/benches.h"
 #include "src/attack/scenarios.h"
 #include "src/telemetry/telemetry.h"
 
@@ -74,13 +75,19 @@ void RunPattern(const char* title, QueryPattern pattern, double attacker_qps) {
 }
 
 }  // namespace
-}  // namespace dcc
 
-int main() {
+namespace bench {
+
+int RunFig9Signaling(const BenchOptions& options) {
   std::printf("Fig. 9 — anomaly monitoring, policing and signaling on a\n");
   std::printf("forwarder -> resolver path (channel 1000 QPS; heavy/light behind\n");
   std::printf("the forwarder, medium direct at the resolver)\n");
-  dcc::RunPattern("(a) NX pattern", dcc::QueryPattern::kNx, 200);
-  dcc::RunPattern("(b) FF amplification pattern", dcc::QueryPattern::kFf, 20);
+  RunPattern("(a) NX pattern", QueryPattern::kNx, 200);
+  if (!options.quick) {
+    RunPattern("(b) FF amplification pattern", QueryPattern::kFf, 20);
+  }
   return 0;
 }
+
+}  // namespace bench
+}  // namespace dcc

@@ -1,0 +1,41 @@
+#include "bench/benches.h"
+#include "bench/harness.h"
+
+namespace dcc {
+namespace bench {
+
+const std::vector<BenchInfo>& AllBenches() {
+  static const std::vector<BenchInfo> benches = {
+      {"fig2_rl_measurement", "Rate limits measured on a 45-resolver population",
+       &RunFig2RlMeasurement},
+      {"fig4_validation", "Attack validation: benign success vs attacker QPS",
+       &RunFig4Validation},
+      {"fig8_resilience", "Client dynamics under adversarial congestion",
+       &RunFig8Resilience},
+      {"fig9_signaling", "Signaling on a forwarder -> resolver path",
+       &RunFig9Signaling},
+      {"fig10_overhead", "CPU load and memory usage of DCC vs vanilla",
+       &RunFig10Overhead},
+      {"fig11_latency", "Processing delay, vanilla vs DCC-enabled resolver",
+       &RunFig11Latency},
+      {"ablation_fairness", "MOPI-FQ vs analytic max-min fair allocations",
+       &RunAblationFairness},
+      {"ablation_schedulers", "Scheduler design-space ablation",
+       &RunAblationSchedulers},
+      {"ablation_nsec", "Aggressive NSEC caching vs the NX pattern",
+       &RunAblationNsec},
+  };
+  return benches;
+}
+
+const BenchInfo* FindBench(std::string_view name) {
+  for (const BenchInfo& bench : AllBenches()) {
+    if (name == bench.name) {
+      return &bench;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bench
+}  // namespace dcc

@@ -1,0 +1,27 @@
+// Entry points of the scenario benches, one per historical bench_*.cc
+// binary. Each prints its tables to stdout (the unified runner silences
+// that unless --verbose) and returns 0 on success. All respect
+// BenchOptions::quick by trimming sweep points / seeds / operation counts.
+
+#ifndef BENCH_BENCHES_H_
+#define BENCH_BENCHES_H_
+
+#include "bench/harness.h"
+
+namespace dcc {
+namespace bench {
+
+int RunFig2RlMeasurement(const BenchOptions& options);
+int RunFig4Validation(const BenchOptions& options);
+int RunFig8Resilience(const BenchOptions& options);
+int RunFig9Signaling(const BenchOptions& options);
+int RunFig10Overhead(const BenchOptions& options);
+int RunFig11Latency(const BenchOptions& options);
+int RunAblationFairness(const BenchOptions& options);
+int RunAblationSchedulers(const BenchOptions& options);
+int RunAblationNsec(const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace dcc
+
+#endif  // BENCH_BENCHES_H_

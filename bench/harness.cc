@@ -1,0 +1,256 @@
+#include "bench/harness.h"
+
+#include <sys/resource.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcc {
+namespace bench {
+
+int64_t PeakRssKb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<int64_t>(usage.ru_maxrss);
+}
+
+std::string RenderJson(const SuiteReport& report) {
+  std::string out = "{\n  \"suite\": \"dcc_bench\",\n  \"quick\": ";
+  out += report.quick ? "true" : "false";
+  out += ",\n  \"benches\": [\n";
+  for (size_t i = 0; i < report.benches.size(); ++i) {
+    const BenchReport& bench = report.benches[i];
+    const BenchMetrics& m = bench.metrics;
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"sim_events\": "
+                  "%llu, \"events_per_sec\": %.1f, \"peak_rss_kb\": %lld, "
+                  "\"exit_code\": %d}%s\n",
+                  bench.name.c_str(), m.wall_ms,
+                  static_cast<unsigned long long>(m.sim_events),
+                  m.events_per_sec, static_cast<long long>(m.peak_rss_kb),
+                  m.exit_code, i + 1 < report.benches.size() ? "," : "");
+    out += buffer;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+// Minimal parser for the exact shape RenderJson emits (plus whitespace
+// variations): top-level "quick" flag and a "benches" array of flat objects
+// with string "name" and numeric fields. Not a general JSON parser.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') {
+      return false;
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        ++pos;  // Our renderer never escapes, but tolerate \" and \\.
+      }
+      out->push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool ParseScalar(std::string* out) {
+    SkipWs();
+    out->clear();
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == '-' || text[pos] == '+' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      out->push_back(text[pos++]);
+    }
+    return !out->empty();
+  }
+};
+
+}  // namespace
+
+bool ParseReportJson(const std::string& text, SuiteReport* out) {
+  Cursor cursor{text};
+  if (!cursor.Eat('{')) {
+    return false;
+  }
+  out->quick = false;
+  out->benches.clear();
+  bool is_dcc_bench = false;
+  std::string key;
+  while (cursor.ParseString(&key)) {
+    if (!cursor.Eat(':')) {
+      return false;
+    }
+    if (key == "benches") {
+      if (!cursor.Eat('[')) {
+        return false;
+      }
+      cursor.SkipWs();
+      while (cursor.Eat('{')) {
+        BenchReport bench;
+        std::string field;
+        while (cursor.ParseString(&field)) {
+          if (!cursor.Eat(':')) {
+            return false;
+          }
+          std::string value;
+          if (field == "name") {
+            if (!cursor.ParseString(&bench.name)) {
+              return false;
+            }
+          } else if (!cursor.ParseScalar(&value)) {
+            return false;
+          } else if (field == "wall_ms") {
+            bench.metrics.wall_ms = std::atof(value.c_str());
+          } else if (field == "sim_events") {
+            bench.metrics.sim_events =
+                static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+          } else if (field == "events_per_sec") {
+            bench.metrics.events_per_sec = std::atof(value.c_str());
+          } else if (field == "peak_rss_kb") {
+            bench.metrics.peak_rss_kb = std::atoll(value.c_str());
+          } else if (field == "exit_code") {
+            bench.metrics.exit_code = std::atoi(value.c_str());
+          }
+          if (!cursor.Eat(',')) {
+            break;
+          }
+        }
+        if (!cursor.Eat('}')) {
+          return false;
+        }
+        out->benches.push_back(std::move(bench));
+        if (!cursor.Eat(',')) {
+          break;
+        }
+      }
+      if (!cursor.Eat(']')) {
+        return false;
+      }
+    } else {
+      std::string value;
+      if (!cursor.ParseScalar(&value) && !cursor.ParseString(&value)) {
+        return false;
+      }
+      if (key == "quick") {
+        out->quick = value == "true";
+      } else if (key == "suite") {
+        is_dcc_bench = value == "dcc_bench";
+      }
+    }
+    if (!cursor.Eat(',')) {
+      break;
+    }
+  }
+  return cursor.Eat('}') && is_dcc_bench;
+}
+
+std::vector<std::string> CompareReports(const SuiteReport& current,
+                                        const SuiteReport& baseline,
+                                        const Tolerances& tolerances) {
+  std::vector<std::string> violations;
+  char buffer[256];
+  if (current.quick != baseline.quick) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "mode mismatch: current is %s, baseline is %s",
+                  current.quick ? "quick" : "full",
+                  baseline.quick ? "quick" : "full");
+    violations.emplace_back(buffer);
+    return violations;
+  }
+  auto find = [](const SuiteReport& report, const std::string& name) -> const BenchReport* {
+    for (const BenchReport& bench : report.benches) {
+      if (bench.name == name) {
+        return &bench;
+      }
+    }
+    return nullptr;
+  };
+  for (const BenchReport& base : baseline.benches) {
+    const BenchReport* cur = find(current, base.name);
+    if (cur == nullptr) {
+      violations.push_back(base.name + ": missing from current run");
+      continue;
+    }
+    const BenchMetrics& b = base.metrics;
+    const BenchMetrics& c = cur->metrics;
+    if (c.exit_code != 0) {
+      std::snprintf(buffer, sizeof(buffer), "%s: exit code %d",
+                    base.name.c_str(), c.exit_code);
+      violations.emplace_back(buffer);
+      continue;
+    }
+    if (b.wall_ms > 0 && c.wall_ms > b.wall_ms * (1.0 + tolerances.wall_slack) &&
+        c.wall_ms - b.wall_ms > tolerances.wall_floor_ms) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "%s: wall_ms %.1f exceeds baseline %.1f by more than %.0f%%",
+                    base.name.c_str(), c.wall_ms, b.wall_ms,
+                    tolerances.wall_slack * 100);
+      violations.emplace_back(buffer);
+    }
+    if (b.sim_events > 0) {
+      const double drift =
+          std::abs(static_cast<double>(c.sim_events) -
+                   static_cast<double>(b.sim_events)) /
+          static_cast<double>(b.sim_events);
+      if (drift > tolerances.sim_events_slack) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%s: sim_events %llu drifted %.2f%% from baseline %llu "
+                      "(behavior change, not machine noise)",
+                      base.name.c_str(),
+                      static_cast<unsigned long long>(c.sim_events), drift * 100,
+                      static_cast<unsigned long long>(b.sim_events));
+        violations.emplace_back(buffer);
+      }
+    }
+    if (b.peak_rss_kb > 0 &&
+        static_cast<double>(c.peak_rss_kb) >
+            static_cast<double>(b.peak_rss_kb) * (1.0 + tolerances.rss_slack)) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "%s: peak_rss_kb %lld exceeds baseline %lld by more than %.0f%%",
+                    base.name.c_str(), static_cast<long long>(c.peak_rss_kb),
+                    static_cast<long long>(b.peak_rss_kb),
+                    tolerances.rss_slack * 100);
+      violations.emplace_back(buffer);
+    }
+  }
+  for (const BenchReport& cur : current.benches) {
+    if (find(baseline, cur.name) == nullptr) {
+      violations.push_back(cur.name +
+                           ": not in baseline (refresh with --write-baseline)");
+    }
+  }
+  return violations;
+}
+
+}  // namespace bench
+}  // namespace dcc

@@ -1,0 +1,98 @@
+// Shared infrastructure for the unified bench runner (tools/dcc_bench.cc).
+//
+// Every scenario bench exposes an `int Run*(const BenchOptions&)` entry
+// point (declared in bench/benches.h, listed in bench/bench_registry.cc).
+// The runner executes them in-process, measures wall-clock time, simulated
+// events (a deterministic, machine-independent work count from
+// EventLoop::TotalEventsExecuted) and peak RSS, renders BENCH_dcc.json, and
+// in --check mode compares the numbers against a committed baseline with
+// per-metric tolerances.
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcc {
+namespace bench {
+
+struct BenchOptions {
+  // Trimmed workloads (fewer seeds / sweep points / operations) for smoke
+  // runs; results are still deterministic, just a different baseline row.
+  bool quick = false;
+};
+
+using BenchFn = int (*)(const BenchOptions&);
+
+struct BenchInfo {
+  const char* name;  // Matches the historical binary name minus "bench_".
+  const char* description;
+  BenchFn fn;
+};
+
+// All in-process runnable scenario benches, in suite order. The
+// google-benchmark microbench (bench_mopi_microbench) stays a standalone
+// binary: it owns its own timing methodology.
+const std::vector<BenchInfo>& AllBenches();
+
+// nullptr when no bench matches `name` exactly.
+const BenchInfo* FindBench(std::string_view name);
+
+// --- measurements -----------------------------------------------------------
+
+struct BenchMetrics {
+  double wall_ms = 0;        // Host wall-clock; machine-dependent.
+  uint64_t sim_events = 0;   // Event-loop handlers executed; deterministic.
+  double events_per_sec = 0; // sim_events / wall seconds.
+  int64_t peak_rss_kb = 0;   // Process peak RSS after the bench (monotonic).
+  int exit_code = 0;
+};
+
+struct BenchReport {
+  std::string name;
+  BenchMetrics metrics;
+};
+
+struct SuiteReport {
+  bool quick = false;
+  std::vector<BenchReport> benches;
+};
+
+// Current peak RSS of this process in KiB (getrusage ru_maxrss).
+int64_t PeakRssKb();
+
+// BENCH_dcc.json rendering and (minimal, format-specific) parsing.
+std::string RenderJson(const SuiteReport& report);
+bool ParseReportJson(const std::string& text, SuiteReport* out);
+
+// --- regression check -------------------------------------------------------
+
+struct Tolerances {
+  // Wall-clock slack as a fraction of the baseline (0.15 = fail when >15%
+  // slower). Only slowdowns fail; being faster never does.
+  double wall_slack = 0.15;
+  // A slowdown must also exceed this many absolute milliseconds: on
+  // millisecond-scale benches scheduler noise easily exceeds any relative
+  // slack, and sim_events still gates their behavior.
+  double wall_floor_ms = 250;
+  // Simulated-event drift allowed in either direction. The simulator is
+  // deterministic, so any drift means behavior changed, not the machine.
+  double sim_events_slack = 0.02;
+  // Peak-RSS growth allowed as a fraction of the baseline.
+  double rss_slack = 0.50;
+};
+
+// Returns one human-readable line per violation (empty = pass). Benches
+// present in only one of the two reports are reported as violations, as is a
+// quick/full mode mismatch.
+std::vector<std::string> CompareReports(const SuiteReport& current,
+                                        const SuiteReport& baseline,
+                                        const Tolerances& tolerances);
+
+}  // namespace bench
+}  // namespace dcc
+
+#endif  // BENCH_HARNESS_H_

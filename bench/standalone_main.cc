@@ -1,0 +1,26 @@
+// main() for the historical one-bench-per-binary executables. Each target
+// compiles this file with -DDCC_BENCH_ENTRY=<Run function>; the unified
+// runner (tools/dcc_bench.cc) calls the same entry points in-process.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/benches.h"
+#include "bench/harness.h"
+
+#ifndef DCC_BENCH_ENTRY
+#error "Define DCC_BENCH_ENTRY to the bench entry point (e.g. RunFig8Resilience)"
+#endif
+
+int main(int argc, char** argv) {
+  dcc::bench::BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  return dcc::bench::DCC_BENCH_ENTRY(options);
+}

@@ -39,7 +39,6 @@ int main() {
   StubConfig aggressive;
   aggressive.qps = 2000;
   aggressive.stop = Seconds(20);
-  aggressive.series_horizon = Seconds(25);
   StubClient& attacker =
       bed.AddStub(bed.NextAddress(), aggressive, MakeWcGenerator(apex, 1));
   attacker.AddResolver(resolver_addr);
@@ -48,7 +47,6 @@ int main() {
   StubConfig normal;
   normal.qps = 50;
   normal.stop = Seconds(20);
-  normal.series_horizon = Seconds(25);
   StubClient& client = bed.AddStub(bed.NextAddress(), normal, MakeWcGenerator(apex, 2));
   client.AddResolver(resolver_addr);
   client.Start();

@@ -58,7 +58,6 @@ int main() {
   attack_config.stop = Seconds(60);
   attack_config.qps = 800;
   attack_config.timeout = Milliseconds(900);
-  attack_config.series_horizon = Seconds(65);
   StubClient& attacker =
       bed.AddStub(bed.NextAddress(), attack_config, MakeNxGenerator(apex, 99));
   attacker.AddResolver(resolver_addr);

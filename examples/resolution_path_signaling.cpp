@@ -51,7 +51,6 @@ int main() {
   StubConfig attack_config;
   attack_config.qps = 400;
   attack_config.stop = Seconds(40);
-  attack_config.series_horizon = Seconds(45);
   StubClient& attacker =
       bed.AddStub(bed.NextAddress(), attack_config, MakeNxGenerator(apex, 1));
   attacker.AddResolver(fwd_addr);
@@ -61,7 +60,6 @@ int main() {
   benign_config.qps = 40;
   benign_config.stop = Seconds(40);
   benign_config.dcc_aware = true;  // Understands DCC signals.
-  benign_config.series_horizon = Seconds(45);
   StubClient& innocent =
       bed.AddStub(bed.NextAddress(), benign_config, MakeWcGenerator(apex, 2));
   innocent.AddResolver(fwd_addr);

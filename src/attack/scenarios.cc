@@ -50,18 +50,66 @@ QuestionGenerator MakeGenerator(const ClientSpec& spec, uint64_t seed,
   return MakeWcGenerator(TargetApex(), seed);
 }
 
+// Internal per-run scoreboard series. Every runner owns a 1 Hz
+// TimeSeriesSampler ("scoreboard") with counter probes on the stubs and the
+// target ANS; tick i covers virtual second i, replacing the per-second
+// arrays the stub and authoritative used to keep themselves.
+constexpr char kClientSuccessSeries[] = "client_success_qps";
+constexpr char kClientSentSeries[] = "client_sent_qps";
+constexpr char kAnsSeries[] = "ans_qps";
+
+void ProbeStub(telemetry::TimeSeriesSampler& sampler, const StubClient& stub,
+               const std::string& label) {
+  sampler.AddCounterProbe(kClientSuccessSeries, {{"client", label}}, [&stub]() {
+    return static_cast<double>(stub.succeeded());
+  });
+  sampler.AddCounterProbe(kClientSentSeries, {{"client", label}}, [&stub]() {
+    return static_cast<double>(stub.requests_sent());
+  });
+}
+
+void ProbeAns(telemetry::TimeSeriesSampler& sampler,
+              const AuthoritativeServer& ans, const std::string& label) {
+  sampler.AddCounterProbe(kAnsSeries, {{"ans", label}}, [&ans]() {
+    return static_cast<double>(ans.queries_received());
+  });
+}
+
+// Ticks `sampler` on its own interval until `until`. Must run after every
+// probe/collector is registered so counter bases are taken at t=0.
+void StartSampling(Testbed& bed, telemetry::TimeSeriesSampler& sampler,
+                   Time until) {
+  EventLoop& loop = bed.loop();
+  loop.SchedulePeriodic(
+      sampler.interval(),
+      [&sampler, &loop]() { sampler.SampleNow(loop.now()); }, until);
+}
+
+// First `horizon` seconds of a scoreboard series, zero-padded.
+std::vector<double> SeriesSeconds(const telemetry::TimeSeriesSampler& scoreboard,
+                                  const char* name,
+                                  const telemetry::Labels& labels,
+                                  Duration horizon) {
+  const std::vector<double> values = scoreboard.Values(name, labels);
+  const size_t seconds = static_cast<size_t>(horizon / kSecond);
+  std::vector<double> out;
+  out.reserve(seconds);
+  for (size_t i = 0; i < seconds; ++i) {
+    out.push_back(i < values.size() ? values[i] : 0.0);
+  }
+  return out;
+}
+
 ClientResult CollectClient(const ClientSpec& spec, const StubClient& stub,
-                           Duration horizon) {
+                           const telemetry::TimeSeriesSampler& scoreboard,
+                           const std::string& series_label, Duration horizon) {
   ClientResult result;
   result.label = spec.label;
   result.success_ratio = stub.SuccessRatio();
   result.sent = stub.requests_sent();
   result.succeeded = stub.succeeded();
-  const size_t seconds = static_cast<size_t>(horizon / kSecond);
-  result.effective_qps.reserve(seconds);
-  for (size_t i = 0; i < seconds; ++i) {
-    result.effective_qps.push_back(stub.success_series().RateAt(i));
-  }
+  result.effective_qps = SeriesSeconds(scoreboard, kClientSuccessSeries,
+                                       {{"client", series_label}}, horizon);
   return result;
 }
 
@@ -144,7 +192,6 @@ ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
   auth_config.rrl.per_class = false;  // One 1000-QPS channel in total (§5.1).
   AuthoritativeServer& auth = bed.AddAuthoritative(target_ans, auth_config);
   auth.AddZone(MakeTargetZone(TargetApex(), target_ans));
-  auth.EnableQueryLog(options.horizon + Seconds(2));
 
   const bool has_ff = UsesFf(options.clients);
   int ff_instances = 0;
@@ -195,13 +242,35 @@ ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
     config.timeout = Milliseconds(1500);
     config.retries = spec.retries;
     config.dcc_aware = spec.dcc_aware;
-    config.series_horizon = options.horizon + Seconds(2);
     StubClient& stub =
         bed.AddStub(bed.NextAddress(), config,
                     MakeGenerator(spec, options.seed * 101 + i, ff_instances));
     stub.AddResolver(resolver_addr);
     stub.Start();
     stubs.push_back(&stub);
+  }
+
+  // Per-second scoreboard backing ClientResult::effective_qps and ans_qps.
+  telemetry::TimeSeriesSampler scoreboard(kSecond);
+  for (size_t i = 0; i < stubs.size(); ++i) {
+    ProbeStub(scoreboard, *stubs[i], std::to_string(i));
+  }
+  ProbeAns(scoreboard, auth, "target");
+  StartSampling(bed, scoreboard, options.horizon + Seconds(2));
+
+  if (options.sampler != nullptr) {
+    for (size_t i = 0; i < stubs.size(); ++i) {
+      const std::string label = options.clients[i].label.empty()
+                                    ? std::to_string(i)
+                                    : options.clients[i].label;
+      ProbeStub(*options.sampler, *stubs[i], label);
+    }
+    ProbeAns(*options.sampler, auth, "target");
+    if (shim != nullptr) {
+      shim->AttachSampler(options.sampler);
+    }
+    resolver->upstream_tracker().AttachSampler(options.sampler, {});
+    StartSampling(bed, *options.sampler, options.horizon + Seconds(2));
   }
 
   if (!options.fault_plan.empty()) {
@@ -212,13 +281,12 @@ ScenarioResult RunResilienceScenario(const ResilienceOptions& options) {
 
   ScenarioResult result;
   for (size_t i = 0; i < options.clients.size(); ++i) {
-    result.clients.push_back(
-        CollectClient(options.clients[i], *stubs[i], options.horizon));
+    result.clients.push_back(CollectClient(options.clients[i], *stubs[i],
+                                           scoreboard, std::to_string(i),
+                                           options.horizon));
   }
-  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
-  for (size_t i = 0; i < seconds; ++i) {
-    result.ans_qps.push_back(auth.QpsAtSecond(i));
-  }
+  result.ans_qps =
+      SeriesSeconds(scoreboard, kAnsSeries, {{"ans", "target"}}, options.horizon);
   if (shim != nullptr) {
     result.dcc_convictions = shim->convictions();
     result.dcc_policed_drops = shim->policed_drops();
@@ -264,7 +332,6 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
     const HostAddress addr = bed.NextAddress();
     AuthoritativeServer& ans = bed.AddAuthoritative(addr, auth_config);
     ans.AddZone(MakeTargetZone(TargetApex(), addr));
-    ans.EnableQueryLog(horizon + Seconds(2));
     target_ans_addrs.push_back(addr);
     target_ans.push_back(&ans);
   }
@@ -357,7 +424,6 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
   attacker_config.stop = horizon;
   attacker_config.qps = options.attacker_qps;
   attacker_config.timeout = Milliseconds(1500);
-  attacker_config.series_horizon = horizon + Seconds(2);
   // The attacker targets every available entry point (the paper's setup (b)
   // observation: congestion arises at both resolvers).
   attacker_config.rotate_resolvers = true;
@@ -379,7 +445,6 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
     config.qps = 3;
     config.timeout = Milliseconds(1500);
     config.retries = client_retries;
-    config.series_horizon = horizon + Seconds(2);
     StubClient& stub =
         bed.AddStub(bed.NextAddress(), config,
                     MakeWcGenerator(TargetApex(), options.seed * 1000 + i));
@@ -388,6 +453,24 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
     }
     stub.Start();
     benign.push_back(&stub);
+  }
+
+  // Scoreboard for the peak target-ANS rate (the Fig. 4 saturation signal).
+  telemetry::TimeSeriesSampler scoreboard(kSecond);
+  for (size_t i = 0; i < target_ans.size(); ++i) {
+    ProbeAns(scoreboard, *target_ans[i], std::to_string(i));
+  }
+  StartSampling(bed, scoreboard, horizon + Seconds(2));
+
+  if (options.sampler != nullptr) {
+    ProbeStub(*options.sampler, attacker, "attacker");
+    for (size_t i = 0; i < benign.size(); ++i) {
+      ProbeStub(*options.sampler, *benign[i], "benign" + std::to_string(i));
+    }
+    for (size_t i = 0; i < target_ans.size(); ++i) {
+      ProbeAns(*options.sampler, *target_ans[i], std::to_string(i));
+    }
+    StartSampling(bed, *options.sampler, horizon + Seconds(2));
   }
 
   bed.RunFor(horizon + Seconds(3));
@@ -402,8 +485,10 @@ ValidationResult RunValidationScenario(const ValidationOptions& options) {
   result.benign_success_ratio =
       total > 0 ? static_cast<double>(ok) / static_cast<double>(total) : 0;
   result.attacker_success_ratio = attacker.SuccessRatio();
-  for (const AuthoritativeServer* ans : target_ans) {
-    result.ans_peak_qps = std::max(result.ans_peak_qps, ans->PeakQps());
+  for (size_t i = 0; i < target_ans.size(); ++i) {
+    for (double v : scoreboard.Values(kAnsSeries, {{"ans", std::to_string(i)}})) {
+      result.ans_peak_qps = std::max(result.ans_peak_qps, v);
+    }
   }
   if (options.telemetry != nullptr) {
     options.telemetry->metrics.FreezeCallbacks();
@@ -418,7 +503,6 @@ ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
   const HostAddress target_ans = bed.NextAddress();
   AuthoritativeServer& auth = bed.AddAuthoritative(target_ans);
   auth.AddZone(MakeTargetZone(TargetApex(), target_ans));
-  auth.EnableQueryLog(options.horizon + Seconds(2));
 
   HostAddress attacker_ans = kInvalidAddress;
   int ff_instances = 0;
@@ -476,7 +560,6 @@ ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
     config.stop = spec.stop;
     config.qps = spec.qps;
     config.timeout = Milliseconds(1500);
-    config.series_horizon = options.horizon + Seconds(2);
     StubClient& stub =
         bed.AddStub(bed.NextAddress(), config,
                     MakeGenerator(spec, options.seed * 77 + i, ff_instances));
@@ -485,16 +568,38 @@ ScenarioResult RunSignalingScenario(const SignalingOptions& options) {
     stubs.push_back(&stub);
   }
 
+  telemetry::TimeSeriesSampler scoreboard(kSecond);
+  for (size_t i = 0; i < stubs.size(); ++i) {
+    ProbeStub(scoreboard, *stubs[i], std::to_string(i));
+  }
+  ProbeAns(scoreboard, auth, "target");
+  StartSampling(bed, scoreboard, options.horizon + Seconds(2));
+
+  if (options.sampler != nullptr) {
+    for (size_t i = 0; i < stubs.size(); ++i) {
+      const std::string label =
+          specs[i].label.empty() ? std::to_string(i) : specs[i].label;
+      ProbeStub(*options.sampler, *stubs[i], label);
+    }
+    ProbeAns(*options.sampler, auth, "target");
+    resolver_shim.AttachSampler(options.sampler);
+    forwarder_shim.AttachSampler(options.sampler);
+    resolver.upstream_tracker().AttachSampler(options.sampler,
+                                              {{"node", "resolver"}});
+    forwarder.upstream_tracker().AttachSampler(options.sampler,
+                                               {{"node", "forwarder"}});
+    StartSampling(bed, *options.sampler, options.horizon + Seconds(2));
+  }
+
   bed.RunFor(options.horizon + Seconds(3));
 
   ScenarioResult result;
   for (size_t i = 0; i < specs.size(); ++i) {
-    result.clients.push_back(CollectClient(specs[i], *stubs[i], options.horizon));
+    result.clients.push_back(CollectClient(specs[i], *stubs[i], scoreboard,
+                                           std::to_string(i), options.horizon));
   }
-  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
-  for (size_t i = 0; i < seconds; ++i) {
-    result.ans_qps.push_back(auth.QpsAtSecond(i));
-  }
+  result.ans_qps =
+      SeriesSeconds(scoreboard, kAnsSeries, {{"ans", "target"}}, options.horizon);
   result.dcc_convictions =
       resolver_shim.convictions() + forwarder_shim.convictions();
   result.dcc_policed_drops =
@@ -543,11 +648,13 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
 
   const HostAddress resolver_addr = bed.NextAddress();
   RecursiveResolver* resolver = nullptr;
+  DccNode* shim = nullptr;
   if (options.dcc_enabled) {
     DccConfig dcc = options.dcc;
     dcc.scheduler.default_channel_qps = options.channel_qps;
     auto [shim_ref, resolver_ref] =
         bed.AddDccResolver(resolver_addr, dcc, options.resolver);
+    shim = &shim_ref;
     resolver = &resolver_ref;
     for (HostAddress addr : auth_addrs) {
       shim_ref.SetChannelCapacity(addr, options.channel_qps);
@@ -566,7 +673,6 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
   config.stop = options.horizon;
   config.qps = options.client_qps;
   config.timeout = Milliseconds(1500);
-  config.series_horizon = options.horizon + Seconds(2);
   StubClient& stub =
       bed.AddStub(bed.NextAddress(), config,
                   MakeWcGenerator(TargetApex(), options.seed * 101, options.name_pool));
@@ -587,17 +693,31 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
   }
   fault::FaultInjector& injector = bed.InstallFaultPlan(std::move(plan));
 
-  // Per-second snapshots of the resolver's upstream sends and stale answers;
-  // deltas become the rate series in the result.
-  const size_t seconds = static_cast<size_t>(options.horizon / kSecond);
-  std::vector<uint64_t> sent_at(seconds + 1, 0);
-  std::vector<uint64_t> stale_at(seconds + 1, 0);
-  for (size_t s = 0; s <= seconds; ++s) {
-    bed.loop().ScheduleAt(static_cast<Time>(s) * kSecond, [&sent_at, &stale_at,
-                                                           resolver, s]() {
-      sent_at[s] = resolver->queries_sent();
-      stale_at[s] = resolver->stale_responses();
+  // Per-second resolver upstream-send and stale-answer rates via scoreboard
+  // counter probes; deltas become the rate series in the result.
+  telemetry::TimeSeriesSampler scoreboard(kSecond);
+  ProbeStub(scoreboard, stub, "0");
+  scoreboard.AddCounterProbe("resolver_upstream_qps", {}, [resolver]() {
+    return static_cast<double>(resolver->queries_sent());
+  });
+  scoreboard.AddCounterProbe("resolver_stale_qps", {}, [resolver]() {
+    return static_cast<double>(resolver->stale_responses());
+  });
+  StartSampling(bed, scoreboard, options.horizon + Seconds(2));
+
+  if (options.sampler != nullptr) {
+    ProbeStub(*options.sampler, stub, "Client");
+    options.sampler->AddCounterProbe("resolver_upstream_qps", {}, [resolver]() {
+      return static_cast<double>(resolver->queries_sent());
     });
+    options.sampler->AddCounterProbe("resolver_stale_qps", {}, [resolver]() {
+      return static_cast<double>(resolver->stale_responses());
+    });
+    if (shim != nullptr) {
+      shim->AttachSampler(options.sampler);
+    }
+    resolver->upstream_tracker().AttachSampler(options.sampler, {});
+    StartSampling(bed, *options.sampler, options.horizon + Seconds(2));
   }
 
   bed.RunFor(options.horizon + Seconds(3));
@@ -606,18 +726,15 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
   ClientSpec spec;
   spec.label = "Client";
   spec.qps = options.client_qps;
-  result.client = CollectClient(spec, stub, options.horizon);
+  result.client = CollectClient(spec, stub, scoreboard, "0", options.horizon);
   result.stale_served = resolver->stale_responses();
   result.upstream_timeouts = resolver->upstream_tracker().timeouts_observed();
   result.holddowns = resolver->upstream_tracker().holddowns_entered();
   result.fault_activations = injector.activations();
-  result.upstream_send_qps.reserve(seconds);
-  result.stale_qps.reserve(seconds);
-  for (size_t s = 0; s < seconds; ++s) {
-    result.upstream_send_qps.push_back(
-        static_cast<double>(sent_at[s + 1] - sent_at[s]));
-    result.stale_qps.push_back(static_cast<double>(stale_at[s + 1] - stale_at[s]));
-  }
+  result.upstream_send_qps =
+      SeriesSeconds(scoreboard, "resolver_upstream_qps", {}, options.horizon);
+  result.stale_qps =
+      SeriesSeconds(scoreboard, "resolver_stale_qps", {}, options.horizon);
   if (options.telemetry != nullptr) {
     options.telemetry->metrics.FreezeCallbacks();
   }

@@ -23,6 +23,7 @@
 #include "src/attack/testbed.h"
 #include "src/dcc/dcc_node.h"
 #include "src/fault/fault_plan.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dcc {
@@ -83,6 +84,13 @@ struct ResilienceOptions {
   // scenario is wired into it; callback gauges are frozen to their final
   // values before the runner returns, so the sink outlives the testbed.
   telemetry::TelemetrySink* telemetry = nullptr;
+  // Optional time-series sampler (not owned). When set, it is ticked on its
+  // own interval for the whole run and fed the full introspection seam:
+  // per-client success/sent rates, target-ANS query rate, per-channel DCC
+  // scheduler state (queue depth, credit, capacity estimate), anomaly and
+  // policer state, and per-upstream SRTT/hold-down. The sampler outlives the
+  // testbed; series stay readable after the runner returns.
+  telemetry::TimeSeriesSampler* sampler = nullptr;
   // Optional fault timeline, installed after the topology is built. Address
   // layout for hand-written plans: the target ANS is the first address
   // (10.0.0.1), the attacker ANS (FF workloads only) the second, the
@@ -111,6 +119,8 @@ struct ValidationOptions {
   uint64_t seed = 1;
   // Optional observability sink (see ResilienceOptions::telemetry).
   telemetry::TelemetrySink* telemetry = nullptr;
+  // Optional time-series sampler (see ResilienceOptions::sampler).
+  telemetry::TimeSeriesSampler* sampler = nullptr;
 };
 
 struct ValidationResult {
@@ -132,6 +142,8 @@ struct SignalingOptions {
   uint64_t seed = 1;
   // Optional observability sink (see ResilienceOptions::telemetry).
   telemetry::TelemetrySink* telemetry = nullptr;
+  // Optional time-series sampler (see ResilienceOptions::sampler).
+  telemetry::TimeSeriesSampler* sampler = nullptr;
 };
 
 ScenarioResult RunSignalingScenario(const SignalingOptions& options);
@@ -163,6 +175,8 @@ struct ChaosOptions {
   DccConfig dcc;
   ResolverConfig resolver;  // serve_stale/adaptive_retry forced on by ctor.
   telemetry::TelemetrySink* telemetry = nullptr;
+  // Optional time-series sampler (see ResilienceOptions::sampler).
+  telemetry::TimeSeriesSampler* sampler = nullptr;
 
   ChaosOptions();
 };

@@ -101,7 +101,6 @@ ReplayStats ReplayWorkload(Testbed& bed, HostAddress resolver_addr,
   for (const auto& trace : traces) {
     StubConfig config;
     config.timeout = timeout;
-    config.series_horizon = horizon + Seconds(5);
     // Questions come straight from the trace.
     const std::vector<Question>* questions = &trace.questions;
     StubClient& stub =

@@ -191,4 +191,26 @@ size_t AnomalyMonitor::MemoryFootprint() const {
   return bytes;
 }
 
+AnomalyMonitor::DebugState AnomalyMonitor::GetDebugState(Time now) const {
+  DebugState state;
+  state.clients.reserve(clients_.size());
+  for (const auto& [client, cs] : clients_) {
+    ClientDebugState c;
+    c.client = client;
+    c.request_rate = cs.requests.Rate(now);
+    c.query_rate = cs.queries.Rate(now);
+    c.nx_ratio = cs.nx.Ratio(now);
+    c.max_request_queries = cs.max_request_queries;
+    c.suspicious = cs.suspicious;
+    c.alarms = cs.alarms;
+    c.reason = cs.reason;
+    state.clients.push_back(c);
+  }
+  std::sort(state.clients.begin(), state.clients.end(),
+            [](const ClientDebugState& a, const ClientDebugState& b) {
+              return a.client < b.client;
+            });
+  return state;
+}
+
 }  // namespace dcc

@@ -89,6 +89,24 @@ class AnomalyMonitor {
   size_t TrackedClients() const { return clients_.size(); }
   size_t MemoryFootprint() const;
 
+  // Point-in-time view of every tracked client's window metrics and
+  // suspicion state for the introspection seam. Rates/ratios are evaluated
+  // over the window ending at `now`.
+  struct ClientDebugState {
+    SourceId client = 0;
+    double request_rate = 0;   // Client requests/s over the window.
+    double query_rate = 0;     // Attributed upstream queries/s.
+    double nx_ratio = 0;
+    int max_request_queries = 0;
+    bool suspicious = false;
+    int alarms = 0;
+    AnomalyReason reason = AnomalyReason::kNone;
+  };
+  struct DebugState {
+    std::vector<ClientDebugState> clients;  // Sorted by client id.
+  };
+  DebugState GetDebugState(Time now) const;
+
  private:
   struct ClientState {
     SlidingWindowCounter requests;

@@ -99,4 +99,18 @@ size_t CapacityEstimator::MemoryFootprint() const {
   return channels_.size() * (sizeof(OutputId) + sizeof(ChannelState) + 2 * sizeof(void*));
 }
 
+CapacityEstimator::DebugState CapacityEstimator::GetDebugState() const {
+  DebugState state;
+  state.channels.reserve(channels_.size());
+  for (const auto& [output, cs] : channels_) {
+    state.channels.push_back(
+        ChannelDebugState{output, cs.estimate, cs.answered, cs.lost});
+  }
+  std::sort(state.channels.begin(), state.channels.end(),
+            [](const ChannelDebugState& a, const ChannelDebugState& b) {
+              return a.output < b.output;
+            });
+  return state;
+}
+
 }  // namespace dcc

@@ -74,6 +74,19 @@ class CapacityEstimator {
   size_t TrackedChannels() const { return channels_.size(); }
   size_t MemoryFootprint() const;
 
+  // Point-in-time view of the AIMD state per channel for the introspection
+  // seam. `answered`/`lost` are the current (unfinished) window's samples.
+  struct ChannelDebugState {
+    OutputId output = 0;
+    double estimate_qps = 0;
+    int64_t answered = 0;
+    int64_t lost = 0;
+  };
+  struct DebugState {
+    std::vector<ChannelDebugState> channels;  // Sorted by output id.
+  };
+  DebugState GetDebugState() const;
+
  private:
   struct ChannelState {
     double estimate = 0;

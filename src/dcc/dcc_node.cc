@@ -114,6 +114,56 @@ void DccNode::AttachTelemetry(telemetry::MetricsRegistry* registry,
       "Per-client monitor + signaling state entries");
 }
 
+void DccNode::AttachSampler(telemetry::TimeSeriesSampler* sampler) {
+  if (sampler == nullptr) {
+    return;
+  }
+  // Every series carries the node's address so several DCC nodes (e.g. the
+  // Fig. 9 forwarder + resolver pair) can share one sampler.
+  const std::string node = FormatAddress(address());
+  sampler->AddCollector([this, node](
+                            Time now,
+                            telemetry::TimeSeriesSampler::Writer& writer) {
+    const telemetry::Labels node_labels{{"node", node}};
+    const MopiFq::DebugState sched = scheduler_.GetDebugState(now);
+    writer.Gauge("dcc_scheduler_total_depth", node_labels,
+                 static_cast<double>(sched.total_depth));
+    for (const MopiFq::ChannelDebugState& ch : sched.channels) {
+      const telemetry::Labels labels{{"node", node},
+                                     {"channel", FormatAddress(ch.output)}};
+      writer.Gauge("dcc_channel_queue_depth", labels, ch.depth);
+      writer.Gauge("dcc_channel_credit_tokens", labels, ch.credit_tokens);
+      writer.Gauge("dcc_channel_capacity_qps", labels, ch.capacity_qps);
+    }
+    if (capacity_estimator_.enabled()) {
+      for (const CapacityEstimator::ChannelDebugState& ch :
+           capacity_estimator_.GetDebugState().channels) {
+        writer.Gauge("dcc_channel_estimated_qps",
+                     {{"node", node}, {"channel", FormatAddress(ch.output)}},
+                     ch.estimate_qps);
+      }
+    }
+    const PreQueuePolicer::DebugState policer = policer_.GetDebugState(now);
+    writer.Gauge("dcc_policer_active_policies", node_labels,
+                 static_cast<double>(policer.clients.size()));
+    writer.Rate("dcc_policer_dropped_qps", node_labels,
+                static_cast<double>(policer.total_dropped));
+    for (const AnomalyMonitor::ClientDebugState& c :
+         monitor_.GetDebugState(now).clients) {
+      const telemetry::Labels labels{{"node", node},
+                                     {"client", FormatAddress(c.client)}};
+      writer.Gauge("dcc_client_request_rate", labels, c.request_rate);
+      writer.Gauge("dcc_client_nx_ratio", labels, c.nx_ratio);
+      writer.Gauge("dcc_client_anomaly_alarms", labels, c.alarms);
+      writer.Gauge("dcc_client_suspicious", labels, c.suspicious ? 1 : 0);
+    }
+    writer.Rate("dcc_egress_qps", node_labels,
+                static_cast<double>(queries_sent_));
+    writer.Rate("dcc_servfail_qps", node_labels,
+                static_cast<double>(servfails_synthesized_));
+  });
+}
+
 DccNode::ClientSignalState& DccNode::SignalStateFor(SourceId client) {
   ClientSignalState& state = client_signals_[client];
   state.last_active = now();

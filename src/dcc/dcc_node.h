@@ -33,6 +33,7 @@
 #include "src/dcc/policer.h"
 #include "src/server/transport.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/trace.h"
 
 namespace dcc {
@@ -139,6 +140,12 @@ class DccNode : public Node, public Transport {
   // be nullptr; passing both nullptr detaches.
   void AttachTelemetry(telemetry::MetricsRegistry* registry,
                        telemetry::QueryTracer* tracer);
+
+  // Registers a collector on `sampler` that snapshots the introspection seam
+  // every tick: per-channel queue depth / credit balance / capacity (MOPI-FQ
+  // + AIMD estimate), per-client anomaly and policer state, and egress /
+  // SERVFAIL rates. The sampler must not outlive this node's last tick.
+  void AttachSampler(telemetry::TimeSeriesSampler* sampler);
 
  private:
   struct QueuedQuery {

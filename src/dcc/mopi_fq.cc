@@ -424,4 +424,32 @@ void MopiFq::CheckInvariants() const {
   (void)counted_total;
 }
 
+MopiFq::DebugState MopiFq::GetDebugState(Time now) const {
+  DebugState state;
+  state.total_depth = total_depth_;
+  state.pool_capacity = config_.pool_capacity;
+  // Rate-limiter state is the superset: every activated queue also touched
+  // its channel bucket, and purged-but-tracked channels still matter for
+  // credit-balance series.
+  state.channels.reserve(rate_lim_.size());
+  for (const auto& [output, channel] : rate_lim_) {
+    ChannelDebugState ch;
+    ch.output = output;
+    ch.credit_tokens = channel.bucket.Available(now);
+    ch.capacity_qps = channel.bucket.rate_per_sec();
+    auto poq = poq_tracker_.find(output);
+    if (poq != poq_tracker_.end()) {
+      ch.depth = poq->second.depth;
+      ch.current_round = poq->second.current_round;
+      ch.latest_round = poq->second.latest_round;
+    }
+    state.channels.push_back(ch);
+  }
+  std::sort(state.channels.begin(), state.channels.end(),
+            [](const ChannelDebugState& a, const ChannelDebugState& b) {
+              return a.output < b.output;
+            });
+  return state;
+}
+
 }  // namespace dcc

@@ -62,6 +62,24 @@ class MopiFq : public Scheduler {
   int QueueDepth(OutputId output) const;
   const MopiFqConfig& config() const { return config_; }
 
+  // Point-in-time view of one output channel for the introspection seam
+  // (time-series sampling, debug dumps). `credit_tokens` is the token
+  // bucket's balance refilled to the probe time.
+  struct ChannelDebugState {
+    OutputId output = 0;
+    int depth = 0;
+    double credit_tokens = 0;
+    double capacity_qps = 0;   // <= 0 means unlimited.
+    int32_t current_round = 0;
+    int32_t latest_round = 0;
+  };
+  struct DebugState {
+    size_t total_depth = 0;
+    size_t pool_capacity = 0;
+    std::vector<ChannelDebugState> channels;  // Sorted by output id.
+  };
+  DebugState GetDebugState(Time now) const;
+
   // Validates internal invariants (list structure, depths, round tracking);
   // aborts via assert on violation. Test-only.
   void CheckInvariants() const;

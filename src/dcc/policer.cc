@@ -1,5 +1,7 @@
 #include "src/dcc/policer.h"
 
+#include <algorithm>
+
 namespace dcc {
 
 void PreQueuePolicer::Impose(SourceId client, PolicyType type, double rate_qps,
@@ -79,6 +81,29 @@ void PreQueuePolicer::Purge(Time now) {
 
 size_t PreQueuePolicer::MemoryFootprint() const {
   return entries_.size() * (sizeof(SourceId) + sizeof(Entry) + 2 * sizeof(void*));
+}
+
+PreQueuePolicer::DebugState PreQueuePolicer::GetDebugState(Time now) const {
+  DebugState state;
+  state.total_dropped = total_dropped_;
+  for (const auto& [client, entry] : entries_) {
+    if (entry.policy.expires <= now || entry.policy.type == PolicyType::kNone) {
+      continue;
+    }
+    ClientDebugState c;
+    c.client = client;
+    c.type = entry.policy.type;
+    c.rate_qps = entry.policy.rate_qps;
+    c.expires = entry.policy.expires;
+    c.reason = entry.policy.reason;
+    c.dropped_since_signal = entry.dropped_since_signal;
+    state.clients.push_back(c);
+  }
+  std::sort(state.clients.begin(), state.clients.end(),
+            [](const ClientDebugState& a, const ClientDebugState& b) {
+              return a.client < b.client;
+            });
+  return state;
 }
 
 }  // namespace dcc

@@ -46,6 +46,22 @@ class PreQueuePolicer {
   void Purge(Time now);
   size_t MemoryFootprint() const;
 
+  // Point-in-time view of active (non-expired) policies for the
+  // introspection seam.
+  struct ClientDebugState {
+    SourceId client = 0;
+    PolicyType type = PolicyType::kNone;
+    double rate_qps = 0;
+    Time expires = 0;
+    AnomalyReason reason = AnomalyReason::kNone;
+    uint64_t dropped_since_signal = 0;
+  };
+  struct DebugState {
+    uint64_t total_dropped = 0;
+    std::vector<ClientDebugState> clients;  // Sorted by client id.
+  };
+  DebugState GetDebugState(Time now) const;
+
  private:
   struct Entry {
     ActivePolicy policy;

@@ -5,6 +5,7 @@
 #include "src/attack/patterns.h"
 #include "src/attack/testbed.h"
 #include "src/common/rng.h"
+#include "src/telemetry/sampler.h"
 #include "src/zone/experiment_zones.h"
 
 namespace dcc {
@@ -36,8 +37,24 @@ enum class ProbePattern { kWc, kNx, kCq, kFf };
 
 struct ProbeRun {
   double achieved_client_qps = 0;  // Successful responses per second.
-  double ans_stable_qps = 0;       // Egress estimate from the query log.
+  double ans_stable_qps = 0;       // Egress estimate from the ANS rate series.
 };
+
+// Appendix A.2's mode approximation for the steady egress rate: the median
+// of the non-zero per-second query counts seen at the authoritative.
+double StableQps(const std::vector<double>& per_second) {
+  std::vector<double> active;
+  for (double v : per_second) {
+    if (v > 0) {
+      active.push_back(v);
+    }
+  }
+  if (active.empty()) {
+    return 0;
+  }
+  std::sort(active.begin(), active.end());
+  return active[active.size() / 2];
+}
 
 // One measurement step: a fresh deployment probed at `offered_qps` for
 // `duration` (Appendix A probes sequentially with fresh state between runs).
@@ -61,7 +78,16 @@ ProbeRun RunStep(const ResolverProfile& profile, ProbePattern pattern,
     zone_options.cq_labels = 8;
   }
   ans.AddZone(MakeTargetZone(target, target_ans, zone_options));
-  ans.EnableQueryLog(duration + Seconds(2));
+
+  // Per-second ANS rate series feeding the egress estimate.
+  telemetry::TimeSeriesSampler sampler(kSecond);
+  sampler.AddCounterProbe("ans_qps", {}, [&ans]() {
+    return static_cast<double>(ans.queries_received());
+  });
+  bed.loop().SchedulePeriodic(
+      sampler.interval(),
+      [&sampler, &bed]() { sampler.SampleNow(bed.loop().now()); },
+      duration + Seconds(2));
 
   if (pattern == ProbePattern::kFf) {
     AuthoritativeServer& atk = bed.AddAuthoritative(attacker_ans);
@@ -82,7 +108,6 @@ ProbeRun RunStep(const ResolverProfile& profile, ProbePattern pattern,
   stub_config.stop = duration;
   stub_config.qps = offered_qps;
   stub_config.timeout = Seconds(2);
-  stub_config.series_horizon = duration + Seconds(2);
   QuestionGenerator generator;
   // Appendix A.1: the unique-name pool matches the probing QPS so that most
   // requests are cache hits and the measurement isolates ingress RL.
@@ -110,7 +135,7 @@ ProbeRun RunStep(const ResolverProfile& profile, ProbePattern pattern,
   ProbeRun run;
   run.achieved_client_qps =
       static_cast<double>(probe.succeeded()) / ToSeconds(duration);
-  run.ans_stable_qps = ans.StableQps();
+  run.ans_stable_qps = StableQps(sampler.Values("ans_qps"));
   return run;
 }
 

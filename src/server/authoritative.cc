@@ -99,12 +99,6 @@ void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
   if (queries_counter_ != nullptr) {
     queries_counter_->Inc();
   }
-  if (!per_second_queries_.empty()) {
-    const auto slot = static_cast<size_t>(transport_.now() / kSecond);
-    if (slot < per_second_queries_.size()) {
-      per_second_queries_[slot]++;
-    }
-  }
 
   const Question& q = query.Q();
   const Zone* zone = FindZone(q.qname);
@@ -172,39 +166,6 @@ void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
     }
   }
   Respond(dgram, std::move(response));
-}
-
-void AuthoritativeServer::EnableQueryLog(Duration horizon) {
-  per_second_queries_.assign(static_cast<size_t>((horizon + kSecond - 1) / kSecond), 0);
-}
-
-double AuthoritativeServer::PeakQps() const {
-  int64_t peak = 0;
-  for (int64_t v : per_second_queries_) {
-    peak = std::max(peak, v);
-  }
-  return static_cast<double>(peak);
-}
-
-double AuthoritativeServer::QpsAtSecond(size_t i) const {
-  return i < per_second_queries_.size() ? static_cast<double>(per_second_queries_[i]) : 0.0;
-}
-
-double AuthoritativeServer::StableQps() const {
-  // "Most stable value that lasts over consecutive windows" (Appendix A.2):
-  // the mode over seconds with activity, approximated by the median of
-  // non-zero per-second counts.
-  std::vector<int64_t> active;
-  for (int64_t v : per_second_queries_) {
-    if (v > 0) {
-      active.push_back(v);
-    }
-  }
-  if (active.empty()) {
-    return 0.0;
-  }
-  std::sort(active.begin(), active.end());
-  return static_cast<double>(active[active.size() / 2]);
 }
 
 }  // namespace dcc

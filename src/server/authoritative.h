@@ -58,18 +58,12 @@ class AuthoritativeServer : public DatagramHandler {
 
   void HandleDatagram(const Datagram& dgram) override;
 
-  // Counters for experiment harnesses.
+  // Counters for experiment harnesses. Per-second query series (Fig. 2
+  // egress-QPS style measurements) come from a telemetry::TimeSeriesSampler
+  // counter probe on `queries_received()`.
   uint64_t queries_received() const { return queries_received_; }
   uint64_t responses_sent() const { return responses_sent_; }
   uint64_t rate_limited() const { return rate_limited_; }
-
-  // Per-second query counts for egress-QPS style measurements (Fig. 2); the
-  // harness supplies the horizon before the run.
-  void EnableQueryLog(Duration horizon);
-  double PeakQps() const;
-  double StableQps() const;
-  // Queries received during second `i` of the log.
-  double QpsAtSecond(size_t i) const;
 
   // Wires query/response/RRL-drop counters and an RRL-state-depth gauge into
   // `registry`. nullptr detaches.
@@ -92,7 +86,6 @@ class AuthoritativeServer : public DatagramHandler {
   uint64_t queries_received_ = 0;
   uint64_t responses_sent_ = 0;
   uint64_t rate_limited_ = 0;
-  std::vector<int64_t> per_second_queries_;
 
   // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
   telemetry::Counter* queries_counter_ = nullptr;

@@ -13,8 +13,6 @@ StubClient::StubClient(Transport& transport, StubConfig config,
     : transport_(transport),
       config_(config),
       generator_(std::move(generator)),
-      success_series_(kSecond, config.series_horizon),
-      sent_series_(kSecond, config.series_horizon),
       latency_(/*min_value=*/1.0, /*growth=*/1.05) {}
 
 void StubClient::AddResolver(HostAddress resolver) { resolvers_.push_back(resolver); }
@@ -114,7 +112,6 @@ void StubClient::SendAttempt(uint16_t port) {
   query.EnsureEdns();
   transport_.Send(port, Endpoint{resolver, kDnsPort}, EncodeMessage(query));
   ++requests_sent_;
-  sent_series_.Add(transport_.now());
   if (requests_counter_ != nullptr) {
     requests_counter_->Inc();
   }
@@ -140,7 +137,6 @@ void StubClient::Finish(uint16_t port, bool success, Time now) {
   pending_.erase(it);
   if (success) {
     ++succeeded_;
-    success_series_.Add(now);
     latency_.Add(static_cast<double>(now - p.sent_at));
     if (success_counter_ != nullptr) {
       success_counter_->Inc();

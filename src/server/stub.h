@@ -1,10 +1,12 @@
 // Stub client / load generator.
 //
 // Sends paced queries with a pluggable name generator (the WC/NX/CQ/FF
-// patterns live in src/attack), tracks per-second success series (Fig. 8's
-// "effective QPS") and overall success ratio (Fig. 4), and optionally reacts
-// to DCC signals (DCC-awareness, §3.3): switching resolvers on congestion
-// signals and pausing on policing signals.
+// patterns live in src/attack), tracks cumulative sent/success/failure
+// counters and latency, and optionally reacts to DCC signals
+// (DCC-awareness, §3.3): switching resolvers on congestion signals and
+// pausing on policing signals. Per-second series (Fig. 8's "effective QPS")
+// come from a telemetry::TimeSeriesSampler counter probe on `succeeded()` —
+// see src/attack/scenarios.cc for the wiring.
 
 #ifndef SRC_SERVER_STUB_H_
 #define SRC_SERVER_STUB_H_
@@ -39,8 +41,6 @@ struct StubConfig {
   // Spread first attempts round-robin over the configured resolvers instead
   // of always starting at the preferred one.
   bool rotate_resolvers = false;
-  // Horizon for the per-second series (should cover the experiment).
-  Duration series_horizon = Seconds(60);
 };
 
 class StubClient : public DatagramHandler {
@@ -63,9 +63,6 @@ class StubClient : public DatagramHandler {
   uint64_t succeeded() const { return succeeded_; }
   uint64_t failed() const { return failed_; }
   double SuccessRatio() const;
-  // Successful responses per second (Fig. 8 effective QPS).
-  const TimeSeries& success_series() const { return success_series_; }
-  const TimeSeries& sent_series() const { return sent_series_; }
   const Histogram& latency() const { return latency_; }
   uint64_t congestion_signals_seen() const { return congestion_signals_seen_; }
   uint64_t policing_signals_seen() const { return policing_signals_seen_; }
@@ -107,8 +104,6 @@ class StubClient : public DatagramHandler {
   uint64_t requests_sent_ = 0;
   uint64_t succeeded_ = 0;
   uint64_t failed_ = 0;
-  TimeSeries success_series_;
-  TimeSeries sent_series_;
   Histogram latency_;
   uint64_t congestion_signals_seen_ = 0;
   uint64_t policing_signals_seen_ = 0;

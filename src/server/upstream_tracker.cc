@@ -157,4 +157,45 @@ void UpstreamTracker::Purge(Time now, Duration idle) {
   }
 }
 
+void UpstreamTracker::AttachSampler(telemetry::TimeSeriesSampler* sampler,
+                                    telemetry::Labels base_labels) {
+  if (sampler == nullptr) {
+    return;
+  }
+  sampler->AddCollector([this, base_labels = std::move(base_labels)](
+                            Time now,
+                            telemetry::TimeSeriesSampler::Writer& writer) {
+    for (const ServerDebugState& server : GetDebugState(now).servers) {
+      telemetry::Labels labels = base_labels;
+      labels.emplace_back("upstream", FormatAddress(server.server));
+      writer.Gauge("upstream_srtt_ms", labels, ToMilliseconds(server.srtt));
+      writer.Gauge("upstream_loss_rate", labels, server.loss_rate);
+      writer.Gauge("upstream_held_down", labels, server.held_down ? 1 : 0);
+    }
+  });
+}
+
+UpstreamTracker::DebugState UpstreamTracker::GetDebugState(Time now) const {
+  DebugState state;
+  state.timeouts_observed = timeouts_observed_;
+  state.holddowns_entered = holddowns_entered_;
+  state.servers.reserve(servers_.size());
+  for (const auto& [server, ss] : servers_) {
+    ServerDebugState s;
+    s.server = server;
+    s.srtt = ss.has_sample ? ss.srtt : 0;
+    s.rttvar = ss.has_sample ? ss.rttvar : 0;
+    s.loss_rate = ss.loss;
+    s.consecutive_timeouts = ss.consecutive_timeouts;
+    s.held_down = ss.down_until > now;
+    s.down_until = ss.down_until;
+    state.servers.push_back(s);
+  }
+  std::sort(state.servers.begin(), state.servers.end(),
+            [](const ServerDebugState& a, const ServerDebugState& b) {
+              return a.server < b.server;
+            });
+  return state;
+}
+
 }  // namespace dcc

@@ -26,6 +26,7 @@
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 
 namespace dcc {
 
@@ -83,10 +84,33 @@ class UpstreamTracker {
   void AttachTelemetry(telemetry::MetricsRegistry* registry,
                        const telemetry::Labels& base_labels);
 
+  // Registers a collector on `sampler` emitting per-upstream SRTT, loss rate
+  // and hold-down state every tick (labels: base + {upstream=<addr>}). The
+  // sampler must not outlive this tracker's last tick.
+  void AttachSampler(telemetry::TimeSeriesSampler* sampler,
+                     telemetry::Labels base_labels);
+
   uint64_t timeouts_observed() const { return timeouts_observed_; }
   uint64_t holddowns_entered() const { return holddowns_entered_; }
   size_t TrackedCount() const { return servers_.size(); }
   size_t MemoryFootprint() const;
+
+  // Point-in-time view of per-upstream health for the introspection seam.
+  struct ServerDebugState {
+    HostAddress server = 0;
+    Duration srtt = 0;       // 0 when no sample yet.
+    Duration rttvar = 0;
+    double loss_rate = 0;
+    int consecutive_timeouts = 0;
+    bool held_down = false;
+    Time down_until = 0;
+  };
+  struct DebugState {
+    uint64_t timeouts_observed = 0;
+    uint64_t holddowns_entered = 0;
+    std::vector<ServerDebugState> servers;  // Sorted by address.
+  };
+  DebugState GetDebugState(Time now) const;
 
   // Drops state for servers idle since before `now - idle`.
   void Purge(Time now, Duration idle);

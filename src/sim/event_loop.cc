@@ -12,7 +12,12 @@ namespace {
 // tracked so destruction clears only its own registration.
 const EventLoop* g_log_clock_owner = nullptr;
 
+// Process-wide executed-event total (single-threaded simulator).
+uint64_t g_total_events_executed = 0;
+
 }  // namespace
+
+uint64_t EventLoop::TotalEventsExecuted() { return g_total_events_executed; }
 
 EventLoop::~EventLoop() {
   if (g_log_clock_owner == this) {
@@ -74,6 +79,7 @@ size_t EventLoop::Run(Time until) {
     queue_.pop();
     fn();
     ++executed;
+    ++g_total_events_executed;
     if (events_executed_ != nullptr) {
       events_executed_->Inc();
     }

@@ -51,6 +51,12 @@ class EventLoop {
   // Returns the number of events executed.
   size_t Run(Time until = kTimeInfinity);
 
+  // Cumulative events executed across every EventLoop in this process. The
+  // simulation is deterministic, so this is a machine-independent measure of
+  // work done — the bench harness uses deltas of it as its primary
+  // regression signal.
+  static uint64_t TotalEventsExecuted();
+
   void Stop() { stopped_ = true; }
 
   size_t pending() const { return queue_.size(); }

@@ -269,6 +269,14 @@ std::string MetricsRegistry::ExportPrometheus() const {
                  static_cast<double>(sample.histogram.count()));
       render(sample.name + "_count", "",
              static_cast<double>(sample.histogram.count()));
+      // Summary-style quantile lines so dashboards can read latency
+      // percentiles without reconstructing them from the buckets.
+      if (sample.histogram.count() > 0) {
+        for (const double q : {0.5, 0.9, 0.99}) {
+          render(sample.name, "quantile=\"" + FormatNumber(q) + "\"",
+                 sample.histogram.Quantile(q));
+        }
+      }
     } else {
       render(sample.name, "", sample.value);
     }
@@ -296,6 +304,7 @@ std::string MetricsRegistry::ExportJsonLines() const {
       out += ",\"count\":" + FormatNumber(static_cast<double>(sample.histogram.count()));
       out += ",\"mean\":" + FormatNumber(sample.histogram.mean());
       out += ",\"p50\":" + FormatNumber(sample.histogram.Quantile(0.5));
+      out += ",\"p90\":" + FormatNumber(sample.histogram.Quantile(0.9));
       out += ",\"p99\":" + FormatNumber(sample.histogram.Quantile(0.99));
       out += ",\"max\":" + FormatNumber(sample.histogram.max());
     } else {

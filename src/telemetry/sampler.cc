@@ -1,0 +1,174 @@
+#include "src/telemetry/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dcc {
+namespace telemetry {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Labels Canonicalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Series map key: name + unit separator + rendered labels. The separator
+// cannot appear in metric names, so keys never collide across families.
+std::string SeriesKey(std::string_view name, const Labels& canonical) {
+  std::string key(name);
+  key += '\x1f';
+  for (const auto& [k, v] : canonical) {
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(Duration interval)
+    : interval_(std::max<Duration>(1, interval)) {}
+
+void TimeSeriesSampler::Writer::Gauge(std::string_view name,
+                                      const Labels& labels, double value) {
+  sampler_->WriteGauge(sampler_->SeriesIndex(name, labels, /*is_rate=*/false),
+                       value);
+}
+
+void TimeSeriesSampler::Writer::Rate(std::string_view name,
+                                     const Labels& labels, double cumulative) {
+  sampler_->WriteRate(sampler_->SeriesIndex(name, labels, /*is_rate=*/true),
+                      cumulative);
+}
+
+void TimeSeriesSampler::AddCounterProbe(std::string_view name, Labels labels,
+                                        std::function<double()> fn) {
+  CounterProbe probe;
+  probe.series_index = SeriesIndex(name, labels, /*is_rate=*/true);
+  probe.previous = fn ? fn() : 0;
+  probe.fn = std::move(fn);
+  counter_probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::AddGaugeProbe(std::string_view name, Labels labels,
+                                      std::function<double()> fn) {
+  GaugeProbe probe;
+  probe.series_index = SeriesIndex(name, labels, /*is_rate=*/false);
+  probe.fn = std::move(fn);
+  gauge_probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::AddCollector(std::function<void(Time, Writer&)> fn) {
+  if (fn) {
+    collectors_.push_back(std::move(fn));
+  }
+}
+
+void TimeSeriesSampler::WatchRegistry(const MetricsRegistry* registry) {
+  watched_ = registry;
+}
+
+size_t TimeSeriesSampler::SeriesIndex(std::string_view name,
+                                      const Labels& labels, bool is_rate) {
+  Labels canonical = Canonicalize(labels);
+  const std::string key = SeriesKey(name, canonical);
+  auto [it, inserted] = index_.try_emplace(key, series_.size());
+  if (inserted) {
+    Series series;
+    series.name = std::string(name);
+    series.labels = std::move(canonical);
+    series.is_rate = is_rate;
+    // Back-fill ticks from before the series existed.
+    series.values.assign(tick_times_.size(), is_rate ? 0.0 : kNan);
+    series_.push_back(std::move(series));
+    written_this_tick_.push_back(false);
+  }
+  return it->second;
+}
+
+void TimeSeriesSampler::WriteGauge(size_t index, double value) {
+  Series& series = series_[index];
+  if (series.values.size() < tick_times_.size()) {
+    series.values.resize(tick_times_.size(), series.is_rate ? 0.0 : kNan);
+  }
+  if (series.values.empty()) {
+    return;  // Written outside a tick (no SampleNow yet); nothing to align to.
+  }
+  series.values.back() = value;
+  written_this_tick_[index] = true;
+}
+
+void TimeSeriesSampler::WriteRate(size_t index, double cumulative) {
+  double& previous = previous_.try_emplace(index, 0.0).first->second;
+  const double delta = std::max(0.0, cumulative - previous);
+  previous = cumulative;
+  WriteGauge(index, elapsed_sec_ > 0 ? delta / elapsed_sec_ : 0.0);
+}
+
+void TimeSeriesSampler::SampleNow(Time now) {
+  if (now <= last_tick_ && !tick_times_.empty()) {
+    return;  // Clock did not advance; a duplicate tick would divide by zero.
+  }
+  elapsed_sec_ = ToSeconds(now - last_tick_);
+  if (elapsed_sec_ <= 0) {
+    elapsed_sec_ = ToSeconds(interval_);
+  }
+  last_tick_ = now;
+  tick_times_.push_back(now);
+
+  // Open the tick: give every known series a slot, defaulting to "nothing
+  // happened" (rates) or "unknown" (gauges).
+  for (size_t i = 0; i < series_.size(); ++i) {
+    series_[i].values.push_back(series_[i].is_rate ? 0.0 : kNan);
+    written_this_tick_[i] = false;
+  }
+
+  for (CounterProbe& probe : counter_probes_) {
+    const double current = probe.fn ? probe.fn() : probe.previous;
+    const double delta = std::max(0.0, current - probe.previous);
+    probe.previous = current;
+    WriteGauge(probe.series_index, elapsed_sec_ > 0 ? delta / elapsed_sec_ : 0);
+  }
+  for (GaugeProbe& probe : gauge_probes_) {
+    if (probe.fn) {
+      WriteGauge(probe.series_index, probe.fn());
+    }
+  }
+  Writer writer(this);
+  for (auto& collector : collectors_) {
+    collector(now, writer);
+  }
+  if (watched_ != nullptr) {
+    const MetricsSnapshot snapshot = watched_->Snapshot();
+    for (const MetricSample& sample : snapshot.samples) {
+      if (sample.type == MetricType::kCounter) {
+        writer.Rate(sample.name, sample.labels, sample.value);
+      } else if (sample.type == MetricType::kGauge) {
+        writer.Gauge(sample.name, sample.labels, sample.value);
+      }
+      // Histograms keep their full distribution in the registry; a scalar
+      // per-tick projection would be misleading, so they are skipped.
+    }
+  }
+}
+
+const Series* TimeSeriesSampler::Find(std::string_view name,
+                                      const Labels& labels) const {
+  const std::string key = SeriesKey(name, Canonicalize(labels));
+  auto it = index_.find(key);
+  return it != index_.end() ? &series_[it->second] : nullptr;
+}
+
+std::vector<double> TimeSeriesSampler::Values(std::string_view name,
+                                              const Labels& labels) const {
+  const Series* series = Find(name, labels);
+  return series != nullptr ? series->values : std::vector<double>{};
+}
+
+}  // namespace telemetry
+}  // namespace dcc

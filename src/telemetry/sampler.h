@@ -1,0 +1,139 @@
+// Periodic time-series sampler over the simulator's virtual clock.
+//
+// The registry (metrics.h) answers "what are the totals right now"; the
+// sampler answers "how did they evolve". On every `SampleNow(now)` tick it
+// walks its inputs — attached probes, component collectors, and optionally a
+// whole `MetricsRegistry` — and appends one aligned sample per series:
+// counters become per-second delta rates over the elapsed interval, gauges
+// become point samples. All series share one tick axis (`tick_times()`), so
+// exporters can emit a rectangular table without realignment.
+//
+// Scheduling is the caller's job: the telemetry layer does not depend on the
+// simulator, so scenario runners wire the sampler in with
+//   loop.SchedulePeriodic(sampler.interval(),
+//                         [&] { sampler.SampleNow(loop.now()); }, horizon);
+//
+// Cost model: a tick is O(active series); between ticks the sampler costs
+// nothing — no per-event hooks. Probe callbacks read existing counters
+// (`stub.succeeded()`), collectors snapshot component `DebugState()` structs,
+// so adding a sampler never changes hot-path code.
+//
+// Interval semantics: a tick at time T covers (previous tick, T]. The first
+// tick covers (0, T] — with the default 1 s interval, series index i is the
+// activity of virtual second i, matching the per-second arrays the paper's
+// figures plot.
+
+#ifndef SRC_TELEMETRY_SAMPLER_H_
+#define SRC_TELEMETRY_SAMPLER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/telemetry/metrics.h"
+
+namespace dcc {
+namespace telemetry {
+
+// One sampled series: values are aligned to the sampler's tick axis. Rate
+// series pad missing ticks with 0 (nothing happened); gauge series pad with
+// NaN (value unknown before the series appeared).
+struct Series {
+  std::string name;
+  Labels labels;            // Canonical (key-sorted) order.
+  bool is_rate = false;     // true: per-second delta rate of a counter.
+  std::vector<double> values;
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(Duration interval = Seconds(1));
+
+  Duration interval() const { return interval_; }
+
+  // Push interface for component collectors: emit points for the current
+  // tick. `Rate` takes the *cumulative* count; the writer differences it
+  // against the previous tick's value per (name, labels) series.
+  class Writer {
+   public:
+    void Gauge(std::string_view name, const Labels& labels, double value);
+    void Rate(std::string_view name, const Labels& labels, double cumulative);
+
+   private:
+    friend class TimeSeriesSampler;
+    explicit Writer(TimeSeriesSampler* sampler) : sampler_(sampler) {}
+    TimeSeriesSampler* sampler_;
+  };
+
+  // A cumulative counter read through `fn` each tick; recorded as a
+  // per-second rate. The base value is snapshotted at registration, so a
+  // probe added mid-run reports only growth from that point.
+  void AddCounterProbe(std::string_view name, Labels labels,
+                       std::function<double()> fn);
+  // A point-in-time value read through `fn` each tick.
+  void AddGaugeProbe(std::string_view name, Labels labels,
+                     std::function<double()> fn);
+  // A free-form collector invoked each tick; use for components that emit a
+  // dynamic set of series (per-channel, per-client state).
+  void AddCollector(std::function<void(Time, Writer&)> fn);
+  // Walks `registry->Snapshot()` each tick: every counter family becomes a
+  // rate series, every gauge a point series (histograms are skipped — the
+  // registry already keeps their full distribution). Not owned; must outlive
+  // the sampler's last tick.
+  void WatchRegistry(const MetricsRegistry* registry);
+
+  // Takes one sample at virtual time `now`. Ticks must be monotonically
+  // increasing; a tick at a time <= the previous one is ignored.
+  void SampleNow(Time now);
+
+  const std::vector<Time>& tick_times() const { return tick_times_; }
+  size_t tick_count() const { return tick_times_.size(); }
+  const std::vector<Series>& series() const { return series_; }
+
+  // The exact (name, labels) series, or nullptr.
+  const Series* Find(std::string_view name, const Labels& labels = {}) const;
+  // Convenience: the values of `Find(...)`, or an empty vector.
+  std::vector<double> Values(std::string_view name,
+                             const Labels& labels = {}) const;
+
+ private:
+  struct CounterProbe {
+    size_t series_index;
+    std::function<double()> fn;
+    double previous = 0;
+  };
+  struct GaugeProbe {
+    size_t series_index;
+    std::function<double()> fn;
+  };
+
+  // Find-or-create; pads a newly created series back to the current tick
+  // count (rates with 0, gauges with NaN).
+  size_t SeriesIndex(std::string_view name, const Labels& labels, bool is_rate);
+  void WriteGauge(size_t index, double value);
+  void WriteRate(size_t index, double cumulative);
+
+  Duration interval_;
+  Time last_tick_ = 0;
+  double elapsed_sec_ = 0;  // Seconds covered by the tick in progress.
+
+  std::vector<Series> series_;
+  std::map<std::string, size_t> index_;       // name \x1f signature -> index.
+  std::map<size_t, double> previous_;         // Rate series: last cumulative.
+  std::vector<bool> written_this_tick_;
+
+  std::vector<CounterProbe> counter_probes_;
+  std::vector<GaugeProbe> gauge_probes_;
+  std::vector<std::function<void(Time, Writer&)>> collectors_;
+  const MetricsRegistry* watched_ = nullptr;
+
+  std::vector<Time> tick_times_;
+};
+
+}  // namespace telemetry
+}  // namespace dcc
+
+#endif  // SRC_TELEMETRY_SAMPLER_H_

@@ -14,7 +14,11 @@ namespace telemetry {
 
 struct TelemetrySink {
   explicit TelemetrySink(size_t trace_capacity = 1 << 16)
-      : trace(trace_capacity) {}
+      : trace(trace_capacity) {
+    // Ring-buffer evictions surface as `trace_spans_dropped_total` so a
+    // truncated trace window is visible in every metrics dump.
+    trace.AttachMetrics(&metrics);
+  }
 
   MetricsRegistry metrics;
   QueryTracer trace;

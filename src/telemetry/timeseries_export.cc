@@ -1,0 +1,151 @@
+#include "src/telemetry/timeseries_export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace dcc {
+namespace telemetry {
+namespace {
+
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// CSV-quotes a field when it contains a delimiter or quote.
+std::string CsvField(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) {
+    return text;
+  }
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool EndsWith(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string SeriesColumnName(const Series& series) {
+  std::string out = series.name;
+  if (!series.labels.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : series.labels) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += key + "=\"" + value + "\"";
+    }
+    out += '}';
+  }
+  return out;
+}
+
+std::string ExportSeriesCsv(const TimeSeriesSampler& sampler) {
+  std::string out = "t_seconds";
+  for (const Series& series : sampler.series()) {
+    out += ',';
+    out += CsvField(SeriesColumnName(series));
+  }
+  out += '\n';
+  const std::vector<Time>& ticks = sampler.tick_times();
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    out += FormatValue(ToSeconds(ticks[i]));
+    for (const Series& series : sampler.series()) {
+      out += ',';
+      const double v = i < series.values.size()
+                           ? series.values[i]
+                           : std::numeric_limits<double>::quiet_NaN();
+      if (!std::isnan(v)) {
+        out += FormatValue(v);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ExportSeriesJsonLines(const TimeSeriesSampler& sampler) {
+  std::string out;
+  char buf[64];
+  const std::vector<Time>& ticks = sampler.tick_times();
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    for (const Series& series : sampler.series()) {
+      if (i >= series.values.size() || std::isnan(series.values[i])) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "{\"t_us\":%" PRId64 ",\"name\":\"",
+                    ticks[i]);
+      out += buf;
+      out += JsonEscape(series.name);
+      out += "\",\"labels\":{";
+      bool first = true;
+      for (const auto& [key, value] : series.labels) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+      }
+      out += "},\"kind\":\"";
+      out += series.is_rate ? "rate" : "gauge";
+      out += "\",\"value\":";
+      out += FormatValue(series.values[i]);
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+bool WriteSeriesFile(const TimeSeriesSampler& sampler,
+                     const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  if (EndsWith(path, ".json") || EndsWith(path, ".jsonl") ||
+      EndsWith(path, ".ndjson")) {
+    file << ExportSeriesJsonLines(sampler);
+  } else {
+    file << ExportSeriesCsv(sampler);
+  }
+  return static_cast<bool>(file);
+}
+
+}  // namespace telemetry
+}  // namespace dcc

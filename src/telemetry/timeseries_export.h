@@ -1,0 +1,35 @@
+// Exporters for TimeSeriesSampler output.
+//
+// CSV is wide format — one row per tick, `t_seconds` first, then one column
+// per series — which plots directly in gnuplot/pandas. JSON-lines is long
+// format — one object per (tick, series) point — which concatenates across
+// runs. Missing gauge samples (NaN) render as empty CSV cells and are
+// omitted from the JSON stream.
+
+#ifndef SRC_TELEMETRY_TIMESERIES_EXPORT_H_
+#define SRC_TELEMETRY_TIMESERIES_EXPORT_H_
+
+#include <string>
+
+#include "src/telemetry/sampler.h"
+
+namespace dcc {
+namespace telemetry {
+
+// Column header: `name{k="v",...}` (labels omitted when empty).
+std::string SeriesColumnName(const Series& series);
+
+std::string ExportSeriesCsv(const TimeSeriesSampler& sampler);
+
+// One line per point:
+//   {"t_us":1000000,"name":"...","labels":{...},"kind":"rate","value":12.5}
+std::string ExportSeriesJsonLines(const TimeSeriesSampler& sampler);
+
+// Writes CSV or JSON-lines depending on the path suffix (.json / .jsonl /
+// .ndjson -> JSON-lines, anything else CSV). Returns false on I/O error.
+bool WriteSeriesFile(const TimeSeriesSampler& sampler, const std::string& path);
+
+}  // namespace telemetry
+}  // namespace dcc
+
+#endif  // SRC_TELEMETRY_TIMESERIES_EXPORT_H_

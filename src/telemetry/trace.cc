@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/common/ids.h"
+#include "src/telemetry/metrics.h"
 
 namespace dcc {
 namespace telemetry {
@@ -40,6 +41,22 @@ QueryTracer::QueryTracer(size_t capacity)
   ring_.reserve(capacity_);
 }
 
+void QueryTracer::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    dropped_counter_ = nullptr;
+    return;
+  }
+  dropped_counter_ = registry->GetCounter(
+      "trace_spans_dropped_total", {},
+      "Span events evicted from the trace ring buffer");
+  // Replay evictions from before the attach so the counter matches
+  // `dropped()` regardless of wiring order.
+  dropped_counter_->Inc(dropped());
+  registry->GetCallbackGauge(
+      "trace_spans_retained", [this]() { return static_cast<double>(size()); },
+      {}, "Span events currently held in the trace ring buffer");
+}
+
 void QueryTracer::Record(uint64_t trace_id, SpanKind kind, Time at,
                          uint32_t actor, int32_t detail) {
   SpanEvent event{trace_id, at, actor, kind, detail};
@@ -47,6 +64,9 @@ void QueryTracer::Record(uint64_t trace_id, SpanKind kind, Time at,
     ring_.push_back(event);
   } else {
     ring_[next_ % capacity_] = event;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Inc();
+    }
   }
   next_ = (next_ + 1) % capacity_;
   ++total_recorded_;

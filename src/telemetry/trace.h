@@ -58,9 +58,18 @@ constexpr uint64_t MakeTraceId(uint32_t client_addr, uint16_t client_port,
          (static_cast<uint64_t>(client_port) << 16) | dns_id;
 }
 
+class Counter;
+class MetricsRegistry;
+
 class QueryTracer {
  public:
   explicit QueryTracer(size_t capacity = 1 << 16);
+
+  // Exports ring-buffer evictions as `trace_spans_dropped_total` (plus the
+  // retained-span count as a callback gauge) so truncated traces are visible
+  // in metric dumps instead of silently looking complete. The counter
+  // pointer is cached; pass nullptr to detach.
+  void AttachMetrics(MetricsRegistry* registry);
 
   void Record(uint64_t trace_id, SpanKind kind, Time at, uint32_t actor = 0,
               int32_t detail = 0);
@@ -95,6 +104,7 @@ class QueryTracer {
   std::vector<SpanEvent> ring_;
   size_t next_ = 0;          // Ring write cursor.
   uint64_t total_recorded_ = 0;
+  Counter* dropped_counter_ = nullptr;  // Not owned; see AttachMetrics.
 };
 
 }  // namespace telemetry

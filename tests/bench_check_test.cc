@@ -1,0 +1,168 @@
+// Tests for the dcc_bench report format and regression comparison.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace dcc {
+namespace bench {
+namespace {
+
+BenchReport MakeBench(const std::string& name, double wall_ms,
+                      uint64_t sim_events, int64_t rss_kb, int exit_code = 0) {
+  BenchReport report;
+  report.name = name;
+  report.metrics.wall_ms = wall_ms;
+  report.metrics.sim_events = sim_events;
+  report.metrics.events_per_sec =
+      wall_ms > 0 ? static_cast<double>(sim_events) / (wall_ms / 1000.0) : 0;
+  report.metrics.peak_rss_kb = rss_kb;
+  report.metrics.exit_code = exit_code;
+  return report;
+}
+
+SuiteReport MakeSuite() {
+  SuiteReport suite;
+  suite.quick = true;
+  suite.benches.push_back(MakeBench("fig8_resilience", 3800.0, 2268024, 116280));
+  suite.benches.push_back(MakeBench("ablation_nsec", 131.5, 149124, 155448));
+  return suite;
+}
+
+TEST(BenchReportTest, JsonRoundTrips) {
+  const SuiteReport suite = MakeSuite();
+  const std::string json = RenderJson(suite);
+  SuiteReport parsed;
+  ASSERT_TRUE(ParseReportJson(json, &parsed));
+  EXPECT_EQ(parsed.quick, suite.quick);
+  ASSERT_EQ(parsed.benches.size(), suite.benches.size());
+  for (size_t i = 0; i < suite.benches.size(); ++i) {
+    EXPECT_EQ(parsed.benches[i].name, suite.benches[i].name);
+    EXPECT_NEAR(parsed.benches[i].metrics.wall_ms,
+                suite.benches[i].metrics.wall_ms, 0.01);
+    EXPECT_EQ(parsed.benches[i].metrics.sim_events,
+              suite.benches[i].metrics.sim_events);
+    EXPECT_EQ(parsed.benches[i].metrics.peak_rss_kb,
+              suite.benches[i].metrics.peak_rss_kb);
+    EXPECT_EQ(parsed.benches[i].metrics.exit_code,
+              suite.benches[i].metrics.exit_code);
+  }
+}
+
+TEST(BenchReportTest, ParseRejectsGarbage) {
+  SuiteReport parsed;
+  EXPECT_FALSE(ParseReportJson("", &parsed));
+  EXPECT_FALSE(ParseReportJson("not json", &parsed));
+  EXPECT_FALSE(ParseReportJson("{\"suite\":\"something_else\"}", &parsed));
+}
+
+TEST(BenchCheckTest, IdenticalReportsPass) {
+  const SuiteReport suite = MakeSuite();
+  EXPECT_TRUE(CompareReports(suite, suite, Tolerances{}).empty());
+}
+
+TEST(BenchCheckTest, SpeedupAndSmallNoisePass) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[0].metrics.wall_ms *= 0.5;   // Faster never fails.
+  current.benches[1].metrics.wall_ms *= 1.10;  // Within the 15% slack.
+  EXPECT_TRUE(CompareReports(current, baseline, Tolerances{}).empty());
+}
+
+TEST(BenchCheckTest, WallSlowdownBeyondSlackFails) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[0].metrics.wall_ms *= 1.20;
+  const std::vector<std::string> violations =
+      CompareReports(current, baseline, Tolerances{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("fig8_resilience"), std::string::npos);
+  EXPECT_NE(violations[0].find("wall_ms"), std::string::npos);
+}
+
+TEST(BenchCheckTest, SimEventDriftFailsInBothDirections) {
+  const SuiteReport baseline = MakeSuite();
+  for (double factor : {0.9, 1.1}) {
+    SuiteReport current = MakeSuite();
+    current.benches[0].metrics.sim_events = static_cast<uint64_t>(
+        static_cast<double>(current.benches[0].metrics.sim_events) * factor);
+    const std::vector<std::string> violations =
+        CompareReports(current, baseline, Tolerances{});
+    ASSERT_EQ(violations.size(), 1u) << "factor " << factor;
+    EXPECT_NE(violations[0].find("sim_events"), std::string::npos);
+  }
+}
+
+TEST(BenchCheckTest, RssGrowthBeyondSlackFails) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[1].metrics.peak_rss_kb *= 2;
+  const std::vector<std::string> violations =
+      CompareReports(current, baseline, Tolerances{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("peak_rss_kb"), std::string::npos);
+}
+
+TEST(BenchCheckTest, FailedBenchIsAViolation) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[0].metrics.exit_code = 1;
+  const std::vector<std::string> violations =
+      CompareReports(current, baseline, Tolerances{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("exit"), std::string::npos);
+}
+
+TEST(BenchCheckTest, MissingBenchesFailBothDirections) {
+  const SuiteReport full = MakeSuite();
+  SuiteReport partial = MakeSuite();
+  partial.benches.pop_back();
+
+  // A bench present in the baseline but absent from the run: regression.
+  const std::vector<std::string> dropped =
+      CompareReports(partial, full, Tolerances{});
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_NE(dropped[0].find("ablation_nsec"), std::string::npos);
+
+  // A new bench with no baseline row: the baseline needs a refresh.
+  const std::vector<std::string> added =
+      CompareReports(full, partial, Tolerances{});
+  ASSERT_EQ(added.size(), 1u);
+  EXPECT_NE(added[0].find("ablation_nsec"), std::string::npos);
+}
+
+TEST(BenchCheckTest, QuickFullModeMismatchFails) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.quick = false;
+  const std::vector<std::string> violations =
+      CompareReports(current, baseline, Tolerances{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("quick"), std::string::npos);
+}
+
+TEST(BenchCheckTest, TinyBenchWallNoiseIsBelowTheFloor) {
+  // 131 ms -> 170 ms is ~30% relative but under the 250 ms absolute floor:
+  // scheduler noise, not a regression. sim_events still gates the bench.
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[1].metrics.wall_ms = 170.0;
+  EXPECT_TRUE(CompareReports(current, baseline, Tolerances{}).empty());
+}
+
+TEST(BenchCheckTest, WallSlackIsTunable) {
+  const SuiteReport baseline = MakeSuite();
+  SuiteReport current = MakeSuite();
+  current.benches[0].metrics.wall_ms *= 1.4;
+  Tolerances loose;
+  loose.wall_slack = 0.5;
+  EXPECT_TRUE(CompareReports(current, baseline, loose).empty());
+  EXPECT_FALSE(CompareReports(current, baseline, Tolerances{}).empty());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcc

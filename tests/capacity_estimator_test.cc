@@ -125,7 +125,6 @@ TEST(CapacityEstimatorTest, ConvergesOnRealChannelEndToEnd) {
   heavy_config.qps = 600;
   heavy_config.stop = Seconds(40);
   heavy_config.timeout = Milliseconds(900);
-  heavy_config.series_horizon = Seconds(45);
   StubClient& heavy =
       bed.AddStub(bed.NextAddress(), heavy_config, MakeWcGenerator(apex, 31));
   heavy.AddResolver(resolver_addr);

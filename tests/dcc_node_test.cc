@@ -69,7 +69,6 @@ StubConfig Rate(double qps, Time start, Time stop, Duration timeout = Seconds(2)
   config.stop = stop;
   config.qps = qps;
   config.timeout = timeout;
-  config.series_horizon = Seconds(60);
   return config;
 }
 

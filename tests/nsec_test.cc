@@ -95,7 +95,6 @@ TEST(AggressiveNsecTest, SuppressesRepeatNxQueries) {
   StubConfig config;
   config.qps = 100;
   config.stop = Seconds(5);
-  config.series_horizon = Seconds(10);
   StubClient& stub =
       d.bed.AddStub(d.bed.NextAddress(), config, MakeNxGenerator(TargetApex(), 1));
   stub.AddResolver(d.resolver_addr);
@@ -114,7 +113,6 @@ TEST(AggressiveNsecTest, WithoutItEveryNxNameCostsAQuery) {
   StubConfig config;
   config.qps = 100;
   config.stop = Seconds(5);
-  config.series_horizon = Seconds(10);
   StubClient& stub =
       d.bed.AddStub(d.bed.NextAddress(), config, MakeNxGenerator(TargetApex(), 1));
   stub.AddResolver(d.resolver_addr);
@@ -131,7 +129,6 @@ TEST(AggressiveNsecTest, DoesNotDenyExistingNames) {
   StubConfig nx_config;
   nx_config.qps = 50;
   nx_config.stop = Seconds(4);
-  nx_config.series_horizon = Seconds(10);
   StubClient& nx_stub =
       d.bed.AddStub(d.bed.NextAddress(), nx_config, MakeNxGenerator(TargetApex(), 2));
   nx_stub.AddResolver(d.resolver_addr);
@@ -156,7 +153,6 @@ TEST(AggressiveNsecTest, EntriesExpireWithTtl) {
   StubConfig first;
   first.qps = 1;
   first.stop = Seconds(1);
-  first.series_horizon = Seconds(1000);
   StubClient& stub1 = d.bed.AddStub(
       d.bed.NextAddress(), first, MakeNxGenerator(TargetApex(), 9));
   stub1.AddResolver(d.resolver_addr);

@@ -22,7 +22,6 @@ StubConfig OneShot(Duration timeout = Seconds(5)) {
   config.stop = Seconds(1);
   config.qps = 1;
   config.timeout = timeout;
-  config.series_horizon = Seconds(30);
   return config;
 }
 

@@ -1,0 +1,203 @@
+// Tests for the virtual-clock time-series sampler and its exporters.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/timeseries_export.h"
+
+namespace dcc {
+namespace telemetry {
+namespace {
+
+TEST(SamplerTest, CounterProbeBecomesRate) {
+  uint64_t count = 0;
+  TimeSeriesSampler sampler(Seconds(1));
+  sampler.AddCounterProbe("queries", {},
+                          [&count]() { return static_cast<double>(count); });
+
+  count = 50;
+  sampler.SampleNow(Seconds(1));
+  count = 50;  // Nothing in second 2.
+  sampler.SampleNow(Seconds(2));
+  count = 80;
+  sampler.SampleNow(Seconds(3));
+
+  const std::vector<double> rates = sampler.Values("queries");
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 30.0);
+}
+
+TEST(SamplerTest, RateNormalizesByInterval) {
+  // 100 events over a 2 s tick is 50 QPS, not 100.
+  uint64_t count = 0;
+  TimeSeriesSampler sampler(Seconds(2));
+  sampler.AddCounterProbe("queries", {},
+                          [&count]() { return static_cast<double>(count); });
+  count = 100;
+  sampler.SampleNow(Seconds(2));
+  const std::vector<double> rates = sampler.Values("queries");
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+}
+
+TEST(SamplerTest, CounterBaseSnapshottedAtRegistration) {
+  // A probe added over a counter that already reads 1000 must report only
+  // growth from that point, not a 1000-rate spike on the first tick.
+  uint64_t count = 1000;
+  TimeSeriesSampler sampler(Seconds(1));
+  sampler.AddCounterProbe("queries", {},
+                          [&count]() { return static_cast<double>(count); });
+  count = 1010;
+  sampler.SampleNow(Seconds(1));
+  const std::vector<double> rates = sampler.Values("queries");
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+}
+
+TEST(SamplerTest, LateSeriesArePaddedBackToTickAxis) {
+  TimeSeriesSampler sampler(Seconds(1));
+  uint64_t early = 0;
+  sampler.AddCounterProbe("early", {},
+                          [&early]() { return static_cast<double>(early); });
+  early = 5;
+  sampler.SampleNow(Seconds(1));
+  early = 10;
+  sampler.SampleNow(Seconds(2));
+
+  // New series appear at tick 3 via a collector; both kinds must be padded
+  // back to the shared axis — rates with 0, gauges with NaN.
+  sampler.AddCollector([](Time, TimeSeriesSampler::Writer& writer) {
+    writer.Rate("late_rate", {}, 7);
+    writer.Gauge("late_gauge", {}, 42);
+  });
+  early = 15;
+  sampler.SampleNow(Seconds(3));
+
+  const std::vector<double> late_rate = sampler.Values("late_rate");
+  ASSERT_EQ(late_rate.size(), 3u);
+  EXPECT_DOUBLE_EQ(late_rate[0], 0.0);
+  EXPECT_DOUBLE_EQ(late_rate[1], 0.0);
+  EXPECT_DOUBLE_EQ(late_rate[2], 7.0);
+
+  const std::vector<double> late_gauge = sampler.Values("late_gauge");
+  ASSERT_EQ(late_gauge.size(), 3u);
+  EXPECT_TRUE(std::isnan(late_gauge[0]));
+  EXPECT_TRUE(std::isnan(late_gauge[1]));
+  EXPECT_DOUBLE_EQ(late_gauge[2], 42.0);
+
+  // Every series shares the tick axis.
+  for (const Series& series : sampler.series()) {
+    EXPECT_EQ(series.values.size(), sampler.tick_count()) << series.name;
+  }
+}
+
+TEST(SamplerTest, EmptyRegistryTicksAreNoOps) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(Seconds(1));
+  sampler.WatchRegistry(&registry);
+  sampler.SampleNow(Seconds(1));
+  sampler.SampleNow(Seconds(2));
+  EXPECT_EQ(sampler.tick_count(), 2u);
+  EXPECT_TRUE(sampler.series().empty());
+  EXPECT_TRUE(sampler.Values("anything").empty());
+  // Exporters handle the degenerate shape.
+  EXPECT_EQ(ExportSeriesCsv(sampler), "t_seconds\n1\n2\n");
+  EXPECT_EQ(ExportSeriesJsonLines(sampler), "");
+}
+
+TEST(SamplerTest, WatchRegistryConvertsCountersAndGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits_total", {{"zone", "a"}});
+  Gauge* gauge = registry.GetGauge("depth");
+  registry.GetHistogram("latency_us");  // Histograms are skipped.
+
+  TimeSeriesSampler sampler(Seconds(1));
+  sampler.WatchRegistry(&registry);
+
+  counter->Inc(30);
+  gauge->Set(4);
+  sampler.SampleNow(Seconds(1));
+  counter->Inc(10);
+  gauge->Set(9);
+  sampler.SampleNow(Seconds(2));
+
+  const std::vector<double> hits = sampler.Values("hits_total", {{"zone", "a"}});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0], 30.0);
+  EXPECT_DOUBLE_EQ(hits[1], 10.0);
+
+  const std::vector<double> depth = sampler.Values("depth");
+  ASSERT_EQ(depth.size(), 2u);
+  EXPECT_DOUBLE_EQ(depth[0], 4.0);
+  EXPECT_DOUBLE_EQ(depth[1], 9.0);
+
+  EXPECT_EQ(sampler.Find("latency_us", {}), nullptr);
+}
+
+TEST(SamplerTest, NonMonotonicTicksAreIgnored) {
+  uint64_t count = 0;
+  TimeSeriesSampler sampler(Seconds(1));
+  sampler.AddCounterProbe("queries", {},
+                          [&count]() { return static_cast<double>(count); });
+  count = 10;
+  sampler.SampleNow(Seconds(2));
+  count = 99;
+  sampler.SampleNow(Seconds(2));  // Same time: dropped.
+  sampler.SampleNow(Seconds(1));  // Going backwards: dropped.
+  EXPECT_EQ(sampler.tick_count(), 1u);
+  ASSERT_EQ(sampler.Values("queries").size(), 1u);
+}
+
+TEST(SamplerTest, CsvIsRectangularWithNanAsEmptyCell) {
+  TimeSeriesSampler sampler(Seconds(1));
+  uint64_t count = 0;
+  sampler.AddCounterProbe("qps", {{"client", "a"}},
+                          [&count]() { return static_cast<double>(count); });
+  count = 2;
+  sampler.SampleNow(Seconds(1));
+  sampler.AddGaugeProbe("depth", {}, []() { return 3.5; });
+  count = 4;
+  sampler.SampleNow(Seconds(2));
+
+  const std::string csv = ExportSeriesCsv(sampler);
+  // Header + one row per tick; the gauge's pre-registration tick is empty.
+  EXPECT_NE(csv.find("t_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("qps{client=\"\"a\"\"}"), std::string::npos);
+  EXPECT_NE(csv.find("\n1,2,\n"), std::string::npos);
+  EXPECT_NE(csv.find("\n2,2,3.5\n"), std::string::npos);
+}
+
+TEST(SamplerTest, JsonLinesOmitsMissingGaugeSamples) {
+  TimeSeriesSampler sampler(Seconds(1));
+  uint64_t count = 0;
+  sampler.AddCounterProbe("qps", {},
+                          [&count]() { return static_cast<double>(count); });
+  count = 2;
+  sampler.SampleNow(Seconds(1));
+  sampler.AddGaugeProbe("depth", {}, []() { return 3.5; });
+  count = 4;
+  sampler.SampleNow(Seconds(2));
+
+  const std::string jsonl = ExportSeriesJsonLines(sampler);
+  // Two qps points, one depth point (NaN padding is omitted, not emitted).
+  EXPECT_NE(jsonl.find("\"name\":\"qps\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"depth\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("nan"), std::string::npos);
+  size_t lines = 0;
+  for (char c : jsonl) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace dcc

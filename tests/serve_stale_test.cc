@@ -89,7 +89,6 @@ struct StaleDeployment {
     config.stop = horizon;
     config.qps = qps;
     config.timeout = Seconds(2);
-    config.series_horizon = horizon + Seconds(5);
     const Name qname = *Name::Parse("fixed.wc.target-domain");
     StubClient& stub = bed.AddStub(bed.NextAddress(), config, [qname](uint64_t) {
       return Question{qname, RecordType::kA};
@@ -165,7 +164,6 @@ TEST(ServeStaleTest, DisabledServeStaleFailsDuringBlackout) {
   stub_config.stop = Seconds(20);
   stub_config.qps = 10;
   stub_config.timeout = Seconds(2);
-  stub_config.series_horizon = Seconds(25);
   const Name qname = *Name::Parse("fixed.wc.target-domain");
   StubClient& stub = bed.AddStub(bed.NextAddress(), stub_config, [qname](uint64_t) {
     return Question{qname, RecordType::kA};
@@ -202,7 +200,6 @@ TEST(ServeStaleTest, ForwarderServesStaleWhenUpstreamDies) {
   config.stop = Seconds(20);
   config.qps = 10;
   config.timeout = Seconds(2);
-  config.series_horizon = Seconds(25);
   const Name qname = *Name::Parse("fwd-stale.wc.target-domain");
   StubClient& stub = bed.AddStub(bed.NextAddress(), config, [qname](uint64_t) {
     return Question{qname, RecordType::kA};

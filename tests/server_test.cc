@@ -8,6 +8,7 @@
 #include "src/attack/patterns.h"
 #include "src/attack/testbed.h"
 #include "src/dns/codec.h"
+#include "src/telemetry/sampler.h"
 #include "src/zone/experiment_zones.h"
 
 namespace dcc {
@@ -16,6 +17,15 @@ namespace {
 const Name& TargetApex() {
   static const Name apex = *Name::Parse("target-domain");
   return apex;
+}
+
+// Ticks `sampler` every second of virtual time for `horizon`.
+void StartSampling(Testbed& bed, telemetry::TimeSeriesSampler& sampler,
+                   Time horizon) {
+  EventLoop& loop = bed.loop();
+  loop.SchedulePeriodic(
+      sampler.interval(),
+      [&sampler, &loop]() { sampler.SampleNow(loop.now()); }, horizon);
 }
 
 // Standard deployment: one authoritative server for the target zone, one
@@ -53,7 +63,6 @@ StubConfig OneShot(int count = 1, double qps = 100.0) {
   config.stop = static_cast<Time>(static_cast<double>(count) / qps * kSecond);
   config.qps = qps;
   config.timeout = Seconds(5);
-  config.series_horizon = Seconds(30);
   return config;
 }
 
@@ -289,7 +298,6 @@ TEST(ResolverTest, FfPatternAmplifies) {
   attack_options.fanout_t = 5;
   atk_auth.AddZone(MakeAttackerZone(attacker_apex, TargetApex(), attack_options));
   d.resolver->AddAuthorityHint(attacker_apex, attacker_ans);
-  d.auth->EnableQueryLog(Seconds(30));
 
   StubConfig config = OneShot(1);
   config.timeout = Seconds(8);
@@ -383,14 +391,22 @@ TEST(ResolverTest, EgressRlLimitsUpstreamQueries) {
   limited.upstream_timeout = Milliseconds(300);
   limited.upstream_retries = 0;
   Deployment d(TargetZoneOptions{}, limited);
-  d.auth->EnableQueryLog(Seconds(10));
+  telemetry::TimeSeriesSampler sampler;
+  sampler.AddCounterProbe("ans_qps", {}, [&d]() {
+    return static_cast<double>(d.auth->queries_received());
+  });
+  StartSampling(d.bed, sampler, Seconds(10));
   StubConfig config = OneShot(300, 100.0);  // All cache misses (random WC).
   config.timeout = Seconds(2);
   StubClient& stub = d.bed.AddStub(d.client_addr, config, MakeWcGenerator(TargetApex(), 8));
   stub.AddResolver(d.resolver_addr);
   stub.Start();
   d.bed.RunFor(Seconds(8));
-  EXPECT_LE(d.auth->StableQps(), 45.0);
+  // The 30-QPS egress limit caps every per-second rate at the ANS (modulo
+  // the 3-token burst).
+  for (double v : sampler.Values("ans_qps")) {
+    EXPECT_LE(v, 45.0);
+  }
   EXPECT_GT(d.resolver->egress_rate_limited(), 50u);
 }
 
@@ -530,15 +546,21 @@ TEST(StubTest, TracksPerSecondSeries) {
   config.start = Seconds(1);
   config.stop = Seconds(3);
   config.qps = 50;
-  config.series_horizon = Seconds(10);
   StubClient& stub =
       d.bed.AddStub(d.client_addr, config, MakeWcGenerator(TargetApex(), 12));
   stub.AddResolver(d.resolver_addr);
+  telemetry::TimeSeriesSampler sampler;
+  sampler.AddCounterProbe("client_success_qps", {}, [&stub]() {
+    return static_cast<double>(stub.succeeded());
+  });
+  StartSampling(d.bed, sampler, Seconds(6));
   stub.Start();
   d.bed.RunFor(Seconds(6));
-  EXPECT_NEAR(stub.success_series().RateAt(1), 50, 10);
-  EXPECT_NEAR(stub.success_series().RateAt(2), 50, 10);
-  EXPECT_DOUBLE_EQ(stub.success_series().RateAt(5), 0);
+  const std::vector<double> rates = sampler.Values("client_success_qps");
+  ASSERT_GE(rates.size(), 6u);
+  EXPECT_NEAR(rates[1], 50, 10);  // Tick 1 covers virtual second (1 s, 2 s].
+  EXPECT_NEAR(rates[2], 50, 10);
+  EXPECT_DOUBLE_EQ(rates[5], 0);
   EXPECT_GT(stub.latency().count(), 0);
   // Latency ~ network RTT + processing (>= 1 ms in simulator microseconds).
   EXPECT_GT(stub.latency().mean(), 500.0);

@@ -1,0 +1,294 @@
+// Unified bench runner and regression gate.
+//
+// Runs every scenario bench (bench/bench_*.cc) in-process, measuring
+// wall-clock time, executed simulation events (deterministic — any drift is
+// a behavior change) and peak RSS, and writes a BENCH_dcc.json report. With
+// --check, the report is compared against a committed baseline
+// (bench/baseline.json by default) with per-metric tolerances; any
+// regression exits non-zero, which is what CI gates on.
+//
+//   dcc_bench                         run the full suite, write BENCH_dcc.json
+//   dcc_bench --quick --check         CI smoke: trimmed suite vs baseline
+//   dcc_bench --filter fig8 --verbose one bench, with its tables on stdout
+//   dcc_bench --quick --write-baseline  refresh bench/baseline.json
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/benches.h"
+#include "bench/harness.h"
+#include "src/sim/event_loop.h"
+
+namespace {
+
+struct RunnerOptions {
+  bool quick = false;
+  bool check = false;
+  bool list = false;
+  bool verbose = false;
+  bool write_baseline = false;
+  double wall_slack = 0.15;
+  std::string out = "BENCH_dcc.json";
+  std::string baseline = "bench/baseline.json";
+  std::string filter;
+};
+
+void PrintUsage(FILE* stream) {
+  std::fprintf(stream,
+               "usage: dcc_bench [options]\n"
+               "\n"
+               "  --quick             trimmed workloads (CI smoke); baseline rows\n"
+               "                      for quick and full runs are not comparable\n"
+               "  --filter SUBSTR     only benches whose name contains SUBSTR\n"
+               "  --list              list bench names and exit\n"
+               "  --verbose           keep bench stdout (silenced by default)\n"
+               "  --out PATH          report path (default BENCH_dcc.json)\n"
+               "  --check             compare against the baseline; exit 1 on any\n"
+               "                      regression, exit 2 if the baseline is missing\n"
+               "  --baseline PATH     baseline path (default bench/baseline.json)\n"
+               "  --wall-slack F      allowed wall-clock slowdown fraction for\n"
+               "                      --check (default 0.15; raise on noisy or\n"
+               "                      differently-sized machines — sim_events\n"
+               "                      stays tight either way)\n"
+               "  --write-baseline    write the report to the baseline path too\n"
+               "  --help              this text\n");
+}
+
+bool ParseArgs(int argc, char** argv, RunnerOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dcc_bench: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      options->quick = true;
+    } else if (arg == "--check") {
+      options->check = true;
+    } else if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--verbose") {
+      options->verbose = true;
+    } else if (arg == "--write-baseline") {
+      options->write_baseline = true;
+    } else if (arg == "--filter") {
+      const char* v = value("--filter");
+      if (v == nullptr) return false;
+      options->filter = v;
+    } else if (arg == "--out") {
+      const char* v = value("--out");
+      if (v == nullptr) return false;
+      options->out = v;
+    } else if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return false;
+      options->baseline = v;
+    } else if (arg == "--wall-slack") {
+      const char* v = value("--wall-slack");
+      if (v == nullptr) return false;
+      options->wall_slack = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "dcc_bench: unknown flag '%s'\n", arg.data());
+      PrintUsage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Redirects stdout to /dev/null while a bench runs; the runner's own
+// progress lines go to stderr so they survive either way.
+class StdoutSilencer {
+ public:
+  StdoutSilencer() {
+    std::fflush(stdout);
+    saved_fd_ = dup(STDOUT_FILENO);
+    const int null_fd = open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      dup2(null_fd, STDOUT_FILENO);
+      close(null_fd);
+    }
+  }
+  ~StdoutSilencer() {
+    std::fflush(stdout);
+    if (saved_fd_ >= 0) {
+      dup2(saved_fd_, STDOUT_FILENO);
+      close(saved_fd_);
+    }
+  }
+
+ private:
+  int saved_fd_ = -1;
+};
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return 2;
+  }
+  if (options.list) {
+    for (const dcc::bench::BenchInfo& bench : dcc::bench::AllBenches()) {
+      std::printf("%-22s %s\n", bench.name, bench.description);
+    }
+    return 0;
+  }
+
+  dcc::bench::BenchOptions bench_options;
+  bench_options.quick = options.quick;
+
+  dcc::bench::SuiteReport report;
+  report.quick = options.quick;
+  bool any_failed = false;
+  for (const dcc::bench::BenchInfo& bench : dcc::bench::AllBenches()) {
+    if (!options.filter.empty() &&
+        std::string(bench.name).find(options.filter) == std::string::npos) {
+      continue;
+    }
+    std::fprintf(stderr, "[dcc_bench] %s ...", bench.name);
+    std::fflush(stderr);
+
+    const uint64_t events_before = dcc::EventLoop::TotalEventsExecuted();
+    const auto wall_start = std::chrono::steady_clock::now();
+    int exit_code = 0;
+    {
+      // Scope the silencer so stdout is restored even on early return.
+      std::unique_ptr<StdoutSilencer> silencer;
+      if (!options.verbose) {
+        silencer = std::make_unique<StdoutSilencer>();
+      }
+      exit_code = bench.fn(bench_options);
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    dcc::bench::BenchReport entry;
+    entry.name = bench.name;
+    entry.metrics.wall_ms =
+        std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+    entry.metrics.sim_events =
+        dcc::EventLoop::TotalEventsExecuted() - events_before;
+    entry.metrics.events_per_sec =
+        entry.metrics.wall_ms > 0
+            ? static_cast<double>(entry.metrics.sim_events) /
+                  (entry.metrics.wall_ms / 1000.0)
+            : 0;
+    entry.metrics.peak_rss_kb = dcc::bench::PeakRssKb();
+    entry.metrics.exit_code = exit_code;
+    report.benches.push_back(entry);
+    any_failed = any_failed || exit_code != 0;
+
+    std::fprintf(stderr,
+                 " %.0f ms, %llu sim events (%.2fM events/s), rss %lld KB%s\n",
+                 entry.metrics.wall_ms,
+                 static_cast<unsigned long long>(entry.metrics.sim_events),
+                 entry.metrics.events_per_sec / 1e6,
+                 static_cast<long long>(entry.metrics.peak_rss_kb),
+                 exit_code == 0 ? "" : " [FAILED]");
+  }
+
+  if (report.benches.empty()) {
+    std::fprintf(stderr, "dcc_bench: no bench matches filter '%s'\n",
+                 options.filter.c_str());
+    return 2;
+  }
+
+  const std::string json = dcc::bench::RenderJson(report);
+  if (!WriteFile(options.out, json)) {
+    std::fprintf(stderr, "dcc_bench: cannot write %s\n", options.out.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "[dcc_bench] report written to %s\n", options.out.c_str());
+  if (options.write_baseline) {
+    if (!WriteFile(options.baseline, json)) {
+      std::fprintf(stderr, "dcc_bench: cannot write %s\n", options.baseline.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "[dcc_bench] baseline refreshed at %s\n",
+                 options.baseline.c_str());
+  }
+  if (any_failed) {
+    std::fprintf(stderr, "[dcc_bench] FAIL: a bench returned non-zero\n");
+    return 1;
+  }
+
+  if (options.check) {
+    std::string baseline_text;
+    if (!ReadFile(options.baseline, &baseline_text)) {
+      std::fprintf(stderr,
+                   "dcc_bench: baseline %s missing — generate it with "
+                   "dcc_bench%s --write-baseline\n",
+                   options.baseline.c_str(), options.quick ? " --quick" : "");
+      return 2;
+    }
+    dcc::bench::SuiteReport baseline;
+    if (!dcc::bench::ParseReportJson(baseline_text, &baseline)) {
+      std::fprintf(stderr, "dcc_bench: baseline %s is not a dcc_bench report\n",
+                   options.baseline.c_str());
+      return 2;
+    }
+    if (!options.filter.empty()) {
+      // A filtered run covers a subset; drop baseline rows outside it so the
+      // comparison only reports real regressions.
+      std::vector<dcc::bench::BenchReport> kept;
+      for (const dcc::bench::BenchReport& bench : baseline.benches) {
+        if (bench.name.find(options.filter) != std::string::npos) {
+          kept.push_back(bench);
+        }
+      }
+      baseline.benches = std::move(kept);
+    }
+    dcc::bench::Tolerances tolerances;
+    tolerances.wall_slack = options.wall_slack;
+    const std::vector<std::string> violations =
+        dcc::bench::CompareReports(report, baseline, tolerances);
+    if (!violations.empty()) {
+      std::fprintf(stderr, "[dcc_bench] REGRESSION vs %s:\n",
+                   options.baseline.c_str());
+      for (const std::string& violation : violations) {
+        std::fprintf(stderr, "  - %s\n", violation.c_str());
+      }
+      return 1;
+    }
+    std::fprintf(stderr, "[dcc_bench] check passed vs %s\n",
+                 options.baseline.c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 // dcc_sim — command-line front-end for the experiment scenarios.
 //
-// Usage:
+// Run `dcc_sim --help` for the full flag reference (PrintUsage below is the
+// authoritative list); short form:
+//
 //   dcc_sim resilience [--pattern wc|nx|ff] [--attacker-qps N]
 //                      [--channel-qps N] [--vanilla] [--horizon SECONDS]
 //                      [--fault-plan FILE]
@@ -9,26 +11,15 @@
 //   dcc_sim signaling  [--pattern nx|ff] [--attacker-qps N] [--no-signals]
 //   dcc_sim chaos      [--dcc] [--client-qps N] [--horizon SECONDS]
 //                      [--auths N] [--seed N] [--fault-plan FILE]
-//                      (graceful-degradation run: a fault plan — default
-//                       blackout of every authoritative from 10 s to 25 s —
-//                       against a serve-stale resolver; see
-//                       examples/fault_plans/ for the plan format)
 //   dcc_sim probe      [--irl N] [--nx-irl N] [--erl N]
-//                      (measure a synthetic resolver's rate limits with the
-//                       Appendix A methodology and report the estimates)
 //
-// Options shared by resilience / validation / signaling:
-//   --log-level debug|info|warn|error
-//                      Logging threshold (default warn). Log lines are
-//                      prefixed with the simulated clock.
-//   --metrics-out FILE Dump the scenario's metrics registry to FILE in
-//                      Prometheus text format ("-.jsonl" suffix: JSON lines).
-//   --trace-out FILE   Dump the query-lifecycle trace to FILE as JSON lines,
-//                      one span event per line.
+// Every scenario command also takes --log-level, --metrics-out, --trace-out,
+// --sample-interval and --series-out (see PrintUsage).
 //
 // Examples:
 //   dcc_sim resilience --pattern ff --attacker-qps 50
 //   dcc_sim resilience --pattern nx --metrics-out m.prom --trace-out t.jsonl
+//   dcc_sim resilience --series-out series.csv --sample-interval 0.5
 //   dcc_sim validation --setup d --egresses 16 --attacker-qps 25
 //   dcc_sim signaling --pattern nx --no-signals
 
@@ -42,7 +33,9 @@
 #include "src/common/logging.h"
 #include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeseries_export.h"
 
 namespace {
 
@@ -136,6 +129,37 @@ std::unique_ptr<telemetry::TelemetrySink> MakeSink(int argc, char** argv) {
   return std::make_unique<telemetry::TelemetrySink>();
 }
 
+// Builds the time-series scoreboard when --series-out is given. The scenario
+// runner ticks it on its interval and wires in the introspection seam.
+std::unique_ptr<telemetry::TimeSeriesSampler> MakeSampler(int argc, char** argv) {
+  if (FlagValue(argc, argv, "--series-out") == nullptr) {
+    if (FlagValue(argc, argv, "--sample-interval") != nullptr) {
+      std::fprintf(stderr, "--sample-interval has no effect without --series-out\n");
+    }
+    return nullptr;
+  }
+  const double interval = FlagDouble(argc, argv, "--sample-interval", 1.0);
+  if (interval <= 0) {
+    std::fprintf(stderr, "--sample-interval must be > 0 (got %g)\n", interval);
+    std::exit(2);
+  }
+  return std::make_unique<telemetry::TimeSeriesSampler>(SecondsF(interval));
+}
+
+int DumpSeries(int argc, char** argv, const telemetry::TimeSeriesSampler* sampler) {
+  if (sampler == nullptr) {
+    return 0;
+  }
+  const char* path = FlagValue(argc, argv, "--series-out");
+  if (!telemetry::WriteSeriesFile(*sampler, path)) {
+    std::fprintf(stderr, "cannot write series to %s\n", path);
+    return 1;
+  }
+  std::printf("series: %zu series x %zu ticks -> %s\n", sampler->series().size(),
+              sampler->tick_count(), path);
+  return 0;
+}
+
 bool WriteFile(const char* path, const std::string& contents) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -189,6 +213,8 @@ int RunResilience(int argc, char** argv) {
   ResilienceOptions options;
   auto sink = MakeSink(argc, argv);
   options.telemetry = sink.get();
+  auto sampler = MakeSampler(argc, argv);
+  options.sampler = sampler.get();
   options.dcc_enabled = !HasFlag(argc, argv, "--vanilla");
   options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 1000);
   const QueryPattern pattern =
@@ -213,6 +239,9 @@ int RunResilience(int argc, char** argv) {
                 static_cast<unsigned long long>(result.dcc_servfails),
                 static_cast<unsigned long long>(result.dcc_signals_attached));
   }
+  if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
+    return rc;
+  }
   return DumpTelemetry(argc, argv, sink.get());
 }
 
@@ -220,6 +249,8 @@ int RunValidation(int argc, char** argv) {
   ValidationOptions options;
   auto sink = MakeSink(argc, argv);
   options.telemetry = sink.get();
+  auto sampler = MakeSampler(argc, argv);
+  options.sampler = sampler.get();
   const char* setup = FlagValue(argc, argv, "--setup");
   const char setup_id = setup != nullptr ? setup[0] : 'a';
   switch (setup_id) {
@@ -252,6 +283,9 @@ int RunValidation(int argc, char** argv) {
   std::printf("benign success ratio:   %.2f\n", result.benign_success_ratio);
   std::printf("attacker success ratio: %.2f\n", result.attacker_success_ratio);
   std::printf("victim ANS peak load:   %.0f QPS\n", result.ans_peak_qps);
+  if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
+    return rc;
+  }
   return DumpTelemetry(argc, argv, sink.get());
 }
 
@@ -259,6 +293,8 @@ int RunSignaling(int argc, char** argv) {
   SignalingOptions options;
   auto sink = MakeSink(argc, argv);
   options.telemetry = sink.get();
+  auto sampler = MakeSampler(argc, argv);
+  options.sampler = sampler.get();
   options.signaling_enabled = !HasFlag(argc, argv, "--no-signals");
   options.attacker_pattern =
       ParsePattern(FlagValue(argc, argv, "--pattern"), QueryPattern::kNx);
@@ -273,6 +309,9 @@ int RunSignaling(int argc, char** argv) {
               static_cast<unsigned long long>(result.dcc_convictions),
               static_cast<unsigned long long>(result.dcc_policed_drops),
               static_cast<unsigned long long>(result.dcc_signals_attached));
+  if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
+    return rc;
+  }
   return DumpTelemetry(argc, argv, sink.get());
 }
 
@@ -280,6 +319,8 @@ int RunChaos(int argc, char** argv) {
   ChaosOptions options;
   auto sink = MakeSink(argc, argv);
   options.telemetry = sink.get();
+  auto sampler = MakeSampler(argc, argv);
+  options.sampler = sampler.get();
   options.dcc_enabled = HasFlag(argc, argv, "--dcc");
   options.client_qps = FlagDouble(argc, argv, "--client-qps", options.client_qps);
   options.horizon = SecondsF(FlagDouble(argc, argv, "--horizon", 40));
@@ -312,6 +353,9 @@ int RunChaos(int argc, char** argv) {
                     ? result.client.effective_qps[s]
                     : 0.0);
   }
+  if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
+    return rc;
+  }
   return DumpTelemetry(argc, argv, sink.get());
 }
 
@@ -342,16 +386,93 @@ int RunProbe(int argc, char** argv) {
   return 0;
 }
 
+void PrintUsage(std::FILE* stream) {
+  std::fprintf(stream,
+      "usage: dcc_sim COMMAND [options]\n"
+      "\n"
+      "commands:\n"
+      "  resilience   Table 2 / Fig. 8 attack-resilience run: attacker +\n"
+      "               benign client mix against one resolver\n"
+      "  validation   Fig. 4 congestion-validation topologies (setups a-d)\n"
+      "  signaling    Fig. 9 resolution-path signaling chain\n"
+      "               (stub -> forwarder -> resolver -> ANS)\n"
+      "  chaos        graceful-degradation run: a fault plan (default: all\n"
+      "               authoritatives black out from 10 s to 25 s) against a\n"
+      "               serve-stale resolver; see examples/fault_plans/\n"
+      "  probe        measure a synthetic resolver's rate limits with the\n"
+      "               Appendix A methodology and report the estimates\n"
+      "\n"
+      "resilience options:\n"
+      "  --pattern wc|nx|ff   attack query pattern (default wc)\n"
+      "  --attacker-qps N     attacker rate (default 1100; 50 for ff)\n"
+      "  --channel-qps N      victim channel capacity (default 1000)\n"
+      "  --vanilla            disable DCC (default: DCC enabled)\n"
+      "  --horizon SECONDS    run length (default 60)\n"
+      "  --fault-plan FILE    inject a fault timeline (default: none)\n"
+      "\n"
+      "validation options:\n"
+      "  --setup a|b|c|d      topology: a=redundant auth, b=redundant\n"
+      "                       resolver, c=forwarder, d=large resolver\n"
+      "                       (default a)\n"
+      "  --attacker-qps N     per-attacker rate (default 5; 100 for setup c)\n"
+      "  --channel-qps N      victim channel capacity (default 100)\n"
+      "  --egresses N         egress IPs for setup d (default 4)\n"
+      "\n"
+      "signaling options:\n"
+      "  --pattern nx|ff      attack pattern (default nx)\n"
+      "  --attacker-qps N     attacker rate (default 200; 20 for ff)\n"
+      "  --no-signals         disable congestion signals (default: on)\n"
+      "\n"
+      "chaos options:\n"
+      "  --dcc                enable DCC (default: vanilla resolver)\n"
+      "  --client-qps N       benign client rate (default 40)\n"
+      "  --horizon SECONDS    run length (default 40)\n"
+      "  --auths N            authoritative server count (default 2)\n"
+      "  --seed N             workload RNG seed (default 1)\n"
+      "  --fault-plan FILE    fault timeline (default: built-in blackout)\n"
+      "\n"
+      "probe options:\n"
+      "  --irl N              true NOERROR ingress limit, QPS (default 300)\n"
+      "  --nx-irl N           true NXDOMAIN ingress limit (default: --irl)\n"
+      "  --erl N              true egress limit, QPS (default 0 = none)\n"
+      "\n"
+      "options for every scenario command (all but probe):\n"
+      "  --log-level debug|info|warn|error\n"
+      "                       logging threshold (default warn); log lines are\n"
+      "                       prefixed with the simulated clock\n"
+      "  --metrics-out FILE   dump the metrics registry to FILE in Prometheus\n"
+      "                       text format (.jsonl suffix: JSON lines)\n"
+      "  --trace-out FILE     dump the query-lifecycle trace to FILE as JSON\n"
+      "                       lines, one span event per line\n"
+      "  --series-out FILE    sample per-channel time series over the run and\n"
+      "                       write them to FILE — wide CSV by default, JSON\n"
+      "                       lines for .json/.jsonl/.ndjson\n"
+      "  --sample-interval S  sampling period in virtual seconds for\n"
+      "                       --series-out (default 1.0)\n"
+      "\n"
+      "examples:\n"
+      "  dcc_sim resilience --pattern ff --attacker-qps 50\n"
+      "  dcc_sim resilience --series-out series.csv --sample-interval 0.5\n"
+      "  dcc_sim validation --setup d --egresses 16 --attacker-qps 25\n"
+      "  dcc_sim chaos --dcc --fault-plan examples/fault_plans/flap.plan\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0 ||
+                    std::strcmp(argv[1], "help") == 0)) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: dcc_sim resilience|validation|signaling|chaos|probe [options]\n"
-                 "common: --log-level debug|info|warn|error --metrics-out FILE "
-                 "--trace-out FILE\n"
-                 "see the header comment of tools/dcc_sim.cc for all flags\n");
+    PrintUsage(stderr);
     return 2;
+  }
+  if (HasFlag(argc, argv, "--help") || HasFlag(argc, argv, "-h")) {
+    PrintUsage(stdout);
+    return 0;
   }
   const std::string command = argv[1];
   ApplyLogLevel(argc, argv);
