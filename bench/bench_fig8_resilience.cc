@@ -13,6 +13,8 @@
 
 #include "bench/benches.h"
 #include "src/attack/scenarios.h"
+#include "src/common/ids.h"
+#include "src/telemetry/span_tree.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dcc {
@@ -78,6 +80,22 @@ void RunScenario(const char* title, QueryPattern pattern, double attacker_qps) {
           snap.Sum("dcc_memory_bytes"));
     }
     std::printf("\n");
+    if (ff) {
+      // Causal-tree view of the same run: who amplified, and by how much.
+      // With DCC on, policing should push the attacker's realized fan-out
+      // well below the vanilla number.
+      const telemetry::AmplificationReport report =
+          telemetry::Attribute(telemetry::BuildSpanTrees(sink.trace));
+      if (!report.clients.empty()) {
+        const telemetry::ClientAmplification& worst = report.clients.front();
+        std::printf(
+            "amplification: worst client %s at %.1f subqueries/request "
+            "(max %zu, depth %d, %zu retries over %zu traced requests)\n",
+            FormatAddress(worst.client).c_str(), worst.mean_amplification,
+            worst.max_amplification, worst.max_depth, worst.retries,
+            worst.requests);
+      }
+    }
   }
 }
 

@@ -20,6 +20,10 @@ inline constexpr HostAddress kInvalidAddress = 0;
 // Renders an address as a dotted quad, e.g. 0x0a000001 -> "10.0.0.1".
 std::string FormatAddress(HostAddress addr);
 
+// Inverse of FormatAddress: parses a dotted quad into `out`. Returns false
+// (leaving `out` untouched) on anything but four dot-separated octets.
+bool ParseAddress(const std::string& text, HostAddress* out);
+
 struct Endpoint {
   HostAddress addr = kInvalidAddress;
   uint16_t port = 0;

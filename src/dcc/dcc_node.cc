@@ -6,6 +6,16 @@
 #include "src/dns/codec.h"
 
 namespace dcc {
+namespace {
+
+// Span the shim's events attach to: the sub-query span carried by the
+// attribution option, or the root client span for hops that do not allocate
+// spans (legacy 8-byte attributions, e.g. from the forwarder).
+uint32_t SpanOf(const Attribution& a) {
+  return a.span_id != 0 ? a.span_id : telemetry::kClientSpanId;
+}
+
+}  // namespace
 
 DccNode::DccNode(Network& network, HostAddress addr, const DccConfig& config)
     : config_(config),
@@ -214,7 +224,8 @@ void DccNode::HandleIncomingAnswer(const Datagram& dgram, Message msg) {
         tracer_->Record(
             telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id),
             telemetry::SpanKind::kAuthResponse, now(), address(),
-            static_cast<int32_t>(dgram.src.addr));
+            static_cast<int32_t>(dgram.src.addr), SpanOf(a), a.parent_span_id,
+            /*peer=*/dgram.src.addr);
       }
     }
     pending_.erase(it);
@@ -365,7 +376,8 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
                                            attribution.client_port,
                                            attribution.request_id),
                     telemetry::SpanKind::kPolicerVerdict, now(), address(),
-                    policer_allowed ? 1 : 0);
+                    policer_allowed ? 1 : 0, SpanOf(attribution),
+                    attribution.parent_span_id, /*peer=*/dst.addr);
   }
   if (!policer_allowed) {
     if (policer_reject_counter_ != nullptr) {
@@ -423,7 +435,8 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
                                            attribution.client_port,
                                            attribution.request_id),
                     telemetry::SpanKind::kSchedulerEnqueue, now(), address(),
-                    static_cast<int32_t>(outcome.result));
+                    static_cast<int32_t>(outcome.result), SpanOf(attribution),
+                    attribution.parent_span_id, /*peer=*/dst.addr);
   }
   if (outcome.evicted.has_value()) {
     ++evictions_;
@@ -477,9 +490,11 @@ void DccNode::Drain() {
       const uint64_t trace_id =
           telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id);
       tracer_->Record(trace_id, telemetry::SpanKind::kSchedulerDequeue, now(),
-                      address(), static_cast<int32_t>(queued.dst.addr));
+                      address(), static_cast<int32_t>(queued.dst.addr),
+                      SpanOf(a), a.parent_span_id, /*peer=*/queued.dst.addr);
       tracer_->Record(trace_id, telemetry::SpanKind::kEgress, now(), address(),
-                      static_cast<int32_t>(queued.dst.addr));
+                      static_cast<int32_t>(queued.dst.addr), SpanOf(a),
+                      a.parent_span_id, /*peer=*/queued.dst.addr);
     }
     SendDatagram(queued.src_port, queued.dst, EncodeMessage(queued.query));
     ++queries_sent_;

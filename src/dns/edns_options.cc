@@ -103,11 +103,18 @@ EdnsOption EncodeAttribution(const Attribution& attribution) {
   PutU32(opt.payload, attribution.client_addr);
   PutU16(opt.payload, attribution.client_port);
   PutU16(opt.payload, attribution.request_id);
+  PutU32(opt.payload, attribution.span_id);
+  PutU32(opt.payload, attribution.parent_span_id);
   return opt;
 }
 
 std::optional<Attribution> DecodeAttribution(const EdnsOption& option) {
   if (option.code != kAttributionOptionCode) {
+    return std::nullopt;
+  }
+  // Two valid encodings: the legacy 8-byte (addr, port, id) payload, which
+  // leaves the span ids zero, and the 16-byte one with span linkage.
+  if (option.payload.size() != 8 && option.payload.size() != 16) {
     return std::nullopt;
   }
   Attribution a;
@@ -118,6 +125,11 @@ std::optional<Attribution> DecodeAttribution(const EdnsOption& option) {
     return std::nullopt;
   }
   a.client_addr = addr;
+  if (option.payload.size() == 16 &&
+      (!GetU32(option.payload, pos, a.span_id) ||
+       !GetU32(option.payload, pos, a.parent_span_id))) {
+    return std::nullopt;
+  }
   return a;
 }
 

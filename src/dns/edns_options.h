@@ -54,6 +54,12 @@ struct Attribution {
   HostAddress client_addr = kInvalidAddress;
   uint16_t client_port = 0;
   uint16_t request_id = 0;
+  // Causal-span linkage: the resolver-assigned span id of this sub-query and
+  // the span it was caused by. Zero means "unset" (legacy 8-byte encoding or
+  // a hop that does not allocate spans, e.g. the forwarder), in which case
+  // consumers attribute events to the root client span.
+  uint32_t span_id = 0;
+  uint32_t parent_span_id = 0;
 
   friend bool operator==(const Attribution&, const Attribution&) = default;
 };

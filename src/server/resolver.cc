@@ -51,6 +51,10 @@ void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
     retry_counter_ = nullptr;
     upstream_query_counter_ = nullptr;
     stale_counter_ = nullptr;
+    for (auto& counter : subquery_cause_counters_) {
+      counter = nullptr;
+    }
+    amplification_hist_ = nullptr;
     tracker_.AttachTelemetry(nullptr, {});
     return;
   }
@@ -78,6 +82,20 @@ void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
   stale_counter_ = registry->GetCounter(
       "resolver_stale_answers_total", host,
       "Responses served from expired cache entries (RFC 8767 serve-stale)");
+  // Cause-attributed sub-query counts (the kClient ordinal is skipped: the
+  // root client query is by definition not a sub-query).
+  for (int i = 1; i < telemetry::kSubQueryCauseCount; ++i) {
+    const auto cause = static_cast<telemetry::SubQueryCause>(i);
+    subquery_cause_counters_[i] = registry->GetCounter(
+        "resolver_subqueries_total",
+        labeled("cause", telemetry::SubQueryCauseName(cause)),
+        "Upstream sub-queries by cause (initial fetch, QMIN descent, "
+        "glue-less NS fetch, CNAME chase, retransmission)");
+  }
+  amplification_hist_ = registry->GetHistogram(
+      "amplification_factor", host,
+      "Upstream queries spent per recursive client request",
+      /*min_value=*/1.0, /*growth=*/1.3, /*max_buckets=*/64);
   tracker_.AttachTelemetry(registry, host);
   registry->GetCallbackGauge(
       "resolver_pending_requests",
@@ -116,6 +134,51 @@ uint16_t RecursiveResolver::AllocatePort() {
     }
   }
   return 1023;  // Unreachable in practice (64K outstanding queries).
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing / amplification attribution
+// ---------------------------------------------------------------------------
+
+uint64_t RecursiveResolver::TraceIdFor(const ClientRequest& request) {
+  return telemetry::MakeTraceId(request.client.addr, request.client.port,
+                                request.query.header.id);
+}
+
+void RecursiveResolver::RecordSubQuerySend(const ClientRequest& request,
+                                           const OutstandingQuery& oq) {
+  const int cause = static_cast<int>(oq.cause);
+  if (cause > 0 && cause < telemetry::kSubQueryCauseCount &&
+      subquery_cause_counters_[cause] != nullptr) {
+    subquery_cause_counters_[cause]->Inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceIdFor(request), telemetry::SpanKind::kSubQuerySend,
+                    transport_.now(), transport_.local_address(),
+                    /*detail=*/cause, oq.span_id, oq.parent_span_id, oq.server);
+  }
+}
+
+void RecursiveResolver::RecordSubQueryDone(uint64_t request_id,
+                                           const OutstandingQuery& oq,
+                                           bool answered) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  auto rit = requests_.find(request_id);
+  if (rit == requests_.end()) {
+    return;
+  }
+  tracer_->Record(TraceIdFor(rit->second), telemetry::SpanKind::kSubQueryDone,
+                  transport_.now(), transport_.local_address(),
+                  /*detail=*/answered ? 1 : 0, oq.span_id, oq.parent_span_id,
+                  oq.server);
+}
+
+void RecursiveResolver::ObserveAmplification(const ClientRequest& request) {
+  if (amplification_hist_ != nullptr) {
+    amplification_hist_->Observe(static_cast<double>(request.fetches));
+  }
 }
 
 bool RecursiveResolver::PassesIngressRrl(HostAddress client, Rcode rcode) {
@@ -373,6 +436,7 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
     const uint64_t root = it->second.root_task;
     FailChildrenOf(root);
     tasks_.erase(root);
+    ObserveAmplification(it->second);
     if (!TryServeStale(it->second)) {
       Message response = MakeResponse(it->second.query, Rcode::kServFail);
       RespondToClient(it->second, std::move(response));
@@ -608,11 +672,16 @@ void RecursiveResolver::SpawnNsChildren(uint64_t task_id) {
   t.servers.clear();
   t.server_index = 0;
   t.waiting_children = true;
+  // Children are caused by the query that produced the glue-less referral
+  // (the task's latest span), so the FF fan-out shows up as siblings under
+  // one node of the span tree.
+  const uint32_t cause_span = t.last_span != 0 ? t.last_span : t.origin_span;
   std::vector<uint64_t> child_ids;
   child_ids.reserve(batch.size());
   for (const auto& ns_name : batch) {
     const uint64_t child =
         CreateTask(t.request_id, task_id, t.depth + 1, ns_name, RecordType::kA);
+    tasks_.at(child).origin_span = cause_span;
     t.children.push_back(child);
     ++t.pending_children;
     child_ids.push_back(child);
@@ -703,12 +772,32 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
   oq.sent_at = now;
   oq.attempt = 0;
 
+  // Open a causal span for this sub-query: classify why it exists and link
+  // it to the span that caused it. Successive queries of one task chain off
+  // each other, so QMIN descents and CNAME chases form paths while NS-child
+  // fan-out forms subtrees.
+  if (sname.LabelCount() != t.qname.LabelCount()) {
+    oq.cause = telemetry::SubQueryCause::kQmin;
+  } else if (t.depth > 0) {
+    oq.cause = telemetry::SubQueryCause::kNs;
+  } else if (t.cname_count > 0) {
+    oq.cause = telemetry::SubQueryCause::kCname;
+  } else {
+    oq.cause = telemetry::SubQueryCause::kInitial;
+  }
+  oq.span_id = next_span_id_++;
+  oq.parent_span_id = t.last_span != 0 ? t.last_span : t.origin_span;
+  t.last_span = oq.span_id;
+  RecordSubQuerySend(request, oq);
+
   Message query = MakeQuery(qid, sname, stype, /*rd=*/false);
   query.EnsureEdns();
   if (config_.attach_attribution) {
     SetOption(query, EncodeAttribution(Attribution{request.client.addr,
                                                    request.client.port,
-                                                   request.query.header.id}));
+                                                   request.query.header.id,
+                                                   oq.span_id,
+                                                   oq.parent_span_id}));
   }
   if (PassesEgressRl(server)) {
     oq.sent = true;
@@ -773,15 +862,24 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
       retry_counter_->Inc();
     }
     oq.generation = next_generation_++;
+    // The retransmission opens a fresh span caused by the timed-out attempt,
+    // so retry storms are visible as chains in the span tree.
+    oq.parent_span_id = oq.span_id;
+    oq.span_id = next_span_id_++;
+    oq.cause = telemetry::SubQueryCause::kRetry;
+    tit->second.last_span = oq.span_id;
+    auto rit = requests_.find(tit->second.request_id);
+    if (rit != requests_.end()) {
+      RecordSubQuerySend(rit->second, oq);
+    }
     Message query = MakeQuery(oq.id, oq.qname, oq.qtype, /*rd=*/false);
     query.EnsureEdns();
-    if (config_.attach_attribution) {
-      auto rit = requests_.find(tit->second.request_id);
-      if (rit != requests_.end()) {
-        SetOption(query, EncodeAttribution(Attribution{rit->second.client.addr,
-                                                       rit->second.client.port,
-                                                       rit->second.query.header.id}));
-      }
+    if (config_.attach_attribution && rit != requests_.end()) {
+      SetOption(query, EncodeAttribution(Attribution{rit->second.client.addr,
+                                                     rit->second.client.port,
+                                                     rit->second.query.header.id,
+                                                     oq.span_id,
+                                                     oq.parent_span_id}));
     }
     if (PassesEgressRl(oq.server)) {
       oq.sent = true;
@@ -804,6 +902,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
     return;
   }
   const uint64_t task_id = oq.task_id;
+  RecordSubQueryDone(tit->second.request_id, oq, /*answered=*/false);
   outstanding_.erase(it);
   TryNextServer(task_id);
 }
@@ -860,6 +959,7 @@ void RecursiveResolver::HandleUpstreamResponse(const Datagram& dgram, Message re
   Task& t = tit->second;
   const Time now = transport_.now();
   const Rcode rcode = response.header.rcode;
+  RecordSubQueryDone(t.request_id, oq, /*answered=*/true);
 
   if (rcode == Rcode::kNxDomain) {
     cache_.StoreNegative(oq.qname, oq.qtype, CacheEntryKind::kNegativeNxDomain,
@@ -1060,6 +1160,7 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
   }
   ClientRequest& request = rit->second;
   request.done = true;
+  ObserveAmplification(request);
   Message response = MakeResponse(request.query, Rcode::kNoError);
   switch (status) {
     case TaskStatus::kAnswer:

@@ -162,6 +162,12 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
     uint64_t id = 0;
     uint64_t request_id = 0;
     uint64_t parent_task = 0;  // 0 = root (answers the client).
+    // Causal-span linkage: the span that caused this task (the client span
+    // for the root task, the parent task's triggering query for NS children)
+    // and the most recent sub-query span issued by this task. Successive
+    // queries of one task chain off each other (QMIN descent, CNAME chase).
+    uint32_t origin_span = telemetry::kClientSpanId;
+    uint32_t last_span = 0;
     int depth = 0;
     Name qname;                // Current target (advances over CNAMEs).
     RecordType qtype = RecordType::kA;
@@ -189,6 +195,11 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
     Time sent_at = 0;   // Last transmission time (feeds the SRTT sample).
     int attempt = 0;    // 0 = initial send; grows with each retransmission.
     bool sent = false;  // False when the egress rate limit dropped the send.
+    // Span of the latest transmission and its cause; retransmissions open a
+    // fresh span whose parent is the previous attempt's span.
+    uint32_t span_id = 0;
+    uint32_t parent_span_id = 0;
+    telemetry::SubQueryCause cause = telemetry::SubQueryCause::kInitial;
   };
 
   // ---- request / response plumbing ----------------------------------------
@@ -238,6 +249,18 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
 
   uint16_t AllocatePort();
 
+  // ---- causal tracing / amplification attribution --------------------------
+  // End-to-end trace id of `request` (same key the stub and shim derive).
+  static uint64_t TraceIdFor(const ClientRequest& request);
+  // Stamps a kSubQuerySend / kSubQueryDone span event for `oq` onto the
+  // request's trace and bumps the matching cause counter on sends.
+  void RecordSubQuerySend(const ClientRequest& request, const OutstandingQuery& oq);
+  void RecordSubQueryDone(uint64_t request_id, const OutstandingQuery& oq,
+                          bool answered);
+  // Feeds the request's total upstream fetch count into the
+  // `amplification_factor` histogram. Call once per tracked request teardown.
+  void ObserveAmplification(const ClientRequest& request);
+
   Transport& transport_;
   ResolverConfig config_;
   Rng rng_;
@@ -268,6 +291,8 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
   uint64_t next_request_id_ = 1;
   uint64_t next_task_id_ = 1;
   uint64_t next_generation_ = 1;
+  // Sub-query span ids; kClientSpanId is reserved for root client spans.
+  uint32_t next_span_id_ = telemetry::kClientSpanId + 1;
   uint16_t next_port_ = 1024;
 
   uint64_t requests_received_ = 0;
@@ -288,6 +313,10 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
   telemetry::Counter* retry_counter_ = nullptr;
   telemetry::Counter* upstream_query_counter_ = nullptr;
   telemetry::Counter* stale_counter_ = nullptr;
+  // resolver_subqueries_total{cause=...}, indexed by SubQueryCause ordinal
+  // (the kClient slot stays nullptr: the root query is not a sub-query).
+  telemetry::Counter* subquery_cause_counters_[telemetry::kSubQueryCauseCount] = {};
+  telemetry::HistogramMetric* amplification_hist_ = nullptr;
 };
 
 }  // namespace dcc

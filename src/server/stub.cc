@@ -119,7 +119,9 @@ void StubClient::SendAttempt(uint16_t port) {
     tracer_->Record(telemetry::MakeTraceId(transport_.local_address(), port,
                                            static_cast<uint16_t>(p.seq)),
                     telemetry::SpanKind::kStubSend, transport_.now(),
-                    transport_.local_address(), static_cast<int32_t>(resolver));
+                    transport_.local_address(), static_cast<int32_t>(resolver),
+                    telemetry::kClientSpanId, /*parent_span_id=*/0,
+                    /*peer=*/resolver);
   }
 
   const uint64_t generation = p.generation;
@@ -197,7 +199,9 @@ void StubClient::HandleDatagram(const Datagram& dgram) {
     tracer_->Record(telemetry::MakeTraceId(transport_.local_address(), dgram.dst.port,
                                            static_cast<uint16_t>(p.seq)),
                     telemetry::SpanKind::kClientReceive, now,
-                    transport_.local_address(), static_cast<int32_t>(rcode));
+                    transport_.local_address(), static_cast<int32_t>(rcode),
+                    telemetry::kClientSpanId, /*parent_span_id=*/0,
+                    /*peer=*/dgram.src.addr);
   }
   if (!success && p.attempts_left > 0) {
     --p.attempts_left;

@@ -17,6 +17,8 @@ const char* SpanKindName(SpanKind kind) {
       return "stub_send";
     case SpanKind::kResolverIngress:
       return "resolver_ingress";
+    case SpanKind::kSubQuerySend:
+      return "subquery_send";
     case SpanKind::kPolicerVerdict:
       return "policer_verdict";
     case SpanKind::kSchedulerEnqueue:
@@ -27,10 +29,41 @@ const char* SpanKindName(SpanKind kind) {
       return "egress";
     case SpanKind::kAuthResponse:
       return "auth_response";
+    case SpanKind::kSubQueryDone:
+      return "subquery_done";
     case SpanKind::kResolverResponse:
       return "resolver_response";
     case SpanKind::kClientReceive:
       return "client_receive";
+  }
+  return "?";
+}
+
+bool SpanKindFromName(std::string_view name, SpanKind* out) {
+  for (int i = 0; i < kSpanKindCount; ++i) {
+    const SpanKind kind = static_cast<SpanKind>(i);
+    if (name == SpanKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* SubQueryCauseName(SubQueryCause cause) {
+  switch (cause) {
+    case SubQueryCause::kClient:
+      return "client";
+    case SubQueryCause::kInitial:
+      return "initial";
+    case SubQueryCause::kQmin:
+      return "qmin";
+    case SubQueryCause::kNs:
+      return "ns";
+    case SubQueryCause::kCname:
+      return "cname";
+    case SubQueryCause::kRetry:
+      return "retry";
   }
   return "?";
 }
@@ -58,11 +91,14 @@ void QueryTracer::AttachMetrics(MetricsRegistry* registry) {
 }
 
 void QueryTracer::Record(uint64_t trace_id, SpanKind kind, Time at,
-                         uint32_t actor, int32_t detail) {
-  SpanEvent event{trace_id, at, actor, kind, detail};
+                         uint32_t actor, int32_t detail, uint32_t span_id,
+                         uint32_t parent_span_id, uint32_t peer) {
+  SpanEvent event{trace_id, at,      actor,          kind,
+                  detail,   span_id, parent_span_id, peer};
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
+    last_evicted_at_ = std::max(last_evicted_at_, ring_[next_ % capacity_].at);
     ring_[next_ % capacity_] = event;
     if (dropped_counter_ != nullptr) {
       dropped_counter_->Inc();
@@ -102,6 +138,24 @@ std::vector<SpanEvent> QueryTracer::EventsFor(uint64_t trace_id) const {
   return out;
 }
 
+bool QueryTracer::PossiblyTruncated(uint64_t trace_id) const {
+  if (dropped() == 0) {
+    return false;
+  }
+  const std::vector<SpanEvent> events = EventsFor(trace_id);
+  if (events.empty()) {
+    // Nothing retained: the trace is either entirely evicted or was never
+    // recorded — indistinguishable once events have been dropped.
+    return true;
+  }
+  // Every trace opens with the stub's send. Once evictions happened, a
+  // retained window that starts mid-lifecycle cannot rule out a lost head,
+  // while a window whose first event IS the stub send provably holds it.
+  // The timestamp guard only matters for non-monotone recorders.
+  return events.front().kind != SpanKind::kStubSend ||
+         events.front().at < last_evicted_at_;
+}
+
 std::vector<uint64_t> QueryTracer::CompleteTraceIds() const {
   std::unordered_set<uint64_t> sent;
   std::unordered_set<uint64_t> seen;
@@ -123,11 +177,13 @@ std::string QueryTracer::ExportJsonLines() const {
   char buf[256];
   for (const SpanEvent& event : Events()) {
     std::snprintf(buf, sizeof(buf),
-                  "{\"trace_id\":\"%016" PRIx64
-                  "\",\"ts_us\":%" PRId64
-                  ",\"span\":\"%s\",\"actor\":\"%s\",\"detail\":%d}\n",
+                  "{\"trace_id\":\"%016" PRIx64 "\",\"ts_us\":%" PRId64
+                  ",\"span\":\"%s\",\"actor\":\"%s\",\"detail\":%d"
+                  ",\"span_id\":%u,\"parent_span_id\":%u,\"peer\":\"%s\"}\n",
                   event.trace_id, event.at, SpanKindName(event.kind),
-                  FormatAddress(event.actor).c_str(), event.detail);
+                  FormatAddress(event.actor).c_str(), event.detail,
+                  event.span_id, event.parent_span_id,
+                  FormatAddress(event.peer).c_str());
     out += buf;
   }
   return out;
@@ -140,17 +196,20 @@ std::string QueryTracer::BreakdownReport(uint64_t trace_id) const {
   }
   std::string out;
   char buf[192];
-  std::snprintf(buf, sizeof(buf), "trace %016" PRIx64 " (%zu spans)\n",
-                trace_id, events.size());
+  const bool truncated = PossiblyTruncated(trace_id);
+  std::snprintf(buf, sizeof(buf), "trace %016" PRIx64 " (%zu spans)%s\n",
+                trace_id, events.size(),
+                truncated ? "  [TRUNCATED: head evicted from ring]" : "");
   out += buf;
   const Time origin = events.front().at;
   Time previous = origin;
   for (const SpanEvent& event : events) {
     std::snprintf(buf, sizeof(buf),
-                  "  +%8" PRId64 "us  (+%6" PRId64 "us)  %-18s %s detail=%d\n",
+                  "  +%8" PRId64 "us  (+%6" PRId64
+                  "us)  %-18s %s span=%u parent=%u detail=%d\n",
                   event.at - origin, event.at - previous,
                   SpanKindName(event.kind), FormatAddress(event.actor).c_str(),
-                  event.detail);
+                  event.span_id, event.parent_span_id, event.detail);
     out += buf;
     previous = event.at;
   }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/time.h"
@@ -28,18 +29,42 @@ namespace telemetry {
 enum class SpanKind : uint8_t {
   kStubSend = 0,         // Stub hands the query to the network.
   kResolverIngress,      // Resolver accepts the client request (detail: 1 = cache hit).
+  kSubQuerySend,         // Resolver issues an upstream sub-query (detail: SubQueryCause).
   kPolicerVerdict,       // DCC pre-queue policing (detail: 1 = allow, 0 = drop).
   kSchedulerEnqueue,     // MOPI-FQ enqueue (detail: EnqueueResult ordinal).
   kSchedulerDequeue,     // MOPI-FQ dequeue.
   kEgress,               // Query leaves the DCC node toward the upstream.
   kAuthResponse,         // Upstream/authoritative answer arrives back (detail: rcode).
+  kSubQueryDone,         // Sub-query settled (detail: 1 = answered, 0 = timed out).
   kResolverResponse,     // Resolver emits the client-facing response (detail: rcode).
   kClientReceive,        // Stub matches the response (detail: 1 = success).
 };
 
-inline constexpr int kSpanKindCount = 9;
+inline constexpr int kSpanKindCount = 11;
 
 const char* SpanKindName(SpanKind kind);
+// Inverse of SpanKindName; false when `name` matches no kind. Used by the
+// offline dcc_trace CLI when re-reading JSONL dumps.
+bool SpanKindFromName(std::string_view name, SpanKind* out);
+
+// Why the resolver issued a sub-query (carried as kSubQuerySend's detail and
+// as the `cause` label on resolver_subqueries_total).
+enum class SubQueryCause : uint8_t {
+  kClient = 0,  // The root client query itself (never a sub-query).
+  kInitial,     // First upstream fetch for the client's own question.
+  kQmin,        // QNAME-minimization descent probe.
+  kNs,          // Glue-less NS address resolution (FF fan-out).
+  kCname,       // CNAME-chase restart (CQ chains).
+  kRetry,       // Retransmission of an unanswered sub-query.
+};
+
+inline constexpr int kSubQueryCauseCount = 6;
+
+const char* SubQueryCauseName(SubQueryCause cause);
+
+// The span id every root (client-side) event carries. Resolver-allocated
+// sub-query spans start above it, so within one trace span ids are unique.
+inline constexpr uint32_t kClientSpanId = 1;
 
 struct SpanEvent {
   uint64_t trace_id = 0;
@@ -47,6 +72,13 @@ struct SpanEvent {
   uint32_t actor = 0;    // Host address of the component stamping the event.
   SpanKind kind = SpanKind::kStubSend;
   int32_t detail = 0;    // Kind-specific code (see SpanKind comments).
+  // Causal linkage: which span of the trace this event belongs to and which
+  // span caused that one. Root client events use kClientSpanId with parent 0.
+  uint32_t span_id = kClientSpanId;
+  uint32_t parent_span_id = 0;
+  // The remote host this event concerns (e.g. the upstream server a
+  // sub-query targets) — the "channel" axis of amplification attribution.
+  uint32_t peer = 0;
 };
 
 // Composes the end-to-end correlation key. `client_addr` is the stub's host
@@ -72,7 +104,8 @@ class QueryTracer {
   void AttachMetrics(MetricsRegistry* registry);
 
   void Record(uint64_t trace_id, SpanKind kind, Time at, uint32_t actor = 0,
-              int32_t detail = 0);
+              int32_t detail = 0, uint32_t span_id = kClientSpanId,
+              uint32_t parent_span_id = 0, uint32_t peer = 0);
 
   // Events currently retained, oldest first. With a monotonic virtual clock
   // this is also timestamp order.
@@ -90,8 +123,18 @@ class QueryTracer {
   uint64_t total_recorded() const { return total_recorded_; }
   uint64_t dropped() const;
 
+  // True when ring eviction may have swallowed the head of `trace_id`:
+  // events were dropped and the trace's retained window does not open with
+  // its kStubSend, so earlier spans cannot be ruled out. A trace with no
+  // retained events at all also reports true once anything was dropped.
+  // False means the retained head is provably present (note: a trace
+  // recorded without stub instrumentation always reports true after the
+  // first eviction — indistinguishable from a lost head).
+  bool PossiblyTruncated(uint64_t trace_id) const;
+
   // One JSON object per span event:
-  //   {"trace_id":"...","ts_us":...,"span":"stub_send","actor":"10.0.0.7","detail":...}
+  //   {"trace_id":"...","ts_us":...,"span":"stub_send","actor":"10.0.0.7",
+  //    "detail":...,"span_id":...,"parent_span_id":...,"peer":"10.0.3.1"}
   std::string ExportJsonLines() const;
 
   // Human-readable per-stage latency breakdown of one trace: each retained
@@ -104,6 +147,7 @@ class QueryTracer {
   std::vector<SpanEvent> ring_;
   size_t next_ = 0;          // Ring write cursor.
   uint64_t total_recorded_ = 0;
+  Time last_evicted_at_ = 0;  // Timestamp of the newest overwritten event.
   Counter* dropped_counter_ = nullptr;  // Not owned; see AttachMetrics.
 };
 

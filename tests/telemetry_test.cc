@@ -196,6 +196,86 @@ TEST(QueryTracerTest, CompleteTracesNeedSendAndReceive) {
   EXPECT_EQ(complete[0], 1u);
 }
 
+TEST(QueryTracerTest, RingWrapKeepsInterleavedTracesInRecordOrder) {
+  QueryTracer tracer(6);
+  // Two traces interleaved across a wrap: A at even steps, B at odd ones.
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(i % 2 == 0 ? 100 : 200, SpanKind::kResolverIngress,
+                  (i + 1) * 10, 0, i);
+  }
+  EXPECT_EQ(tracer.dropped(), 4u);
+  // The eviction must have taken the oldest events of BOTH traces, and the
+  // per-trace views stay in record order with no gaps re-ordered.
+  const std::vector<SpanEvent> a = tracer.EventsFor(100);
+  const std::vector<SpanEvent> b = tracer.EventsFor(200);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.front().detail, 4);  // Steps 0 and 2 evicted.
+  EXPECT_EQ(b.front().detail, 5);  // Steps 1 and 3 evicted.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i].at, a[i - 1].at);
+  }
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GT(b[i].at, b[i - 1].at);
+  }
+}
+
+TEST(QueryTracerTest, PossiblyTruncatedFlagsEvictedHead) {
+  QueryTracer tracer(4);
+  tracer.Record(1, SpanKind::kStubSend, 10);
+  tracer.Record(1, SpanKind::kResolverIngress, 20);
+  EXPECT_FALSE(tracer.PossiblyTruncated(1));  // Nothing dropped yet.
+  tracer.Record(1, SpanKind::kClientReceive, 30, 0, 1);
+  tracer.Record(2, SpanKind::kStubSend, 40);
+  tracer.Record(2, SpanKind::kResolverIngress, 50);  // Evicts 1's stub_send.
+  tracer.Record(2, SpanKind::kClientReceive, 60, 0, 1);
+
+  // Trace 1's retained window now opens mid-lifecycle: its head is gone.
+  EXPECT_TRUE(tracer.PossiblyTruncated(1));
+  // Trace 2 still opens with its stub send, so it is provably whole.
+  EXPECT_FALSE(tracer.PossiblyTruncated(2));
+  // A trace with nothing retained is indistinguishable from a fully evicted
+  // one once drops happened.
+  EXPECT_TRUE(tracer.PossiblyTruncated(777));
+}
+
+TEST(QueryTracerTest, CompleteTraceIdsAndReportAcrossWrap) {
+  QueryTracer tracer(4);
+  tracer.Record(1, SpanKind::kStubSend, 10);
+  tracer.Record(1, SpanKind::kClientReceive, 20, 0, 1);
+  tracer.Record(2, SpanKind::kStubSend, 30);
+  tracer.Record(2, SpanKind::kClientReceive, 40, 0, 1);
+  ASSERT_EQ(tracer.CompleteTraceIds().size(), 2u);
+
+  // A third trace wraps the ring and eats trace 1 entirely plus trace 2's
+  // send: neither may claim completeness afterwards.
+  tracer.Record(3, SpanKind::kStubSend, 50);
+  tracer.Record(3, SpanKind::kResolverIngress, 60);
+  tracer.Record(3, SpanKind::kClientReceive, 70, 0, 1);
+  const std::vector<uint64_t> complete = tracer.CompleteTraceIds();
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0], 3u);
+
+  // The breakdown of the beheaded trace says so instead of silently looking
+  // like a receive-only lifecycle.
+  const std::string report = tracer.BreakdownReport(2);
+  EXPECT_NE(report.find("[TRUNCATED"), std::string::npos);
+  EXPECT_EQ(tracer.BreakdownReport(3).find("[TRUNCATED"), std::string::npos);
+  EXPECT_TRUE(tracer.BreakdownReport(1).empty());
+}
+
+TEST(QueryTracerTest, SpanKindNamesRoundTrip) {
+  for (int k = 0; k < kSpanKindCount; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    SpanKind parsed;
+    ASSERT_TRUE(SpanKindFromName(SpanKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  SpanKind parsed;
+  EXPECT_FALSE(SpanKindFromName("not_a_span", &parsed));
+  EXPECT_FALSE(SpanKindFromName("", &parsed));
+}
+
 TEST(QueryTracerTest, ExportJsonLinesRendersSpans) {
   QueryTracer tracer(16);
   tracer.Record(MakeTraceId(0x0a000001, 5353, 7), SpanKind::kStubSend, 123,

@@ -14,7 +14,7 @@
 //   dcc_sim probe      [--irl N] [--nx-irl N] [--erl N]
 //
 // Every scenario command also takes --log-level, --metrics-out, --trace-out,
-// --sample-interval and --series-out (see PrintUsage).
+// --trace-format, --sample-interval and --series-out (see PrintUsage).
 //
 // Examples:
 //   dcc_sim resilience --pattern ff --attacker-qps 50
@@ -33,6 +33,7 @@
 #include "src/common/logging.h"
 #include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
+#include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/timeseries_export.h"
@@ -40,6 +41,13 @@
 namespace {
 
 using namespace dcc;
+
+// Scenario narration goes here; stays stdout unless a data dump claims
+// stdout via `--trace-out -`, in which case narration moves to stderr so
+// the emitted JSON is parseable on its own.
+std::FILE* g_note = stdout;
+
+#define NOTE(...) std::fprintf(g_note, __VA_ARGS__)
 
 // Minimal flag parsing: --key value / --flag.
 const char* FlagValue(int argc, char** argv, const char* name) {
@@ -115,7 +123,7 @@ void LoadFaultPlanArg(int argc, char** argv, fault::FaultPlan* plan) {
     std::fprintf(stderr, "--fault-plan %s: %s\n", path, error.c_str());
     std::exit(2);
   }
-  std::printf("fault plan: %zu events (seed %llu) from %s\n", plan->events.size(),
+  NOTE("fault plan: %zu events (seed %llu) from %s\n", plan->events.size(),
               static_cast<unsigned long long>(plan->seed), path);
 }
 
@@ -155,7 +163,7 @@ int DumpSeries(int argc, char** argv, const telemetry::TimeSeriesSampler* sample
     std::fprintf(stderr, "cannot write series to %s\n", path);
     return 1;
   }
-  std::printf("series: %zu series x %zu ticks -> %s\n", sampler->series().size(),
+  NOTE("series: %zu series x %zu ticks -> %s\n", sampler->series().size(),
               sampler->tick_count(), path);
   return 0;
 }
@@ -186,23 +194,38 @@ int DumpTelemetry(int argc, char** argv, const telemetry::TelemetrySink* sink) {
     if (!WriteFile(path, out)) {
       return 1;
     }
-    std::printf("metrics: %zu instruments -> %s\n", sink->metrics.InstrumentCount(),
+    NOTE("metrics: %zu instruments -> %s\n", sink->metrics.InstrumentCount(),
                 path);
   }
   if (const char* path = FlagValue(argc, argv, "--trace-out"); path != nullptr) {
-    if (!WriteFile(path, sink->trace.ExportJsonLines())) {
-      return 1;
+    const char* format = FlagValue(argc, argv, "--trace-format");
+    std::string out;
+    if (format == nullptr || std::strcmp(format, "jsonl") == 0) {
+      out = sink->trace.ExportJsonLines();
+    } else if (std::strcmp(format, "chrome") == 0) {
+      out = telemetry::ExportChromeTrace(sink->trace);
+    } else {
+      std::fprintf(stderr, "unknown trace format '%s' (jsonl|chrome)\n", format);
+      return 2;
     }
-    std::printf("trace: %zu span events (%zu complete traces) -> %s\n",
-                sink->trace.size(), sink->trace.CompleteTraceIds().size(), path);
+    if (std::strcmp(path, "-") == 0) {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    } else {
+      if (!WriteFile(path, out)) {
+        return 1;
+      }
+      NOTE("trace: %zu span events (%zu complete traces) -> %s\n",
+                  sink->trace.size(), sink->trace.CompleteTraceIds().size(),
+                  path);
+    }
   }
   return 0;
 }
 
 void PrintClients(const ScenarioResult& result) {
-  std::printf("%-10s %10s %10s %12s\n", "client", "sent", "answered", "ratio");
+  NOTE("%-10s %10s %10s %12s\n", "client", "sent", "answered", "ratio");
   for (const auto& client : result.clients) {
-    std::printf("%-10s %10llu %10llu %12.2f\n", client.label.c_str(),
+    NOTE("%-10s %10llu %10llu %12.2f\n", client.label.c_str(),
                 static_cast<unsigned long long>(client.sent),
                 static_cast<unsigned long long>(client.succeeded),
                 client.success_ratio);
@@ -227,13 +250,13 @@ int RunResilience(int argc, char** argv) {
     client.stop = std::min(client.stop, options.horizon);
   }
   LoadFaultPlanArg(argc, argv, &options.fault_plan);
-  std::printf("resilience: %s resolver, channel %.0f QPS, horizon %s\n",
+  NOTE("resilience: %s resolver, channel %.0f QPS, horizon %s\n",
               options.dcc_enabled ? "DCC-enabled" : "vanilla", options.channel_qps,
               FormatDuration(options.horizon).c_str());
   const ScenarioResult result = RunResilienceScenario(options);
   PrintClients(result);
   if (options.dcc_enabled) {
-    std::printf("dcc: convictions=%llu policed=%llu servfails=%llu signals=%llu\n",
+    NOTE("dcc: convictions=%llu policed=%llu servfails=%llu signals=%llu\n",
                 static_cast<unsigned long long>(result.dcc_convictions),
                 static_cast<unsigned long long>(result.dcc_policed_drops),
                 static_cast<unsigned long long>(result.dcc_servfails),
@@ -277,12 +300,12 @@ int RunValidation(int argc, char** argv) {
   options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 100);
   options.egress_count =
       static_cast<int>(FlagDouble(argc, argv, "--egresses", 4));
-  std::printf("validation setup (%c): attacker %.0f QPS, channel %.0f QPS\n",
+  NOTE("validation setup (%c): attacker %.0f QPS, channel %.0f QPS\n",
               setup_id, options.attacker_qps, options.channel_qps);
   const ValidationResult result = RunValidationScenario(options);
-  std::printf("benign success ratio:   %.2f\n", result.benign_success_ratio);
-  std::printf("attacker success ratio: %.2f\n", result.attacker_success_ratio);
-  std::printf("victim ANS peak load:   %.0f QPS\n", result.ans_peak_qps);
+  NOTE("benign success ratio:   %.2f\n", result.benign_success_ratio);
+  NOTE("attacker success ratio: %.2f\n", result.attacker_success_ratio);
+  NOTE("victim ANS peak load:   %.0f QPS\n", result.ans_peak_qps);
   if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
     return rc;
   }
@@ -301,11 +324,11 @@ int RunSignaling(int argc, char** argv) {
   options.attacker_qps =
       FlagDouble(argc, argv, "--attacker-qps",
                  options.attacker_pattern == QueryPattern::kFf ? 20 : 200);
-  std::printf("signaling %s, attacker %.0f QPS\n",
+  NOTE("signaling %s, attacker %.0f QPS\n",
               options.signaling_enabled ? "ON" : "OFF", options.attacker_qps);
   const ScenarioResult result = RunSignalingScenario(options);
   PrintClients(result);
-  std::printf("dcc: convictions=%llu policed=%llu signals=%llu\n",
+  NOTE("dcc: convictions=%llu policed=%llu signals=%llu\n",
               static_cast<unsigned long long>(result.dcc_convictions),
               static_cast<unsigned long long>(result.dcc_policed_drops),
               static_cast<unsigned long long>(result.dcc_signals_attached));
@@ -328,26 +351,26 @@ int RunChaos(int argc, char** argv) {
       static_cast<int>(FlagDouble(argc, argv, "--auths", options.auth_count));
   options.seed = static_cast<uint64_t>(FlagDouble(argc, argv, "--seed", 1));
   LoadFaultPlanArg(argc, argv, &options.fault_plan);
-  std::printf("chaos: %s resolver, %d auths, client %.0f QPS, horizon %s, %s\n",
+  NOTE("chaos: %s resolver, %d auths, client %.0f QPS, horizon %s, %s\n",
               options.dcc_enabled ? "DCC-enabled" : "vanilla", options.auth_count,
               options.client_qps, FormatDuration(options.horizon).c_str(),
               options.fault_plan.empty() ? "default all-auth blackout"
                                          : "user fault plan");
   const ChaosResult result = RunChaosScenario(options);
-  std::printf("client: sent=%llu answered=%llu ratio=%.2f\n",
+  NOTE("client: sent=%llu answered=%llu ratio=%.2f\n",
               static_cast<unsigned long long>(result.client.sent),
               static_cast<unsigned long long>(result.client.succeeded),
               result.client.success_ratio);
-  std::printf("faults: activations=%llu upstream_timeouts=%llu holddowns=%llu "
+  NOTE("faults: activations=%llu upstream_timeouts=%llu holddowns=%llu "
               "stale_served=%llu\n",
               static_cast<unsigned long long>(result.fault_activations),
               static_cast<unsigned long long>(result.upstream_timeouts),
               static_cast<unsigned long long>(result.holddowns),
               static_cast<unsigned long long>(result.stale_served));
-  std::printf("%4s %14s %10s %12s\n", "sec", "upstream-qps", "stale-qps",
+  NOTE("%4s %14s %10s %12s\n", "sec", "upstream-qps", "stale-qps",
               "client-qps");
   for (size_t s = 0; s < result.upstream_send_qps.size(); ++s) {
-    std::printf("%4zu %14.0f %10.0f %12.1f\n", s, result.upstream_send_qps[s],
+    NOTE("%4zu %14.0f %10.0f %12.1f\n", s, result.upstream_send_qps[s],
                 result.stale_qps[s],
                 s < result.client.effective_qps.size()
                     ? result.client.effective_qps[s]
@@ -367,16 +390,16 @@ int RunProbe(int argc, char** argv) {
   profile.egress_qps = FlagDouble(argc, argv, "--erl", 0);
   ProbeConfig config;
   config.step_duration = Seconds(2);
-  std::printf("probing synthetic resolver (true IRL %.0f / NX %.0f / ERL %s)\n",
+  NOTE("probing synthetic resolver (true IRL %.0f / NX %.0f / ERL %s)\n",
               profile.irl_noerror_qps, profile.irl_nxdomain_qps,
               profile.egress_qps > 0 ? std::to_string((int)profile.egress_qps).c_str()
                                      : "none");
   const MeasuredLimits limits = ProbeResolver(profile, config, 1);
   auto print = [](const char* label, double qps, bool uncertain) {
     if (uncertain) {
-      std::printf("%-8s uncertain (>= probing cap)\n", label);
+      NOTE("%-8s uncertain (>= probing cap)\n", label);
     } else {
-      std::printf("%-8s ~%.0f QPS\n", label, qps);
+      NOTE("%-8s ~%.0f QPS\n", label, qps);
     }
   };
   print("IRL WC", limits.irl_wc, limits.irl_wc_uncertain);
@@ -442,8 +465,12 @@ void PrintUsage(std::FILE* stream) {
       "                       prefixed with the simulated clock\n"
       "  --metrics-out FILE   dump the metrics registry to FILE in Prometheus\n"
       "                       text format (.jsonl suffix: JSON lines)\n"
-      "  --trace-out FILE     dump the query-lifecycle trace to FILE as JSON\n"
-      "                       lines, one span event per line\n"
+      "  --trace-out FILE     dump the query-lifecycle trace to FILE ('-' for\n"
+      "                       stdout); format per --trace-format\n"
+      "  --trace-format F     trace dump format: 'jsonl' (default; one span\n"
+      "                       event per line, the dcc_trace input format) or\n"
+      "                       'chrome' (trace-event JSON for chrome://tracing\n"
+      "                       / Perfetto, spans grouped into causal trees)\n"
       "  --series-out FILE    sample per-channel time series over the run and\n"
       "                       write them to FILE — wide CSV by default, JSON\n"
       "                       lines for .json/.jsonl/.ndjson\n"
@@ -453,6 +480,7 @@ void PrintUsage(std::FILE* stream) {
       "examples:\n"
       "  dcc_sim resilience --pattern ff --attacker-qps 50\n"
       "  dcc_sim resilience --series-out series.csv --sample-interval 0.5\n"
+      "  dcc_sim resilience --pattern ff --trace-out - --trace-format chrome\n"
       "  dcc_sim validation --setup d --egresses 16 --attacker-qps 25\n"
       "  dcc_sim chaos --dcc --fault-plan examples/fault_plans/flap.plan\n");
 }
@@ -475,6 +503,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string command = argv[1];
+  if (const char* trace_out = FlagValue(argc, argv, "--trace-out");
+      trace_out != nullptr && std::strcmp(trace_out, "-") == 0) {
+    g_note = stderr;
+  }
   ApplyLogLevel(argc, argv);
   if (command == "resilience") {
     return RunResilience(argc, argv);
