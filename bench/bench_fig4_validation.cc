@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "bench/benches.h"
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 
 namespace dcc {
 namespace {

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "bench/benches.h"
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 #include "src/common/ids.h"
 #include "src/telemetry/span_tree.h"
 #include "src/telemetry/telemetry.h"

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "bench/benches.h"
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dcc {

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 
 int main() {
   using namespace dcc;

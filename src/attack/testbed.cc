@@ -48,7 +48,7 @@ RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config)
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   resolvers_.push_back(std::move(server));
-  crash_resettables_[addr] = resolvers_.back().get();
+  RegisterCrashResettable(addr, resolvers_.back().get());
   if (telemetry_ != nullptr) {
     resolvers_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
   }
@@ -61,7 +61,7 @@ Forwarder& Testbed::AddForwarder(HostAddress addr, ForwarderConfig config) {
   host->SetHandler(server.get());
   hosts_.push_back(std::move(host));
   forwarders_.push_back(std::move(server));
-  crash_resettables_[addr] = forwarders_.back().get();
+  RegisterCrashResettable(addr, forwarders_.back().get());
   if (telemetry_ != nullptr) {
     forwarders_.back()->AttachTelemetry(&telemetry_->metrics);
   }
@@ -99,7 +99,7 @@ std::pair<DccNode&, RecursiveResolver&> Testbed::AddDccResolver(
       });
   dcc_nodes_.push_back(std::move(shim));
   resolvers_.push_back(std::move(server));
-  crash_resettables_[addr] = resolvers_.back().get();
+  RegisterCrashResettable(addr, resolvers_.back().get());
   if (telemetry_ != nullptr) {
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
     server_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
@@ -123,12 +123,21 @@ std::pair<DccNode&, Forwarder&> Testbed::AddDccForwarder(HostAddress addr,
       });
   dcc_nodes_.push_back(std::move(shim));
   forwarders_.push_back(std::move(server));
-  crash_resettables_[addr] = forwarders_.back().get();
+  RegisterCrashResettable(addr, forwarders_.back().get());
   if (telemetry_ != nullptr) {
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
     server_ref.AttachTelemetry(&telemetry_->metrics);
   }
   return {shim_ref, server_ref};
+}
+
+void Testbed::RegisterCrashResettable(HostAddress addr, CrashResettable* server) {
+  crash_resettables_[addr] = server;
+  // Cover the new server in any already-armed fault plan: injectors look
+  // crash handlers up at fire time, so late registration still takes effect.
+  for (auto& injector : fault_injectors_) {
+    injector->SetCrashHandler(addr, [server]() { server->CrashReset(); });
+  }
 }
 
 fault::FaultInjector& Testbed::InstallFaultPlan(fault::FaultPlan plan) {

@@ -58,16 +58,22 @@ class Testbed {
 
   // --- fault injection --------------------------------------------------------
   // Builds, wires and arms a FaultInjector for `plan`: crash handlers are
-  // registered for every crash-capable server added so far (servers added
-  // later are not covered — install the plan after the topology is built),
-  // and telemetry is attached when a sink is. The injector is owned by the
+  // registered for every crash-capable server added so far, and servers
+  // added afterwards are registered with the injector as they are built, so
+  // install order relative to topology construction does not matter.
+  // Telemetry is attached when a sink is. The injector is owned by the
   // testbed and starts executing immediately on Arm().
   fault::FaultInjector& InstallFaultPlan(fault::FaultPlan plan);
 
-  // Runs the simulation until `until`.
-  void RunFor(Duration duration) { loop_.Run(loop_.now() + duration); }
+  // Runs the simulation for `duration`; returns the number of events the
+  // loop executed (scenario equivalence tests compare this).
+  size_t RunFor(Duration duration) { return loop_.Run(loop_.now() + duration); }
 
  private:
+  // Adds `server` to the crash-reset map and registers it with every
+  // already-installed fault injector.
+  void RegisterCrashResettable(HostAddress addr, CrashResettable* server);
+
   EventLoop loop_;
   Network network_;
   telemetry::TelemetrySink* telemetry_ = nullptr;

@@ -1,11 +1,60 @@
 #include "src/common/json.h"
 
 #include <cctype>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dcc {
 namespace json {
+
+Value Value::OfBool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::OfNumber(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::OfString(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::MakeObject() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void Value::PushBack(Value v) {
+  if (type_ != Type::kArray) {
+    *this = MakeArray();
+  }
+  array_.push_back(std::move(v));
+}
+
+void Value::Set(const std::string& key, Value v) {
+  if (type_ != Type::kObject) {
+    *this = MakeObject();
+  }
+  object_[key] = std::move(v);
+}
 
 const Value* Value::Find(const std::string& key) const {
   if (!is_object()) {
@@ -280,6 +329,132 @@ bool Parse(std::string_view text, Value* out, std::string* error) {
   *out = Value();
   Parser parser(text);
   return parser.Run(out, error);
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double n, std::string* out) {
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(n));
+    *out += buf;
+    return;
+  }
+  if (!std::isfinite(n)) {
+    *out += "null";  // JSON has no Inf/NaN; match common-practice lowering.
+    return;
+  }
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, n);
+    if (std::strtod(buf, nullptr) == n) {
+      break;
+    }
+  }
+  *out += buf;
+}
+
+void AppendValue(const Value& value, int indent, int depth, std::string* out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int levels) {
+    if (!pretty) {
+      return;
+    }
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * levels, ' ');
+  };
+  switch (value.type()) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(value.AsNumber(), out);
+      break;
+    case Type::kString:
+      AppendEscaped(value.AsString(), out);
+      break;
+    case Type::kArray: {
+      const auto& items = value.AsArray();
+      if (items.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : items) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline_pad(depth + 1);
+        AppendValue(item, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const auto& members = value.AsObject();
+      if (members.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : members) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline_pad(depth + 1);
+        AppendEscaped(key, out);
+        out->push_back(':');
+        if (pretty) {
+          out->push_back(' ');
+        }
+        AppendValue(member, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Write(const Value& value, int indent) {
+  std::string out;
+  AppendValue(value, indent, 0, &out);
+  return out;
 }
 
 }  // namespace json

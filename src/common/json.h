@@ -1,12 +1,17 @@
-// Minimal recursive-descent JSON parser (RFC 8259 subset, no external deps).
+// Minimal recursive-descent JSON parser and writer (RFC 8259 subset, no
+// external deps).
 //
-// Exists for the offline tooling side of telemetry: `tools/dcc_trace` parses
-// the tracer's JSONL dumps back into span events, and tests validate that
-// the Chrome trace-event exporter emits well-formed JSON. It is NOT a
-// general-purpose library: numbers are held as doubles, strings support the
-// standard escapes ("\uXXXX" is decoded as UTF-8 for the BMP and replaced
-// with '?' outside it), and inputs nested deeper than kMaxDepth are
-// rejected rather than recursed into.
+// Exists for the offline tooling side of telemetry (`tools/dcc_trace` parses
+// the tracer's JSONL dumps back into span events) and for the declarative
+// scenario specs (`src/scenario` parses, validates and re-emits
+// ScenarioSpec documents). It is NOT a general-purpose library: numbers are
+// held as doubles, strings support the standard escapes ("\uXXXX" is decoded
+// as UTF-8 for the BMP and replaced with '?' outside it), and inputs nested
+// deeper than kMaxDepth are rejected rather than recursed into.
+//
+// Writing: Value exposes a small builder API (factories + Set/PushBack) and
+// Write() serializes with stable key order (objects are sorted maps), so
+// parse → Write → parse round-trips to an equal Value.
 
 #ifndef SRC_COMMON_JSON_H_
 #define SRC_COMMON_JSON_H_
@@ -25,6 +30,20 @@ enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
 class Value {
  public:
   Value() = default;
+
+  // --- builders --------------------------------------------------------------
+  static Value OfBool(bool b);
+  static Value OfNumber(double n);
+  static Value OfString(std::string s);
+  static Value MakeArray();
+  static Value MakeObject();
+
+  // Appends to an array value (converts a null value into an array first;
+  // any other type is overwritten with a fresh array).
+  void PushBack(Value v);
+  // Sets an object member (converts a null value into an object first; any
+  // other type is overwritten with a fresh object).
+  void Set(const std::string& key, Value v);
 
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
@@ -67,6 +86,14 @@ inline constexpr int kMaxDepth = 64;
 // else after it is an error). Returns false and fills `error` (with a byte
 // offset) on malformed input.
 bool Parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+// Serializes `value`. `indent < 0` emits the compact single-line form;
+// `indent >= 0` pretty-prints with that many spaces per nesting level.
+// Object keys come out in sorted (std::map) order, so output is stable and
+// parse → Write → parse yields an equal Value. Numbers use the shortest
+// representation that round-trips a double; integral values in the exact
+// int64 range print without a decimal point.
+std::string Write(const Value& value, int indent = -1);
 
 }  // namespace json
 }  // namespace dcc

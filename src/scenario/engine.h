@@ -1,0 +1,93 @@
+// ScenarioEngine: executes a validated ScenarioSpec against a Testbed.
+//
+// The engine is the single place that turns declarative topology into
+// simulator construction. Its phase order is part of the determinism
+// contract — addresses are assigned in node-then-client spec order, hosts
+// that schedule events at construction time (DCC shims) are created in spec
+// order, and the scoreboard sampler / user sampler / fault injector are
+// started in the same relative order the legacy Run*Scenario runners used —
+// so a compiled spec replays the corresponding legacy run event-for-event
+// (ScenarioOutcome::events_executed is compared in the golden tests).
+//
+// Outcome collection is spec-driven: per-client totals and success series,
+// per-authoritative query-rate series (trimmed to the horizon) plus the
+// untrimmed peak (the Fig. 4 saturation signal), per-resolver degradation
+// series (upstream sends, stale answers, hold-downs), aggregate DCC shim
+// counters, and fault activations. The legacy entry points in scenarios.h
+// rebuild their result structs from this.
+
+#ifndef SRC_SCENARIO_ENGINE_H_
+#define SRC_SCENARIO_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/spec.h"
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/telemetry.h"
+
+namespace dcc {
+namespace scenario {
+
+struct ClientOutcome {
+  std::string label;
+  bool is_attacker = false;
+  uint64_t sent = 0;
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;
+  double success_ratio = 0;
+  // Per-second successful responses (only when MeasureSpec::client_series).
+  std::vector<double> effective_qps;
+};
+
+struct AnsOutcome {
+  std::string node;
+  std::string label;
+  // Query rate per virtual second, zero-padded/trimmed to the horizon.
+  std::vector<double> qps;
+  // Maximum over the untrimmed series (samples past the horizon included).
+  double peak_qps = 0;
+};
+
+struct ResolverSeriesOutcome {
+  std::string node;
+  uint64_t stale_responses = 0;
+  uint64_t upstream_timeouts = 0;
+  uint64_t holddowns = 0;
+  std::vector<double> upstream_send_qps;
+  std::vector<double> stale_qps;
+};
+
+struct ScenarioOutcome {
+  std::vector<ClientOutcome> clients;  // Same order as ScenarioSpec::clients.
+  std::vector<AnsOutcome> ans;         // Same order as MeasureSpec::ans.
+  std::vector<ResolverSeriesOutcome> resolver_series;
+  // Summed over every DCC shim in the scenario.
+  uint64_t dcc_convictions = 0;
+  uint64_t dcc_policed_drops = 0;
+  uint64_t dcc_servfails = 0;
+  uint64_t dcc_signals_attached = 0;
+  uint64_t fault_activations = 0;
+  // Events the loop executed during the run (determinism fingerprint).
+  size_t events_executed = 0;
+};
+
+// Optional observability hooks, same ownership contract as the legacy
+// options structs: neither is owned; the telemetry sink has its callback
+// gauges frozen before the engine returns, and the sampler is ticked on its
+// own interval for the whole run with the full introspection seam attached.
+struct EngineHooks {
+  telemetry::TelemetrySink* telemetry = nullptr;
+  telemetry::TimeSeriesSampler* sampler = nullptr;
+};
+
+// Validates a copy of `spec` (materializing derived fields) and runs it.
+// Returns false with a diagnostic in `error` when validation fails; the
+// simulation itself cannot fail.
+bool RunScenarioSpec(const ScenarioSpec& spec, const EngineHooks& hooks,
+                     ScenarioOutcome* outcome, std::string* error);
+
+}  // namespace scenario
+}  // namespace dcc
+
+#endif  // SRC_SCENARIO_ENGINE_H_

@@ -1,6 +1,6 @@
 // Pre-built experiment scenarios shared by benches, examples and tests.
 //
-// Three runners cover the paper's evaluation topologies:
+// Four entry points cover the paper's evaluation topologies:
 //  * RunValidationScenario  — the §2.3 attack-validation setups (Fig. 3/4):
 //    vanilla resolvers, capacity-limited channels, benign success ratio vs
 //    attacker QPS.
@@ -13,9 +13,17 @@
 //    (default: blackout of every authoritative) against a serve-stale
 //    resolver; measures stale answers, hold-downs, upstream send rate and
 //    recovery.
+//
+// Each runner is a thin adapter: Compile*Spec lowers its option struct into
+// a declarative scenario::ScenarioSpec, the generic ScenarioEngine
+// (src/scenario/engine.h) executes it, and the runner reshapes the
+// ScenarioOutcome into its legacy result struct. A compiled spec replays the
+// original hand-built topology event-for-event; the Compile*Spec functions
+// are exposed so tools can dump the specs (`dcc_sim <scenario> --dump-spec`)
+// and tests can assert the equivalence.
 
-#ifndef SRC_ATTACK_SCENARIOS_H_
-#define SRC_ATTACK_SCENARIOS_H_
+#ifndef SRC_SCENARIO_SCENARIOS_H_
+#define SRC_SCENARIO_SCENARIOS_H_
 
 #include <string>
 #include <vector>
@@ -23,17 +31,16 @@
 #include "src/attack/testbed.h"
 #include "src/dcc/dcc_node.h"
 #include "src/fault/fault_plan.h"
+#include "src/scenario/engine.h"
+#include "src/scenario/spec.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 
 namespace dcc {
 
-enum class QueryPattern {
-  kWc,        // Pseudo-random wildcard hits (benign / worst-case attack).
-  kNx,        // Pseudo-random NXDOMAIN.
-  kFf,        // NS fan-out x fan-out amplification.
-  kNxThenWc,  // NX for the first 20 s, then WC (Fig. 8b heavy client).
-};
+// The canonical pattern enum lives with the spec library; legacy call sites
+// keep using dcc::QueryPattern::kWc etc. unchanged.
+using scenario::QueryPattern;
 
 struct ClientSpec {
   std::string label;
@@ -100,6 +107,7 @@ struct ResilienceOptions {
   ResilienceOptions();
 };
 
+scenario::ScenarioSpec CompileResilienceSpec(const ResilienceOptions& options);
 ScenarioResult RunResilienceScenario(const ResilienceOptions& options);
 
 // --- §2.3 validation (Fig. 4) ------------------------------------------------
@@ -129,6 +137,7 @@ struct ValidationResult {
   double ans_peak_qps = 0;
 };
 
+scenario::ScenarioSpec CompileValidationSpec(const ValidationOptions& options);
 ValidationResult RunValidationScenario(const ValidationOptions& options);
 
 // --- §5.1 signaling (Fig. 9) --------------------------------------------------
@@ -146,6 +155,7 @@ struct SignalingOptions {
   telemetry::TimeSeriesSampler* sampler = nullptr;
 };
 
+scenario::ScenarioSpec CompileSignalingSpec(const SignalingOptions& options);
 ScenarioResult RunSignalingScenario(const SignalingOptions& options);
 
 // --- chaos / graceful degradation ---------------------------------------------
@@ -194,8 +204,9 @@ struct ChaosResult {
   std::vector<double> stale_qps;
 };
 
+scenario::ScenarioSpec CompileChaosSpec(const ChaosOptions& options);
 ChaosResult RunChaosScenario(const ChaosOptions& options);
 
 }  // namespace dcc
 
-#endif  // SRC_ATTACK_SCENARIOS_H_
+#endif  // SRC_SCENARIO_SCENARIOS_H_

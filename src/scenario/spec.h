@@ -1,0 +1,228 @@
+// ScenarioSpec: a data-driven description of one simulated experiment.
+//
+// A spec captures everything the four hand-built Run*Scenario topologies
+// used to wire up imperatively — network (jitter/loss/per-link delays),
+// zones, a node list (authoritatives, resolvers, forwarders, each optionally
+// wrapped by a DCC shim, with per-node config overrides), client workloads
+// (WC/NX/CQ/FF/NX-then-WC patterns with schedules and optional linear QPS
+// ramps), a fault plan, the run horizon/seed, and which measurement series
+// to collect. Specs are parsed from JSON (src/common/json; syntax errors
+// carry byte offsets, semantic errors carry the JSON path of the offending
+// field), validated and materialized by ValidateScenarioSpec, serialized
+// back by WriteScenarioSpec, and executed by the ScenarioEngine
+// (src/scenario/engine.h) against a Testbed.
+//
+// The legacy Resilience/Validation/Signaling/Chaos entry points
+// (src/scenario/scenarios.h) compile their option structs into specs via
+// Compile*Spec, so a spec run and the corresponding legacy run are the same
+// event-for-event simulation.
+//
+// Determinism contract: everything a spec does not say is derived from
+// ScenarioSpec::seed with the same formulas the legacy runners used
+// (delay-jitter seed = seed*13+1, client i's generator seed = seed*101+i,
+// FF instance counts = max FF QPS x horizon + 8), so a spec + seed is a
+// complete, reproducible description of a run.
+
+#ifndef SRC_SCENARIO_SPEC_H_
+#define SRC_SCENARIO_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/dcc/dcc_node.h"
+#include "src/fault/fault_plan.h"
+#include "src/server/authoritative.h"
+#include "src/server/forwarder.h"
+#include "src/server/resolver.h"
+#include "src/zone/experiment_zones.h"
+
+namespace dcc {
+namespace scenario {
+
+// Query workloads (paper §2.2.1 / Appendix A). kNxThenWc switches from NX to
+// WC mid-run (Fig. 8b's heavy client).
+enum class QueryPattern {
+  kWc,
+  kNx,
+  kCq,
+  kFf,
+  kNxThenWc,
+};
+
+const char* QueryPatternName(QueryPattern pattern);
+bool ParseQueryPatternName(const std::string& text, QueryPattern* out);
+
+// --- topology ---------------------------------------------------------------
+
+enum class ZoneKind { kTarget, kAttacker };
+
+struct ZoneSpec {
+  std::string id;
+  ZoneKind kind = ZoneKind::kTarget;
+  std::string apex;
+  // kTarget: wc/nx/cq subtree options (see MakeTargetZone).
+  TargetZoneOptions target;
+  // kAttacker: fan-out options (see MakeAttackerZone). instances <= 0 is
+  // materialized by validation to max-FF-client-QPS x horizon + 8, the
+  // "every attack request misses the cache" sizing the legacy runners used.
+  AttackerZoneOptions attacker;
+  std::string target_zone;  // kAttacker: id of the zone fanned into.
+};
+
+enum class NodeKind { kAuthoritative, kResolver, kForwarder };
+
+// One iteration starting point: queries under `zone`'s apex may go to `node`.
+struct AuthorityHintSpec {
+  std::string zone;
+  std::string node;
+};
+
+// Channel capacity configured on a DCC shim towards `node` (§3.2.1).
+struct ChannelSpec {
+  std::string node;
+  double qps = 0;
+};
+
+struct NodeSpec {
+  std::string id;
+  NodeKind kind = NodeKind::kAuthoritative;
+
+  // kAuthoritative:
+  AuthoritativeConfig auth;
+  std::vector<std::string> zones;  // Zone ids served (built per-node).
+
+  // kResolver:
+  ResolverConfig resolver;
+  std::vector<AuthorityHintSpec> hints;  // Ordered (selection order).
+
+  // kForwarder:
+  ForwarderConfig forwarder;
+  std::vector<std::string> upstreams;  // Node ids; forward references OK.
+
+  // Optional DCC shim wrapping a resolver or forwarder (§3.2).
+  bool dcc_enabled = false;
+  DccConfig dcc;
+  std::vector<ChannelSpec> channels;
+};
+
+// --- workload ---------------------------------------------------------------
+
+struct ClientSpec {
+  std::string label;
+  double qps = 1.0;
+  Time start = 0;
+  Time stop = -1;  // < 0: materialized to the run horizon.
+  Duration timeout = Milliseconds(1500);
+  int retries = 0;
+  bool dcc_aware = false;
+  bool rotate_resolvers = false;
+  bool is_attacker = false;
+  QueryPattern pattern = QueryPattern::kWc;
+  std::string zone;  // Generator zone: attacker zone for FF, target else.
+  // Generator seed; when absent, materialized to run seed * 101 + index.
+  uint64_t seed = 0;
+  bool has_seed = false;
+  // WC/NX name-pool bound (0 = unbounded), the chaos runner's `name_pool`.
+  uint64_t unique_names = 0;
+  // kNxThenWc: schedule time at which the pattern flips to WC.
+  Duration nx_then_wc_switch = Seconds(20);
+  // When > 0, the client's rate ramps linearly from `qps` at `start` to
+  // `ramp_to_qps` at `stop` (explicit send schedule; declarative-only).
+  double ramp_to_qps = 0;
+  std::vector<std::string> resolvers;  // Entry-point node ids, in order.
+};
+
+// --- network ----------------------------------------------------------------
+
+struct PairDelaySpec {
+  std::string a;
+  std::string b;
+  Duration one_way = 0;
+};
+
+struct NetworkSpec {
+  // Uniform delivery jitter in [0, jitter); 0 disables.
+  Duration jitter = Milliseconds(5);
+  uint64_t jitter_seed = 0;  // 0: materialized to run seed * 13 + 1.
+  double loss_probability = 0;
+  uint64_t loss_seed = 42;
+  std::vector<PairDelaySpec> pair_delays;
+};
+
+// --- measurement ------------------------------------------------------------
+
+struct AnsProbeSpec {
+  std::string node;
+  std::string label;  // Empty: materialized to the node id.
+};
+
+struct MeasureSpec {
+  // Probe every client's per-second success/sent rate (index labels).
+  bool client_series = true;
+  // Authoritatives whose query rate is sampled (the Fig. 8 ans_qps series /
+  // Fig. 4 saturation peak).
+  std::vector<AnsProbeSpec> ans;
+  // Resolver nodes whose upstream-send and stale-answer rates are sampled
+  // (the chaos runner's degradation series).
+  std::vector<std::string> resolver_series;
+  // Nodes whose UpstreamTracker attaches to the optional user sampler
+  // (labels: none when one entry, {"node": id} otherwise).
+  std::vector<std::string> trackers;
+};
+
+// --- the spec ---------------------------------------------------------------
+
+struct FaultSpec {
+  fault::FaultPlan plan;
+  // Arm the injector before the measurement samplers start (the chaos
+  // runner's setup order) instead of after (the other runners'). Only
+  // observable when a fault event collides with a sampler tick to the exact
+  // microsecond; kept so compiled specs replay event-for-event.
+  bool arm_before_sampling = false;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  Duration horizon = Seconds(60);
+  uint64_t seed = 1;
+  NetworkSpec network;
+  std::vector<ZoneSpec> zones;
+  std::vector<NodeSpec> nodes;     // Creation order (address assignment!).
+  std::vector<ClientSpec> clients; // Created after nodes, in order.
+  FaultSpec faults;
+  MeasureSpec measure;
+};
+
+// Address layout (for hand-written fault plans): node i gets 10.0.0.(1+i),
+// client j gets 10.0.0.(1+nodes.size()+j).
+HostAddress SpecNodeAddress(const ScenarioSpec& spec, size_t node_index);
+HostAddress SpecClientAddress(const ScenarioSpec& spec, size_t client_index);
+
+// Parses a JSON document into `spec`. Returns false with a diagnostic in
+// `error`: byte offset for malformed JSON, JSON path (e.g.
+// "nodes[2].upstreams[0]") for schema/semantic problems. Does NOT run
+// ValidateScenarioSpec.
+bool ParseScenarioSpec(std::string_view json_text, ScenarioSpec* spec,
+                       std::string* error);
+
+// Reads `path` (or stdin when path == "-") and parses it.
+bool LoadScenarioSpecFile(const std::string& path, ScenarioSpec* spec,
+                          std::string* error);
+
+// Semantic validation + materialization of derived fields (client stops and
+// seeds, jitter seed, FF instance counts, measurement labels). Returns false
+// with a path-qualified diagnostic on dangling references, bad ranges, or
+// kind mismatches. Idempotent; a validated spec re-validates unchanged.
+bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error);
+
+// Serializes `spec` (materialized fields included) such that
+// ParseScenarioSpec(WriteScenarioSpec(spec)) reproduces it exactly.
+json::Value ScenarioSpecToJson(const ScenarioSpec& spec);
+std::string WriteScenarioSpec(const ScenarioSpec& spec, int indent = 2);
+
+}  // namespace scenario
+}  // namespace dcc
+
+#endif  // SRC_SCENARIO_SPEC_H_

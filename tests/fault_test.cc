@@ -7,12 +7,15 @@
 #include <string>
 #include <vector>
 
+#include "src/attack/patterns.h"
+#include "src/attack/testbed.h"
 #include "src/dns/codec.h"
 #include "src/dns/message.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/network.h"
+#include "src/zone/experiment_zones.h"
 
 namespace dcc {
 namespace fault {
@@ -367,6 +370,51 @@ TEST(FaultInjectorTest, CountsActivationsInTelemetry) {
   EXPECT_EQ(snapshot.Value("fault_datagrams_total", {{"effect", "dropped"}}),
             static_cast<double>(injector.datagrams_dropped()));
   EXPECT_EQ(injector.activations(), 2u);
+}
+
+TEST(FaultInjectorTest, CrashCoversServersAddedAfterPlanInstall) {
+  // Regression: InstallFaultPlan used to register crash handlers only for
+  // servers that already existed, so a plan installed before topology
+  // construction silently skipped the CrashReset. Handlers must cover
+  // servers added after the plan too.
+  Testbed bed;
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.type = FaultType::kCrash;
+  crash.start = Seconds(2);
+  crash.end = Milliseconds(2100);
+  crash.a = 0x0a000002;  // The resolver below — not yet built.
+  plan.events.push_back(crash);
+  FaultInjector& injector = bed.InstallFaultPlan(plan);
+
+  const Name apex = *Name::Parse("target-domain");
+  const HostAddress ans_addr = bed.NextAddress();
+  AuthoritativeServer& ans = bed.AddAuthoritative(ans_addr);
+  ans.AddZone(MakeTargetZone(apex, ans_addr));
+
+  const HostAddress resolver_addr = bed.NextAddress();
+  RecursiveResolver& resolver = bed.AddResolver(resolver_addr);
+  resolver.AddAuthorityHint(apex, ans_addr);
+
+  // One fixed name (600 s TTL), asked once before and once after the crash;
+  // both queries land outside the [2.0 s, 2.1 s) outage window.
+  StubConfig config;
+  config.stop = Seconds(10);
+  config.timeout = Seconds(1);
+  StubClient& stub =
+      bed.AddStub(bed.NextAddress(), config, MakeWcGenerator(apex, 7, 1));
+  stub.AddResolver(resolver_addr);
+  stub.StartWithSchedule({Seconds(1), Seconds(3)});
+  bed.RunFor(Milliseconds(1500));
+  const uint64_t cold_queries = ans.queries_received();
+  EXPECT_GT(cold_queries, 0u);
+  bed.RunFor(Milliseconds(4500));
+
+  EXPECT_EQ(injector.activations(), 1u);
+  EXPECT_EQ(stub.succeeded(), 2u);
+  // The crash cleared the resolver cache: the second, otherwise cache-hit
+  // resolution repeats the full cold-cache upstream sequence.
+  EXPECT_EQ(ans.queries_received(), 2 * cold_queries);
 }
 
 }  // namespace

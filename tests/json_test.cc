@@ -1,8 +1,10 @@
-// Unit tests for the minimal JSON parser in src/common/json.h: document
-// shapes, string escapes, strict number grammar, error reporting with byte
-// offsets, the one-document rule, and the recursion-depth guard. The parser
-// exists so dcc_trace can re-read JSONL trace dumps and so tests can
-// validate the Chrome trace-event exporter without external dependencies.
+// Unit tests for the minimal JSON parser and writer in src/common/json.h:
+// document shapes, string escapes, strict number grammar, error reporting
+// with byte offsets, the one-document rule, the recursion-depth guard, and
+// Write() round-trips (stable key order, escaping, integer vs double
+// formatting). The parser exists so dcc_trace can re-read JSONL trace dumps
+// and so the scenario library can load ScenarioSpec documents; the writer
+// backs spec round-trip tests and `dcc_sim run --dump-effective`.
 
 #include <gtest/gtest.h>
 
@@ -121,6 +123,87 @@ TEST(JsonTest, DepthGuardRejectsPathologicalNesting) {
     ok += ']';
   }
   EXPECT_TRUE(MustParse(ok).is_array());
+}
+
+TEST(JsonWriteTest, ScalarsAndContainers) {
+  EXPECT_EQ(Write(Value()), "null");
+  EXPECT_EQ(Write(Value::OfBool(true)), "true");
+  EXPECT_EQ(Write(Value::OfBool(false)), "false");
+  EXPECT_EQ(Write(Value::OfString("hi")), "\"hi\"");
+  EXPECT_EQ(Write(Value::MakeArray()), "[]");
+  EXPECT_EQ(Write(Value::MakeObject()), "{}");
+
+  Value obj = Value::MakeObject();
+  obj.Set("b", Value::OfNumber(2));
+  obj.Set("a", Value::OfNumber(1));
+  Value arr = Value::MakeArray();
+  arr.PushBack(Value::OfNumber(3));
+  arr.PushBack(Value::OfString("x"));
+  obj.Set("list", arr);
+  // Keys come out sorted regardless of insertion order.
+  EXPECT_EQ(Write(obj), R"({"a":1,"b":2,"list":[3,"x"]})");
+}
+
+TEST(JsonWriteTest, NumberFormatting) {
+  EXPECT_EQ(Write(Value::OfNumber(42)), "42");
+  EXPECT_EQ(Write(Value::OfNumber(-7)), "-7");
+  EXPECT_EQ(Write(Value::OfNumber(0)), "0");
+  EXPECT_EQ(Write(Value::OfNumber(1e15)), "1000000000000000");
+  EXPECT_EQ(Write(Value::OfNumber(2.5)), "2.5");
+  EXPECT_EQ(Write(Value::OfNumber(-0.125)), "-0.125");
+  // Shortest round-trip representation for an awkward double.
+  const double third = 1.0 / 3.0;
+  Value reparsed;
+  ASSERT_TRUE(Parse(Write(Value::OfNumber(third)), &reparsed));
+  EXPECT_EQ(reparsed.AsNumber(), third);
+}
+
+TEST(JsonWriteTest, StringEscaping) {
+  EXPECT_EQ(Write(Value::OfString("a\"b\\c")), R"("a\"b\\c")");
+  EXPECT_EQ(Write(Value::OfString("line\nbreak\ttab")),
+            R"("line\nbreak\ttab")");
+  EXPECT_EQ(Write(Value::OfString(std::string("ctl\x01", 4))),
+            R"("ctl\u0001")");
+  EXPECT_EQ(Write(Value::OfString("\xc3\xa9")), "\"\xc3\xa9\"");  // UTF-8 é.
+}
+
+TEST(JsonWriteTest, PrettyPrinting) {
+  Value obj = Value::MakeObject();
+  obj.Set("a", Value::OfNumber(1));
+  Value arr = Value::MakeArray();
+  arr.PushBack(Value::OfNumber(2));
+  obj.Set("b", arr);
+  EXPECT_EQ(Write(obj, 2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_EQ(Write(Value::MakeObject(), 2), "{}");
+}
+
+TEST(JsonWriteTest, BuildersConvertNullInPlace) {
+  Value v;  // Starts null.
+  v.PushBack(Value::OfNumber(1));
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.AsArray().size(), 1u);
+
+  Value o;  // Starts null.
+  o.Set("k", Value::OfBool(true));
+  ASSERT_TRUE(o.is_object());
+  EXPECT_TRUE(o.Find("k")->AsBool());
+}
+
+TEST(JsonWriteTest, ParseWriteParseRoundTrips) {
+  const std::string docs[] = {
+      R"({"zones":[{"apex":"target-domain","ttl":30}],"seed":7})",
+      R"([1,2.5,"s",true,null,{"nested":{"deep":[[]]}}])",
+      R"({"esc":"a\"b\\c\nd","num":-0.001,"big":123456789012345})",
+  };
+  for (const std::string& doc : docs) {
+    const Value first = MustParse(doc);
+    const std::string emitted = Write(first);
+    const Value second = MustParse(emitted);
+    // Writing the reparsed value must be byte-identical (fixed point).
+    EXPECT_EQ(Write(second), emitted) << doc;
+    // And pretty output reparses to the same fixed point.
+    EXPECT_EQ(Write(MustParse(Write(first, 2))), emitted) << doc;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+// Tests for the declarative scenario layer (src/scenario): JSON parse and
+// validation diagnostics, write -> parse round-trip exactness, the example
+// specs under examples/scenarios/, and golden equivalence between the legacy
+// Run*Scenario entry points and the generic engine executing the compiled
+// (and JSON-round-tripped) specs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/engine.h"
+#include "src/scenario/scenarios.h"
+#include "src/scenario/spec.h"
+#include "src/sim/event_loop.h"
+
+#ifndef DCC_SOURCE_DIR
+#define DCC_SOURCE_DIR "."
+#endif
+
+namespace dcc {
+namespace scenario {
+namespace {
+
+// A minimal valid spec: one auth serving the target zone, one resolver, one
+// client. Tests below perturb copies of it.
+ScenarioSpec BaseSpec() {
+  ScenarioSpec spec;
+  spec.name = "base";
+  spec.horizon = Seconds(5);
+  ZoneSpec zone;
+  zone.id = "target";
+  zone.apex = "target-domain";
+  spec.zones.push_back(zone);
+  NodeSpec ans;
+  ans.id = "ans";
+  ans.kind = NodeKind::kAuthoritative;
+  ans.zones.push_back("target");
+  spec.nodes.push_back(ans);
+  NodeSpec resolver;
+  resolver.id = "resolver";
+  resolver.kind = NodeKind::kResolver;
+  resolver.hints.push_back({"target", "ans"});
+  spec.nodes.push_back(resolver);
+  ClientSpec client;
+  client.label = "c";
+  client.qps = 10;
+  client.zone = "target";
+  client.resolvers.push_back("resolver");
+  spec.clients.push_back(client);
+  return spec;
+}
+
+std::string ValidationError(ScenarioSpec spec) {
+  std::string error;
+  EXPECT_FALSE(ValidateScenarioSpec(&spec, &error));
+  return error;
+}
+
+TEST(SpecParseTest, MalformedJsonReportsByteOffset) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec("{\"name\": }", &spec, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(SpecParseTest, UnknownKeyReportsJsonPath) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec(
+      "{\"nodes\": [{\"id\": \"a\", \"kind\": \"auth\", \"bogus\": 1}]}",
+      &spec, &error));
+  EXPECT_NE(error.find("nodes[0]"), std::string::npos) << error;
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(SpecParseTest, WrongTypeReportsJsonPath) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec(
+      "{\"clients\": [{\"label\": \"c\", \"qps\": \"fast\"}]}", &spec, &error));
+  EXPECT_NE(error.find("clients[0]"), std::string::npos) << error;
+}
+
+TEST(SpecParseTest, BadPatternNameReportsPath) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec(
+      "{\"clients\": [{\"label\": \"c\", \"pattern\": \"zz\"}]}", &spec,
+      &error));
+  EXPECT_NE(error.find("pattern"), std::string::npos) << error;
+}
+
+TEST(SpecValidateTest, AcceptsBaseSpecAndMaterializes) {
+  ScenarioSpec spec = BaseSpec();
+  std::string error;
+  ASSERT_TRUE(ValidateScenarioSpec(&spec, &error)) << error;
+  // Derived fields are pinned: client stop -> horizon, seed -> seed*101+i,
+  // jitter seed -> seed*13+1.
+  EXPECT_EQ(spec.clients[0].stop, spec.horizon);
+  EXPECT_TRUE(spec.clients[0].has_seed);
+  EXPECT_EQ(spec.clients[0].seed, spec.seed * 101);
+  EXPECT_EQ(spec.network.jitter_seed, spec.seed * 13 + 1);
+  // Idempotent: a second pass changes nothing.
+  const std::string once = WriteScenarioSpec(spec);
+  ASSERT_TRUE(ValidateScenarioSpec(&spec, &error)) << error;
+  EXPECT_EQ(once, WriteScenarioSpec(spec));
+}
+
+TEST(SpecValidateTest, DanglingReferencesAreRejectedWithPaths) {
+  {
+    ScenarioSpec spec = BaseSpec();
+    spec.clients[0].resolvers[0] = "nope";
+    EXPECT_NE(ValidationError(spec).find("clients[0]"), std::string::npos);
+  }
+  {
+    ScenarioSpec spec = BaseSpec();
+    spec.nodes[1].hints[0].node = "nope";
+    EXPECT_NE(ValidationError(spec).find("nodes[1]"), std::string::npos);
+  }
+  {
+    ScenarioSpec spec = BaseSpec();
+    spec.nodes[0].zones[0] = "nope";
+    EXPECT_NE(ValidationError(spec).find("nodes[0]"), std::string::npos);
+  }
+  {
+    ScenarioSpec spec = BaseSpec();
+    spec.measure.trackers.push_back("nope");
+    EXPECT_NE(ValidationError(spec).find("trackers"), std::string::npos);
+  }
+}
+
+TEST(SpecValidateTest, KindMismatchesAreRejected) {
+  {
+    // DCC shim on an authoritative.
+    ScenarioSpec spec = BaseSpec();
+    spec.nodes[0].dcc_enabled = true;
+    EXPECT_FALSE(ValidationError(spec).empty());
+  }
+  {
+    // Forwarder without upstreams.
+    ScenarioSpec spec = BaseSpec();
+    NodeSpec fwd;
+    fwd.id = "fwd";
+    fwd.kind = NodeKind::kForwarder;
+    spec.nodes.push_back(fwd);
+    EXPECT_NE(ValidationError(spec).find("upstreams"), std::string::npos);
+  }
+  {
+    // Clients cannot resolve via an authoritative.
+    ScenarioSpec spec = BaseSpec();
+    spec.clients[0].resolvers[0] = "ans";
+    EXPECT_FALSE(ValidationError(spec).empty());
+  }
+  {
+    // Bad ranges.
+    ScenarioSpec spec = BaseSpec();
+    spec.network.loss_probability = 1.5;
+    EXPECT_NE(ValidationError(spec).find("loss_probability"), std::string::npos);
+  }
+}
+
+TEST(SpecRoundTripTest, WriteParseReproducesExactly) {
+  ScenarioSpec spec = CompileResilienceSpec(ResilienceOptions{});
+  std::string error;
+  ASSERT_TRUE(ValidateScenarioSpec(&spec, &error)) << error;
+  const std::string text = WriteScenarioSpec(spec);
+  ScenarioSpec reparsed;
+  ASSERT_TRUE(ParseScenarioSpec(text, &reparsed, &error)) << error;
+  EXPECT_EQ(text, WriteScenarioSpec(reparsed));
+}
+
+TEST(SpecRoundTripTest, ExampleSpecsParseAndValidate) {
+  const std::string dir = std::string(DCC_SOURCE_DIR) + "/examples/scenarios/";
+  for (const char* name : {"resilience.json", "validation.json",
+                           "signaling.json", "chaos.json",
+                           "chain_ff_loss.json"}) {
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(LoadScenarioSpecFile(dir + name, &spec, &error))
+        << name << ": " << error;
+    ASSERT_TRUE(ValidateScenarioSpec(&spec, &error)) << name << ": " << error;
+    EXPECT_FALSE(spec.nodes.empty()) << name;
+    EXPECT_FALSE(spec.clients.empty()) << name;
+  }
+}
+
+// Runs `spec` via the engine, returning the outcome plus the exact number of
+// loop events the run executed (from the global event counter).
+ScenarioOutcome RunCounted(const ScenarioSpec& spec, uint64_t* events) {
+  const uint64_t before = EventLoop::TotalEventsExecuted();
+  ScenarioOutcome outcome;
+  std::string error;
+  EXPECT_TRUE(RunScenarioSpec(spec, {}, &outcome, &error)) << error;
+  *events = EventLoop::TotalEventsExecuted() - before;
+  return outcome;
+}
+
+// Compiled spec and its JSON round-trip must replay the legacy entry point
+// event-for-event with identical headline metrics.
+template <typename Options, typename Result>
+void ExpectGoldenEquivalence(const Options& options,
+                             ScenarioSpec (*compile)(const Options&),
+                             Result (*run)(const Options&),
+                             uint64_t* legacy_events,
+                             Result* legacy_result,
+                             ScenarioOutcome* outcome) {
+  const uint64_t before = EventLoop::TotalEventsExecuted();
+  *legacy_result = run(options);
+  *legacy_events = EventLoop::TotalEventsExecuted() - before;
+
+  const ScenarioSpec spec = compile(options);
+  uint64_t direct_events = 0;
+  *outcome = RunCounted(spec, &direct_events);
+  EXPECT_EQ(direct_events, *legacy_events);
+
+  ScenarioSpec validated = spec;
+  std::string error;
+  ASSERT_TRUE(ValidateScenarioSpec(&validated, &error)) << error;
+  ScenarioSpec reparsed;
+  ASSERT_TRUE(ParseScenarioSpec(WriteScenarioSpec(validated), &reparsed, &error))
+      << error;
+  uint64_t roundtrip_events = 0;
+  const ScenarioOutcome rt = RunCounted(reparsed, &roundtrip_events);
+  EXPECT_EQ(roundtrip_events, *legacy_events);
+  ASSERT_EQ(rt.clients.size(), outcome->clients.size());
+  for (size_t i = 0; i < rt.clients.size(); ++i) {
+    EXPECT_EQ(rt.clients[i].sent, outcome->clients[i].sent);
+    EXPECT_EQ(rt.clients[i].succeeded, outcome->clients[i].succeeded);
+  }
+}
+
+TEST(GoldenEquivalenceTest, Resilience) {
+  ResilienceOptions options;
+  options.horizon = Seconds(12);
+  options.clients = Table2Clients(QueryPattern::kNx, 1100);
+  for (auto& client : options.clients) {
+    client.stop = std::min(client.stop, options.horizon);
+  }
+  uint64_t legacy_events = 0;
+  ScenarioResult legacy;
+  ScenarioOutcome outcome;
+  ExpectGoldenEquivalence(options, CompileResilienceSpec,
+                          RunResilienceScenario, &legacy_events, &legacy,
+                          &outcome);
+  ASSERT_EQ(outcome.clients.size(), legacy.clients.size());
+  for (size_t i = 0; i < legacy.clients.size(); ++i) {
+    EXPECT_EQ(outcome.clients[i].sent, legacy.clients[i].sent);
+    EXPECT_EQ(outcome.clients[i].succeeded, legacy.clients[i].succeeded);
+    EXPECT_EQ(outcome.clients[i].effective_qps, legacy.clients[i].effective_qps);
+  }
+  EXPECT_EQ(outcome.ans[0].qps, legacy.ans_qps);
+  EXPECT_EQ(outcome.dcc_convictions, legacy.dcc_convictions);
+  EXPECT_EQ(outcome.dcc_policed_drops, legacy.dcc_policed_drops);
+  EXPECT_EQ(outcome.dcc_servfails, legacy.dcc_servfails);
+}
+
+TEST(GoldenEquivalenceTest, ValidationRedundantResolverFf) {
+  ValidationOptions options;
+  options.setup = ValidationSetup::kRedundantResolver;
+  options.attacker_qps = 8;
+  uint64_t legacy_events = 0;
+  ValidationResult legacy;
+  ScenarioOutcome outcome;
+  ExpectGoldenEquivalence(options, CompileValidationSpec,
+                          RunValidationScenario, &legacy_events, &legacy,
+                          &outcome);
+  EXPECT_EQ(outcome.clients[0].success_ratio, legacy.attacker_success_ratio);
+  double peak = 0;
+  for (const auto& ans : outcome.ans) {
+    peak = std::max(peak, ans.peak_qps);
+  }
+  EXPECT_EQ(peak, legacy.ans_peak_qps);
+}
+
+TEST(GoldenEquivalenceTest, SignalingNx) {
+  SignalingOptions options;
+  options.horizon = Seconds(12);
+  options.attacker_qps = 150;
+  uint64_t legacy_events = 0;
+  ScenarioResult legacy;
+  ScenarioOutcome outcome;
+  ExpectGoldenEquivalence(options, CompileSignalingSpec, RunSignalingScenario,
+                          &legacy_events, &legacy, &outcome);
+  ASSERT_EQ(outcome.clients.size(), legacy.clients.size());
+  for (size_t i = 0; i < legacy.clients.size(); ++i) {
+    EXPECT_EQ(outcome.clients[i].sent, legacy.clients[i].sent);
+    EXPECT_EQ(outcome.clients[i].succeeded, legacy.clients[i].succeeded);
+  }
+  EXPECT_EQ(outcome.dcc_signals_attached, legacy.dcc_signals_attached);
+}
+
+TEST(GoldenEquivalenceTest, ChaosWithDefaultBlackout) {
+  ChaosOptions options;
+  options.horizon = Seconds(20);
+  options.blackout_start = Seconds(5);
+  options.blackout_end = Seconds(12);
+  uint64_t legacy_events = 0;
+  ChaosResult legacy;
+  ScenarioOutcome outcome;
+  ExpectGoldenEquivalence(options, CompileChaosSpec, RunChaosScenario,
+                          &legacy_events, &legacy, &outcome);
+  EXPECT_EQ(outcome.clients[0].sent, legacy.client.sent);
+  EXPECT_EQ(outcome.clients[0].succeeded, legacy.client.succeeded);
+  ASSERT_EQ(outcome.resolver_series.size(), 1u);
+  EXPECT_EQ(outcome.resolver_series[0].stale_responses, legacy.stale_served);
+  EXPECT_EQ(outcome.resolver_series[0].holddowns, legacy.holddowns);
+  EXPECT_EQ(outcome.resolver_series[0].upstream_send_qps,
+            legacy.upstream_send_qps);
+  EXPECT_EQ(outcome.fault_activations, legacy.fault_activations);
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace dcc

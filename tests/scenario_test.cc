@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 
 namespace dcc {
 namespace {

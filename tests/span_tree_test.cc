@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 #include "src/common/json.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/span_tree.h"

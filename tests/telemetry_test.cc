@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/trace.h"

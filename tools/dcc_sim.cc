@@ -29,7 +29,7 @@
 #include <memory>
 #include <string>
 
-#include "src/attack/scenarios.h"
+#include "src/scenario/scenarios.h"
 #include "src/common/logging.h"
 #include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
@@ -222,6 +222,117 @@ int DumpTelemetry(int argc, char** argv, const telemetry::TelemetrySink* sink) {
   return 0;
 }
 
+// Writes the materialized form of `spec` to `path` ('-' for stdout) — the
+// --dump-spec / --dump-effective implementation. Materializing first bakes
+// the derived fields (client seeds and stops, jitter seed, FF instance
+// counts) into the JSON, so the dump is a complete reproduction recipe.
+int DumpSpec(scenario::ScenarioSpec spec, const char* path) {
+  std::string error;
+  if (!scenario::ValidateScenarioSpec(&spec, &error)) {
+    std::fprintf(stderr, "spec does not validate: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string out = scenario::WriteScenarioSpec(spec);
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+  if (!WriteFile(path, out)) {
+    return 1;
+  }
+  NOTE("spec: scenario '%s' -> %s\n", spec.name.c_str(), path);
+  return 0;
+}
+
+// Dispatches --dump-spec for the legacy scenario commands: when present, the
+// compiled spec is written instead of running the simulation.
+const char* DumpSpecPath(int argc, char** argv) {
+  return FlagValue(argc, argv, "--dump-spec");
+}
+
+int RunSpec(int argc, char** argv) {
+  const char* path = FlagValue(argc, argv, "--spec");
+  if (path == nullptr) {
+    std::fprintf(stderr, "run requires --spec FILE ('-' for stdin)\n");
+    return 2;
+  }
+  scenario::ScenarioSpec spec;
+  std::string error;
+  if (!scenario::LoadScenarioSpecFile(path, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  // Overrides. --seed replaces the run seed; fields the spec pins explicitly
+  // (e.g. materialized per-client seeds) keep their pinned values.
+  if (const char* text = FlagValue(argc, argv, "--horizon"); text != nullptr) {
+    spec.horizon = SecondsF(std::atof(text));
+  }
+  if (const char* text = FlagValue(argc, argv, "--seed"); text != nullptr) {
+    spec.seed = std::strtoull(text, nullptr, 10);
+  }
+  LoadFaultPlanArg(argc, argv, &spec.faults.plan);
+  if (HasFlag(argc, argv, "--dump-effective")) {
+    return DumpSpec(spec, "-");
+  }
+
+  auto sink = MakeSink(argc, argv);
+  auto sampler = MakeSampler(argc, argv);
+  scenario::EngineHooks hooks;
+  hooks.telemetry = sink.get();
+  hooks.sampler = sampler.get();
+  scenario::ScenarioOutcome outcome;
+  if (!scenario::RunScenarioSpec(spec, hooks, &outcome, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return 2;
+  }
+
+  NOTE("scenario '%s': %zu nodes, %zu clients, horizon %s, seed %llu\n",
+       spec.name.c_str(), spec.nodes.size(), spec.clients.size(),
+       FormatDuration(spec.horizon).c_str(),
+       static_cast<unsigned long long>(spec.seed));
+  NOTE("%-10s %10s %10s %10s %12s\n", "client", "sent", "answered", "failed",
+       "ratio");
+  for (const auto& client : outcome.clients) {
+    NOTE("%-10s %10llu %10llu %10llu %12.2f\n", client.label.c_str(),
+         static_cast<unsigned long long>(client.sent),
+         static_cast<unsigned long long>(client.succeeded),
+         static_cast<unsigned long long>(client.failed),
+         client.success_ratio);
+  }
+  for (const auto& ans : outcome.ans) {
+    NOTE("ans %-8s peak %.0f QPS\n", ans.label.c_str(), ans.peak_qps);
+  }
+  for (const auto& series : outcome.resolver_series) {
+    NOTE("resolver %s: stale_served=%llu upstream_timeouts=%llu "
+         "holddowns=%llu\n",
+         series.node.c_str(),
+         static_cast<unsigned long long>(series.stale_responses),
+         static_cast<unsigned long long>(series.upstream_timeouts),
+         static_cast<unsigned long long>(series.holddowns));
+  }
+  bool any_dcc = false;
+  for (const auto& node : spec.nodes) {
+    any_dcc = any_dcc || node.dcc_enabled;
+  }
+  if (any_dcc) {
+    NOTE("dcc: convictions=%llu policed=%llu servfails=%llu signals=%llu\n",
+         static_cast<unsigned long long>(outcome.dcc_convictions),
+         static_cast<unsigned long long>(outcome.dcc_policed_drops),
+         static_cast<unsigned long long>(outcome.dcc_servfails),
+         static_cast<unsigned long long>(outcome.dcc_signals_attached));
+  }
+  if (!spec.faults.plan.empty()) {
+    NOTE("faults: activations=%llu\n",
+         static_cast<unsigned long long>(outcome.fault_activations));
+  }
+  NOTE("events executed: %llu\n",
+       static_cast<unsigned long long>(outcome.events_executed));
+  if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
+    return rc;
+  }
+  return DumpTelemetry(argc, argv, sink.get());
+}
+
 void PrintClients(const ScenarioResult& result) {
   NOTE("%-10s %10s %10s %12s\n", "client", "sent", "answered", "ratio");
   for (const auto& client : result.clients) {
@@ -250,6 +361,9 @@ int RunResilience(int argc, char** argv) {
     client.stop = std::min(client.stop, options.horizon);
   }
   LoadFaultPlanArg(argc, argv, &options.fault_plan);
+  if (const char* path = DumpSpecPath(argc, argv); path != nullptr) {
+    return DumpSpec(CompileResilienceSpec(options), path);
+  }
   NOTE("resilience: %s resolver, channel %.0f QPS, horizon %s\n",
               options.dcc_enabled ? "DCC-enabled" : "vanilla", options.channel_qps,
               FormatDuration(options.horizon).c_str());
@@ -300,6 +414,9 @@ int RunValidation(int argc, char** argv) {
   options.channel_qps = FlagDouble(argc, argv, "--channel-qps", 100);
   options.egress_count =
       static_cast<int>(FlagDouble(argc, argv, "--egresses", 4));
+  if (const char* path = DumpSpecPath(argc, argv); path != nullptr) {
+    return DumpSpec(CompileValidationSpec(options), path);
+  }
   NOTE("validation setup (%c): attacker %.0f QPS, channel %.0f QPS\n",
               setup_id, options.attacker_qps, options.channel_qps);
   const ValidationResult result = RunValidationScenario(options);
@@ -324,6 +441,9 @@ int RunSignaling(int argc, char** argv) {
   options.attacker_qps =
       FlagDouble(argc, argv, "--attacker-qps",
                  options.attacker_pattern == QueryPattern::kFf ? 20 : 200);
+  if (const char* path = DumpSpecPath(argc, argv); path != nullptr) {
+    return DumpSpec(CompileSignalingSpec(options), path);
+  }
   NOTE("signaling %s, attacker %.0f QPS\n",
               options.signaling_enabled ? "ON" : "OFF", options.attacker_qps);
   const ScenarioResult result = RunSignalingScenario(options);
@@ -351,6 +471,9 @@ int RunChaos(int argc, char** argv) {
       static_cast<int>(FlagDouble(argc, argv, "--auths", options.auth_count));
   options.seed = static_cast<uint64_t>(FlagDouble(argc, argv, "--seed", 1));
   LoadFaultPlanArg(argc, argv, &options.fault_plan);
+  if (const char* path = DumpSpecPath(argc, argv); path != nullptr) {
+    return DumpSpec(CompileChaosSpec(options), path);
+  }
   NOTE("chaos: %s resolver, %d auths, client %.0f QPS, horizon %s, %s\n",
               options.dcc_enabled ? "DCC-enabled" : "vanilla", options.auth_count,
               options.client_qps, FormatDuration(options.horizon).c_str(),
@@ -414,6 +537,8 @@ void PrintUsage(std::FILE* stream) {
       "usage: dcc_sim COMMAND [options]\n"
       "\n"
       "commands:\n"
+      "  run          execute a declarative scenario spec (JSON; see\n"
+      "               examples/scenarios/ and DESIGN.md for the schema)\n"
       "  resilience   Table 2 / Fig. 8 attack-resilience run: attacker +\n"
       "               benign client mix against one resolver\n"
       "  validation   Fig. 4 congestion-validation topologies (setups a-d)\n"
@@ -424,6 +549,17 @@ void PrintUsage(std::FILE* stream) {
       "               serve-stale resolver; see examples/fault_plans/\n"
       "  probe        measure a synthetic resolver's rate limits with the\n"
       "               Appendix A methodology and report the estimates\n"
+      "\n"
+      "run options:\n"
+      "  --spec FILE          scenario spec to execute ('-' for stdin);\n"
+      "                       required\n"
+      "  --horizon SECONDS    override the spec's run horizon\n"
+      "  --seed N             override the run seed (fields the spec pins\n"
+      "                       explicitly, e.g. per-client seeds in a\n"
+      "                       materialized dump, keep their pinned values)\n"
+      "  --fault-plan FILE    replace the spec's fault plan\n"
+      "  --dump-effective     print the materialized spec (derived fields\n"
+      "                       baked in) to stdout instead of running\n"
       "\n"
       "resilience options:\n"
       "  --pattern wc|nx|ff   attack query pattern (default wc)\n"
@@ -460,6 +596,10 @@ void PrintUsage(std::FILE* stream) {
       "  --erl N              true egress limit, QPS (default 0 = none)\n"
       "\n"
       "options for every scenario command (all but probe):\n"
+      "  --dump-spec FILE     compile the command line into a declarative\n"
+      "                       scenario spec, write it to FILE ('-' for\n"
+      "                       stdout) and exit without running; the dump\n"
+      "                       replays the run via `dcc_sim run --spec`\n"
       "  --log-level debug|info|warn|error\n"
       "                       logging threshold (default warn); log lines are\n"
       "                       prefixed with the simulated clock\n"
@@ -482,7 +622,9 @@ void PrintUsage(std::FILE* stream) {
       "  dcc_sim resilience --series-out series.csv --sample-interval 0.5\n"
       "  dcc_sim resilience --pattern ff --trace-out - --trace-format chrome\n"
       "  dcc_sim validation --setup d --egresses 16 --attacker-qps 25\n"
-      "  dcc_sim chaos --dcc --fault-plan examples/fault_plans/flap.plan\n");
+      "  dcc_sim chaos --dcc --fault-plan examples/fault_plans/flap.plan\n"
+      "  dcc_sim run --spec examples/scenarios/resilience.json\n"
+      "  dcc_sim resilience --pattern ff --dump-spec ff.json\n");
 }
 
 }  // namespace
@@ -508,6 +650,9 @@ int main(int argc, char** argv) {
     g_note = stderr;
   }
   ApplyLogLevel(argc, argv);
+  if (command == "run") {
+    return RunSpec(argc, argv);
+  }
   if (command == "resilience") {
     return RunResilience(argc, argv);
   }
