@@ -7,11 +7,11 @@
 //   (b) attacker (and initially the heavy client) using NX at 1100 QPS,
 //   (c) attacker exploiting FF amplification at 50 QPS.
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "bench/benches.h"
+#include "src/measure/fairness.h"
 #include "src/scenario/scenarios.h"
 #include "src/common/ids.h"
 #include "src/telemetry/span_tree.h"
@@ -26,22 +26,20 @@ void PrintSeries(const ScenarioResult& result, bool ff_attacker) {
     std::printf("%10s", client.label.c_str());
   }
   std::printf("\n");
+  // Fig. 8 caption: with the FF pattern the attacker's effective QPS is the
+  // load it actually lands on the nameserver (shared landed-series math in
+  // measure/fairness).
+  const std::vector<measure::ClientFairnessSample> samples =
+      measure::FairnessSamples(result);
+  const std::vector<double> landed =
+      measure::AttackerLandedSeries(samples, result.ans_qps);
   const size_t seconds = result.clients.front().effective_qps.size();
   for (size_t t = 0; t < seconds; t += 2) {
     std::printf("%-10zu", t);
     for (const auto& client : result.clients) {
       double value = client.effective_qps[t];
-      if (ff_attacker && client.label == "Attacker") {
-        // Fig. 8 caption: with the FF pattern the attacker's effective QPS
-        // is the load it actually lands on the nameserver, i.e. the ANS
-        // query rate minus the benign clients' (~1 query/request) share.
-        double benign = 0;
-        for (const auto& other : result.clients) {
-          if (other.label != "Attacker") {
-            benign += other.effective_qps[t];
-          }
-        }
-        value = std::max(0.0, result.ans_qps[t] - benign);
+      if (ff_attacker && client.label == "Attacker" && t < landed.size()) {
+        value = landed[t];
       }
       std::printf("%10.0f", value);
     }
@@ -80,6 +78,13 @@ void RunScenario(const char* title, QueryPattern pattern, double attacker_qps) {
           snap.Sum("dcc_memory_bytes"));
     }
     std::printf("\n");
+    const measure::BenignCollateral collateral =
+        measure::SummarizeBenignCollateral(measure::FairnessSamples(result));
+    std::printf(
+        "collateral: worst benign %s=%.2f mean=%.2f jain=%.3f starved=%zus\n",
+        collateral.worst_label.c_str(), collateral.worst_ratio,
+        collateral.mean_ratio, collateral.jain_index,
+        collateral.max_starved_seconds);
     if (ff) {
       // Causal-tree view of the same run: who amplified, and by how much.
       // With DCC on, policing should push the attacker's realized fan-out

@@ -8,10 +8,10 @@
 // share the attacker's fate; with signals, the forwarder convicts the real
 // culprit before that happens.
 
-#include <algorithm>
 #include <cstdio>
 
 #include "bench/benches.h"
+#include "src/measure/fairness.h"
 #include "src/scenario/scenarios.h"
 #include "src/telemetry/telemetry.h"
 
@@ -24,19 +24,18 @@ void PrintSeries(const ScenarioResult& result, bool ff_attacker) {
     std::printf("%10s", client.label.c_str());
   }
   std::printf("\n");
+  // FF landed-load math shared with fig8 via measure/fairness.
+  const std::vector<measure::ClientFairnessSample> samples =
+      measure::FairnessSamples(result);
+  const std::vector<double> landed =
+      measure::AttackerLandedSeries(samples, result.ans_qps);
   const size_t seconds = result.clients.front().effective_qps.size();
   for (size_t t = 0; t < seconds; t += 2) {
     std::printf("%-10zu", t);
     for (const auto& client : result.clients) {
       double value = client.effective_qps[t];
-      if (ff_attacker && client.label == "Attacker") {
-        double benign = 0;
-        for (const auto& other : result.clients) {
-          if (other.label != "Attacker") {
-            benign += other.effective_qps[t];
-          }
-        }
-        value = std::max(0.0, result.ans_qps[t] - benign);
+      if (ff_attacker && client.label == "Attacker" && t < landed.size()) {
+        value = landed[t];
       }
       std::printf("%10.0f", value);
     }
@@ -63,6 +62,10 @@ void RunPattern(const char* title, QueryPattern pattern, double attacker_qps) {
     for (const auto& client : result.clients) {
       std::printf("  %s=%.2f", client.label.c_str(), client.success_ratio);
     }
+    const measure::BenignCollateral collateral =
+        measure::SummarizeBenignCollateral(measure::FairnessSamples(result));
+    std::printf("  worst-benign=%.2f(%s)", collateral.worst_ratio,
+                collateral.worst_label.c_str());
     std::printf(
         "  [convictions=%.0f policer_rejects=%.0f attached=%.0f "
         "processed(pol/anom/cong)=%.0f/%.0f/%.0f]\n",

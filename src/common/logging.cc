@@ -7,7 +7,9 @@ namespace dcc {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
-std::function<uint64_t()> g_clock;
+// thread_local: each simulation thread installs its own event-loop clock
+// (dcc_search evaluates candidates on worker threads).
+thread_local std::function<uint64_t()> g_clock;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {

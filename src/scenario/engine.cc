@@ -16,6 +16,7 @@ constexpr char kClientSentSeries[] = "client_sent_qps";
 constexpr char kAnsSeries[] = "ans_qps";
 constexpr char kResolverUpstreamSeries[] = "resolver_upstream_qps";
 constexpr char kResolverStaleSeries[] = "resolver_stale_qps";
+constexpr char kDccMemorySeries[] = "dcc_memory_bytes";
 
 void ProbeStub(telemetry::TimeSeriesSampler& sampler, const StubClient& stub,
                const std::string& label) {
@@ -280,6 +281,15 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
   for (const std::string& node : spec.measure.resolver_series) {
     ProbeResolverSeries(scoreboard, *resolvers.at(node), series_labels(node));
   }
+  // DCC state footprint, sampled per shim each tick (gauge probes add no
+  // events of their own, so events_executed is unchanged by this).
+  for (size_t i = 0; i < shims.size(); ++i) {
+    const DccNode* shim = shims[i];
+    scoreboard.AddGaugeProbe(kDccMemorySeries, {{"shim", std::to_string(i)}},
+                             [shim]() {
+                               return static_cast<double>(shim->MemoryFootprint());
+                             });
+  }
   StartSampling(bed, scoreboard, spec.horizon + Seconds(2));
 
   if (hooks.sampler != nullptr) {
@@ -364,6 +374,24 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
     outcome->dcc_policed_drops += shim->policed_drops();
     outcome->dcc_servfails += shim->servfails_synthesized();
     outcome->dcc_signals_attached += shim->signals_attached();
+  }
+  if (!shims.empty()) {
+    // Peak of the per-tick sum across shims (ticks share one axis).
+    std::vector<double> total;
+    for (size_t i = 0; i < shims.size(); ++i) {
+      const std::vector<double> values =
+          scoreboard.Values(kDccMemorySeries, {{"shim", std::to_string(i)}});
+      if (total.size() < values.size()) {
+        total.resize(values.size(), 0);
+      }
+      for (size_t t = 0; t < values.size(); ++t) {
+        total[t] += values[t];
+      }
+    }
+    for (double v : total) {
+      outcome->dcc_peak_memory_bytes =
+          std::max(outcome->dcc_peak_memory_bytes, v);
+    }
   }
   if (injector != nullptr) {
     outcome->fault_activations = injector->activations();

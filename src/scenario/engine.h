@@ -67,6 +67,9 @@ struct ScenarioOutcome {
   uint64_t dcc_policed_drops = 0;
   uint64_t dcc_servfails = 0;
   uint64_t dcc_signals_attached = 0;
+  // Largest per-second sample of the shims' summed MemoryFootprint() (the
+  // §5.2 state-blowup signal; dcc_search's memory objective reads this).
+  double dcc_peak_memory_bytes = 0;
   uint64_t fault_activations = 0;
   // Events the loop executed during the run (determinism fingerprint).
   size_t events_executed = 0;

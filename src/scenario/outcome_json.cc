@@ -1,0 +1,84 @@
+#include "src/scenario/outcome_json.h"
+
+namespace dcc {
+namespace scenario {
+namespace {
+
+json::Value Num(double n) { return json::Value::OfNumber(n); }
+json::Value U64(uint64_t n) {
+  return json::Value::OfNumber(static_cast<double>(n));
+}
+json::Value Str(std::string s) { return json::Value::OfString(std::move(s)); }
+
+json::Value Series(const std::vector<double>& values) {
+  json::Value out = json::Value::MakeArray();
+  for (double v : values) {
+    out.PushBack(Num(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value ScenarioOutcomeToJson(const ScenarioOutcome& outcome) {
+  json::Value out = json::Value::MakeObject();
+
+  json::Value clients = json::Value::MakeArray();
+  for (const ClientOutcome& client : outcome.clients) {
+    json::Value c = json::Value::MakeObject();
+    c.Set("label", Str(client.label));
+    c.Set("attacker", json::Value::OfBool(client.is_attacker));
+    c.Set("sent", U64(client.sent));
+    c.Set("succeeded", U64(client.succeeded));
+    c.Set("failed", U64(client.failed));
+    c.Set("success_ratio", Num(client.success_ratio));
+    if (!client.effective_qps.empty()) {
+      c.Set("effective_qps", Series(client.effective_qps));
+    }
+    clients.PushBack(std::move(c));
+  }
+  out.Set("clients", std::move(clients));
+
+  json::Value ans = json::Value::MakeArray();
+  for (const AnsOutcome& probe : outcome.ans) {
+    json::Value a = json::Value::MakeObject();
+    a.Set("node", Str(probe.node));
+    a.Set("label", Str(probe.label));
+    a.Set("peak_qps", Num(probe.peak_qps));
+    a.Set("qps", Series(probe.qps));
+    ans.PushBack(std::move(a));
+  }
+  out.Set("ans", std::move(ans));
+
+  json::Value resolver_series = json::Value::MakeArray();
+  for (const ResolverSeriesOutcome& series : outcome.resolver_series) {
+    json::Value r = json::Value::MakeObject();
+    r.Set("node", Str(series.node));
+    r.Set("stale_responses", U64(series.stale_responses));
+    r.Set("upstream_timeouts", U64(series.upstream_timeouts));
+    r.Set("holddowns", U64(series.holddowns));
+    r.Set("upstream_send_qps", Series(series.upstream_send_qps));
+    r.Set("stale_qps", Series(series.stale_qps));
+    resolver_series.PushBack(std::move(r));
+  }
+  out.Set("resolver_series", std::move(resolver_series));
+
+  json::Value dcc = json::Value::MakeObject();
+  dcc.Set("convictions", U64(outcome.dcc_convictions));
+  dcc.Set("policed_drops", U64(outcome.dcc_policed_drops));
+  dcc.Set("servfails", U64(outcome.dcc_servfails));
+  dcc.Set("signals_attached", U64(outcome.dcc_signals_attached));
+  dcc.Set("peak_memory_bytes", Num(outcome.dcc_peak_memory_bytes));
+  out.Set("dcc", std::move(dcc));
+
+  out.Set("fault_activations", U64(outcome.fault_activations));
+  out.Set("events_executed", U64(outcome.events_executed));
+  return out;
+}
+
+std::string WriteScenarioOutcome(const ScenarioOutcome& outcome, int indent) {
+  return json::Write(ScenarioOutcomeToJson(outcome), indent) + "\n";
+}
+
+}  // namespace scenario
+}  // namespace dcc

@@ -1,0 +1,28 @@
+// ScenarioOutcome <-> JSON.
+//
+// `dcc_sim run --summary-out FILE` emits the full outcome of a spec run —
+// per-client totals and success series, per-authoritative query-rate series
+// and untrimmed peaks, resolver degradation counters/series, aggregate DCC
+// shim counters (including the peak memory footprint) and the executed-event
+// determinism fingerprint — so external tooling can score a run with exactly
+// the numbers dcc_search's objective layer sees.
+
+#ifndef SRC_SCENARIO_OUTCOME_JSON_H_
+#define SRC_SCENARIO_OUTCOME_JSON_H_
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/scenario/engine.h"
+
+namespace dcc {
+namespace scenario {
+
+json::Value ScenarioOutcomeToJson(const ScenarioOutcome& outcome);
+std::string WriteScenarioOutcome(const ScenarioOutcome& outcome,
+                                 int indent = 2);
+
+}  // namespace scenario
+}  // namespace dcc
+
+#endif  // SRC_SCENARIO_OUTCOME_JSON_H_

@@ -796,8 +796,9 @@ bool ParseScenarioSpec(std::string_view json_text, ScenarioSpec* spec,
   ctx.error = error;
   ObjReader r(root, "", ctx);
   r.AllowKeys({"name", "run", "network", "zones", "nodes", "clients", "faults",
-               "measure"});
+               "measure", "provenance"});
   spec->name = r.Str("name", "");
+  spec->provenance = r.StrList("provenance");
   if (const json::Value* run = r.Obj("run"); run != nullptr) {
     ObjReader rr(*run, "run", ctx);
     rr.AllowKeys({"horizon", "seed"});
@@ -1149,6 +1150,13 @@ bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error) {
 json::Value ScenarioSpecToJson(const ScenarioSpec& spec) {
   json::Value out = json::Value::MakeObject();
   out.Set("name", Str(spec.name));
+  if (!spec.provenance.empty()) {
+    json::Value provenance = json::Value::MakeArray();
+    for (const std::string& line : spec.provenance) {
+      provenance.PushBack(Str(line));
+    }
+    out.Set("provenance", std::move(provenance));
+  }
 
   json::Value run = json::Value::MakeObject();
   run.Set("horizon", Secs(spec.horizon));

@@ -193,6 +193,10 @@ struct ScenarioSpec {
   std::vector<ClientSpec> clients; // Created after nodes, in order.
   FaultSpec faults;
   MeasureSpec measure;
+  // Free-form provenance lines carried through parse/write untouched and
+  // ignored by the engine. dcc_search records the objective, score and seed
+  // lineage of discovered scenarios here so a corpus file is self-describing.
+  std::vector<std::string> provenance;
 };
 
 // Address layout (for hand-written fault plans): node i gets 10.0.0.(1+i),

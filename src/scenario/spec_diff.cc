@@ -1,0 +1,94 @@
+#include "src/scenario/spec_diff.h"
+
+#include <string>
+
+#include "src/common/json.h"
+
+namespace dcc {
+namespace scenario {
+namespace {
+
+constexpr char kAbsent[] = "(absent)";
+
+std::string Compact(const json::Value& value) { return json::Write(value, -1); }
+
+std::string Child(const std::string& path, const std::string& key) {
+  return path.empty() ? key : path + "." + key;
+}
+
+std::string Element(const std::string& path, size_t index) {
+  return path + "[" + std::to_string(index) + "]";
+}
+
+void DiffValues(const json::Value& a, const json::Value& b,
+                const std::string& path, std::vector<SpecFieldDiff>* out) {
+  if (a.type() != b.type()) {
+    out->push_back({path, Compact(a), Compact(b)});
+    return;
+  }
+  switch (a.type()) {
+    case json::Type::kObject: {
+      // Keys are sorted (std::map), so a parallel walk visits a stable order.
+      auto ia = a.AsObject().begin();
+      auto ib = b.AsObject().begin();
+      while (ia != a.AsObject().end() || ib != b.AsObject().end()) {
+        if (ib == b.AsObject().end() ||
+            (ia != a.AsObject().end() && ia->first < ib->first)) {
+          out->push_back({Child(path, ia->first), Compact(ia->second), kAbsent});
+          ++ia;
+        } else if (ia == a.AsObject().end() || ib->first < ia->first) {
+          out->push_back({Child(path, ib->first), kAbsent, Compact(ib->second)});
+          ++ib;
+        } else {
+          DiffValues(ia->second, ib->second, Child(path, ia->first), out);
+          ++ia;
+          ++ib;
+        }
+      }
+      break;
+    }
+    case json::Type::kArray: {
+      const size_t common = std::min(a.AsArray().size(), b.AsArray().size());
+      for (size_t i = 0; i < common; ++i) {
+        DiffValues(a.AsArray()[i], b.AsArray()[i], Element(path, i), out);
+      }
+      for (size_t i = common; i < a.AsArray().size(); ++i) {
+        out->push_back({Element(path, i), Compact(a.AsArray()[i]), kAbsent});
+      }
+      for (size_t i = common; i < b.AsArray().size(); ++i) {
+        out->push_back({Element(path, i), kAbsent, Compact(b.AsArray()[i])});
+      }
+      break;
+    }
+    default:
+      if (Compact(a) != Compact(b)) {
+        out->push_back({path, Compact(a), Compact(b)});
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<SpecFieldDiff> DiffScenarioSpecs(const ScenarioSpec& before,
+                                             const ScenarioSpec& after) {
+  // Strip provenance: history lines would otherwise dominate every diff.
+  ScenarioSpec a = before;
+  ScenarioSpec b = after;
+  a.provenance.clear();
+  b.provenance.clear();
+  std::vector<SpecFieldDiff> out;
+  DiffValues(ScenarioSpecToJson(a), ScenarioSpecToJson(b), "", &out);
+  return out;
+}
+
+std::string FormatSpecDiff(const std::vector<SpecFieldDiff>& diffs) {
+  std::string out;
+  for (const SpecFieldDiff& diff : diffs) {
+    out += diff.path + ": " + diff.before + " -> " + diff.after + "\n";
+  }
+  return out;
+}
+
+}  // namespace scenario
+}  // namespace dcc

@@ -1,0 +1,39 @@
+// Field-level diffs between two ScenarioSpecs.
+//
+// dcc_search mutates specs thousands of times per run; when it reports a
+// discovered worst case, the interesting part is *what changed* relative to
+// the seed scenario, not the 200-line spec itself. DiffScenarioSpecs walks
+// the canonical JSON forms (ScenarioSpecToJson, sorted keys) of both specs
+// and returns one entry per leaf that differs, with the same JSON paths the
+// parser uses in its diagnostics ("clients[3].qps"). Provenance lines are
+// excluded — they describe a spec's history, not its behavior.
+
+#ifndef SRC_SCENARIO_SPEC_DIFF_H_
+#define SRC_SCENARIO_SPEC_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/spec.h"
+
+namespace dcc {
+namespace scenario {
+
+struct SpecFieldDiff {
+  std::string path;    // JSON path, e.g. "clients[3].qps".
+  std::string before;  // Compact JSON of the old value; "(absent)" if added.
+  std::string after;   // Compact JSON of the new value; "(absent)" if removed.
+};
+
+// Leaf-level differences from `before` to `after`, in sorted path order.
+// Array length changes produce one entry per extra/missing element.
+std::vector<SpecFieldDiff> DiffScenarioSpecs(const ScenarioSpec& before,
+                                             const ScenarioSpec& after);
+
+// "path: before -> after" lines, one per diff entry.
+std::string FormatSpecDiff(const std::vector<SpecFieldDiff>& diffs);
+
+}  // namespace scenario
+}  // namespace dcc
+
+#endif  // SRC_SCENARIO_SPEC_DIFF_H_

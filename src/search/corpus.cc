@@ -1,0 +1,182 @@
+#include "src/search/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dcc {
+namespace search {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+std::string FormatLineage(const std::vector<MutationStep>& lineage) {
+  std::string out;
+  for (size_t i = 0; i < lineage.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += FormatMutationStep(lineage[i]);
+  }
+  return out;
+}
+
+// Extracts "key=value" from a provenance line's space-separated tokens.
+bool FindToken(const std::string& line, const std::string& key,
+               std::string* value) {
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t end = line.find(' ', pos);
+    if (end == std::string::npos) {
+      end = line.size();
+    }
+    const std::string token = line.substr(pos, end - pos);
+    if (token.size() > key.size() + 1 && token.compare(0, key.size(), key) == 0 &&
+        token[key.size()] == '=') {
+      *value = token.substr(key.size() + 1);
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatScore(double score) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", score);
+  return buffer;
+}
+
+bool MinimizeCandidate(const std::vector<SeedSpec>& seeds, Objective objective,
+                       Candidate* candidate, std::string* error) {
+  Candidate current = *candidate;
+  if (!EvaluateCandidate(seeds, &current, objective, error)) {
+    return false;
+  }
+  bool changed = true;
+  while (changed && !current.lineage.empty()) {
+    changed = false;
+    for (size_t i = current.lineage.size(); i-- > 0;) {
+      Candidate trial = current;
+      trial.lineage.erase(trial.lineage.begin() + static_cast<long>(i));
+      std::string trial_error;
+      if (!EvaluateCandidate(seeds, &trial, objective, &trial_error)) {
+        continue;  // Shorter lineage no longer applies; keep the step.
+      }
+      if (trial.score >= current.score) {
+        current = std::move(trial);
+        changed = true;
+      }
+    }
+  }
+  *candidate = std::move(current);
+  return true;
+}
+
+std::vector<std::string> ProvenanceLines(const Candidate& candidate,
+                                         Objective objective) {
+  std::vector<std::string> lines;
+  lines.push_back(std::string("dcc_search objective=") +
+                  ObjectiveName(objective) + " score=" +
+                  FormatScore(candidate.score) +
+                  " events=" + std::to_string(candidate.events_executed));
+  lines.push_back("base=" + candidate.base_name + " horizon=" +
+                  std::to_string(candidate.spec.horizon / kSecond) +
+                  "s run_seed=" + std::to_string(candidate.spec.seed));
+  lines.push_back("lineage=" + FormatLineage(candidate.lineage));
+  return lines;
+}
+
+bool WriteCorpusEntry(const std::string& path, const Candidate& candidate,
+                      Objective objective, std::string* error) {
+  scenario::ScenarioSpec spec = candidate.spec;
+  spec.provenance = ProvenanceLines(candidate, objective);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Fail(error, "cannot open " + path + " for writing");
+  }
+  out << WriteScenarioSpec(spec);
+  out.close();
+  if (!out) {
+    return Fail(error, "short write to " + path);
+  }
+  return true;
+}
+
+bool ReplayCorpusFile(const std::string& path, Objective fallback_objective,
+                      bool check_identity, ReplayReport* report,
+                      std::string* error) {
+  *report = ReplayReport{};
+  report->file = path;
+  report->objective = fallback_objective;
+
+  scenario::ScenarioSpec spec;
+  if (!scenario::LoadScenarioSpecFile(path, &spec, error)) {
+    return false;
+  }
+  report->name = spec.name;
+  for (const std::string& line : spec.provenance) {
+    std::string value;
+    if (FindToken(line, "objective", &value)) {
+      Objective parsed;
+      if (ParseObjectiveName(value, &parsed)) {
+        report->objective = parsed;
+      }
+    }
+    if (FindToken(line, "score", &value)) {
+      report->recorded_score = value;
+      report->has_recorded = true;
+    }
+    if (FindToken(line, "events", &value)) {
+      report->recorded_events = static_cast<size_t>(std::stoull(value));
+    }
+  }
+
+  scenario::ScenarioOutcome outcome;
+  if (!scenario::RunScenarioSpec(spec, scenario::EngineHooks{}, &outcome,
+                                 error)) {
+    return false;
+  }
+  report->breakdown = ScoreOutcome(spec, outcome);
+  report->score = ObjectiveScore(report->breakdown, report->objective);
+  report->events_executed = outcome.events_executed;
+
+  if (check_identity && report->has_recorded) {
+    const std::string replayed = FormatScore(report->score);
+    if (replayed != report->recorded_score) {
+      report->identity_ok = false;
+      report->detail = "score drifted: recorded " + report->recorded_score +
+                       ", replayed " + replayed;
+    } else if (report->events_executed != report->recorded_events) {
+      report->identity_ok = false;
+      report->detail =
+          "events_executed drifted: recorded " +
+          std::to_string(report->recorded_events) + ", replayed " +
+          std::to_string(report->events_executed);
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace search
+}  // namespace dcc

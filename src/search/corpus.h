@@ -1,0 +1,75 @@
+// Corpus management for discovered adversarial scenarios.
+//
+// Worst cases found by the search are minimized (greedy revert-toward-parent
+// while the objective holds), stamped with a provenance header (objective,
+// score, seed lineage, determinism fingerprint) and written as ordinary
+// ScenarioSpec JSON under examples/scenarios/found/. A committed corpus file
+// is self-verifying: ReplayCorpusFile re-runs it and, in check mode, demands
+// the recorded score and events_executed byte-for-byte — the regression
+// check CI runs against every committed find.
+
+#ifndef SRC_SEARCH_CORPUS_H_
+#define SRC_SEARCH_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/search/search.h"
+
+namespace dcc {
+namespace search {
+
+// Scores are recorded (and compared on replay) at fixed 6-decimal precision.
+std::string FormatScore(double score);
+
+// Greedily shrinks `candidate`'s lineage: drops steps last-to-first,
+// keeping a removal only when the shortened lineage still applies and
+// replays to a score >= the current one; repeats until a full pass removes
+// nothing. The minimized candidate therefore never scores below the input.
+// Returns false (leaving `candidate` untouched) when the input itself fails
+// to evaluate.
+bool MinimizeCandidate(const std::vector<SeedSpec>& seeds, Objective objective,
+                       Candidate* candidate, std::string* error);
+
+// The provenance lines recorded in a corpus file, e.g.
+//   dcc_search objective=benign-worst score=0.482759 events=123456
+//   base=wc horizon=24s run_seed=1
+//   lineage=attacker_qps:9444732965739290427,clone_attacker:1234
+std::vector<std::string> ProvenanceLines(const Candidate& candidate,
+                                         Objective objective);
+
+// Writes the candidate's spec (provenance header attached) to `path`.
+bool WriteCorpusEntry(const std::string& path, const Candidate& candidate,
+                      Objective objective, std::string* error);
+
+struct ReplayReport {
+  std::string file;
+  std::string name;  // Spec name.
+  Objective objective = Objective::kComposite;
+  bool has_recorded = false;  // Provenance carried a recorded score.
+  std::string recorded_score;
+  size_t recorded_events = 0;
+  double score = 0;
+  ScoreBreakdown breakdown;
+  size_t events_executed = 0;
+  bool identity_ok = true;  // check mode: replay matched the record.
+  std::string detail;       // Mismatch description when !identity_ok.
+};
+
+// Loads, validates, runs and scores one corpus file. The objective comes
+// from the file's provenance when present, `fallback_objective` otherwise.
+// With `check_identity`, a recorded score/events mismatch clears
+// `identity_ok` (the function still returns true; false is reserved for
+// load/run failures).
+bool ReplayCorpusFile(const std::string& path, Objective fallback_objective,
+                      bool check_identity, ReplayReport* report,
+                      std::string* error);
+
+// The *.json files directly under `dir`, sorted by name; empty when the
+// directory does not exist.
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+}  // namespace search
+}  // namespace dcc
+
+#endif  // SRC_SEARCH_CORPUS_H_

@@ -1,0 +1,367 @@
+#include "src/search/mutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+
+namespace dcc {
+namespace search {
+namespace {
+
+using scenario::ClientSpec;
+using scenario::QueryPattern;
+using scenario::ScenarioSpec;
+using scenario::ZoneKind;
+using scenario::ZoneSpec;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+std::vector<size_t> AttackerIndices(const ScenarioSpec& spec) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < spec.clients.size(); ++i) {
+    if (spec.clients[i].is_attacker) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int FindZone(const ScenarioSpec& spec, ZoneKind kind, bool need_cq) {
+  for (size_t i = 0; i < spec.zones.size(); ++i) {
+    if (spec.zones[i].kind != kind) {
+      continue;
+    }
+    if (need_cq && spec.zones[i].target.cq_instances <= 0) {
+      continue;
+    }
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double ClampQps(double qps) {
+  return std::min(kMaxQps, std::max(kMinQps, std::round(qps)));
+}
+
+bool MutateAttackerQps(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.empty()) {
+    return Fail(error, "attacker_qps: spec has no attacker clients");
+  }
+  ClientSpec& client =
+      spec->clients[attackers[rng->NextBelow(attackers.size())]];
+  const double factor =
+      std::exp((rng->NextDouble() * 2.0 - 1.0) * std::log(4.0));
+  client.qps = ClampQps(client.qps * factor);
+  return true;
+}
+
+bool MutateAttackerPattern(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.empty()) {
+    return Fail(error, "attacker_pattern: spec has no attacker clients");
+  }
+  ClientSpec& client =
+      spec->clients[attackers[rng->NextBelow(attackers.size())]];
+
+  // Patterns the spec's zones can serve, paired with the zone each one
+  // generates against.
+  const int target = FindZone(*spec, ZoneKind::kTarget, /*need_cq=*/false);
+  const int cq_target = FindZone(*spec, ZoneKind::kTarget, /*need_cq=*/true);
+  const int attacker_zone = FindZone(*spec, ZoneKind::kAttacker, false);
+  std::vector<std::pair<QueryPattern, int>> choices;
+  if (target >= 0) {
+    choices.push_back({QueryPattern::kWc, target});
+    choices.push_back({QueryPattern::kNx, target});
+    choices.push_back({QueryPattern::kNxThenWc, target});
+  }
+  if (cq_target >= 0) {
+    choices.push_back({QueryPattern::kCq, cq_target});
+  }
+  if (attacker_zone >= 0) {
+    choices.push_back({QueryPattern::kFf, attacker_zone});
+  }
+  // Drop the current pattern so the operator always changes something.
+  choices.erase(std::remove_if(choices.begin(), choices.end(),
+                               [&](const std::pair<QueryPattern, int>& c) {
+                                 return c.first == client.pattern;
+                               }),
+                choices.end());
+  if (choices.empty()) {
+    return Fail(error, "attacker_pattern: no alternative pattern is servable");
+  }
+  const auto& choice = choices[rng->NextBelow(choices.size())];
+  client.pattern = choice.first;
+  client.zone = spec->zones[static_cast<size_t>(choice.second)].id;
+  if (client.pattern == QueryPattern::kFf) {
+    // Keep FF rates in the amplification regime the paper uses (a 1000+ QPS
+    // FF attacker is off-model: each query costs ~fanout^2 upstream).
+    client.qps = std::min(client.qps, 100.0);
+  }
+  return true;
+}
+
+bool MutateAttackWindow(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.empty()) {
+    return Fail(error, "attack_window: spec has no attacker clients");
+  }
+  const int64_t horizon_s = spec->horizon / kSecond;
+  if (horizon_s < 2) {
+    return Fail(error, "attack_window: horizon under 2s");
+  }
+  ClientSpec& client =
+      spec->clients[attackers[rng->NextBelow(attackers.size())]];
+  const int64_t start = rng->NextInRange(0, horizon_s - 1);
+  const int64_t stop = rng->NextInRange(start + 1, horizon_s);
+  client.start = Seconds(start);
+  client.stop = Seconds(stop);
+  return true;
+}
+
+bool MutateAttackerRamp(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.empty()) {
+    return Fail(error, "attacker_ramp: spec has no attacker clients");
+  }
+  ClientSpec& client =
+      spec->clients[attackers[rng->NextBelow(attackers.size())]];
+  if (client.ramp_to_qps > 0 && rng->NextBool(0.33)) {
+    client.ramp_to_qps = 0;  // Back to a flat rate.
+    return true;
+  }
+  const double factor =
+      std::exp((rng->NextDouble() * 2.0 - 1.0) * std::log(4.0));
+  client.ramp_to_qps = ClampQps(client.qps * factor);
+  return true;
+}
+
+bool MutateCloneAttacker(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.empty()) {
+    return Fail(error, "clone_attacker: spec has no attacker clients");
+  }
+  if (spec->clients.size() >= kMaxClients) {
+    return Fail(error, "clone_attacker: population already at the cap");
+  }
+  ClientSpec clone = spec->clients[attackers[rng->NextBelow(attackers.size())]];
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "-x%04llx",
+                static_cast<unsigned long long>(rng->Next() & 0xffff));
+  clone.label += suffix;
+  // 32 bits: client seeds travel through JSON numbers (doubles), which are
+  // only exact below 2^53.
+  clone.seed = rng->Next() >> 32;
+  clone.has_seed = true;
+  // Appending keeps every existing host's address assignment unchanged.
+  spec->clients.push_back(std::move(clone));
+  return true;
+}
+
+bool MutateDropAttacker(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> attackers = AttackerIndices(*spec);
+  if (attackers.size() < 2) {
+    return Fail(error, "drop_attacker: fewer than two attackers");
+  }
+  const size_t victim = attackers[rng->NextBelow(attackers.size())];
+  spec->clients.erase(spec->clients.begin() + static_cast<long>(victim));
+  return true;
+}
+
+bool MutateZoneShape(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  if (spec->zones.empty()) {
+    return Fail(error, "zone_shape: spec has no zones");
+  }
+  ZoneSpec& zone = spec->zones[rng->NextBelow(spec->zones.size())];
+  static const uint32_t kTtls[] = {1, 2, 5, 30, 60, 300, 600, 3600};
+  if (zone.kind == ZoneKind::kTarget) {
+    const bool has_cq = zone.target.cq_instances > 0;
+    switch (rng->NextBelow(has_cq ? 4 : 1)) {
+      case 0:
+        zone.target.ttl = kTtls[rng->NextBelow(8)];
+        break;
+      case 1:
+        zone.target.cq_chain_length =
+            static_cast<int>(rng->NextInRange(4, 32));
+        break;
+      case 2:
+        zone.target.cq_labels = static_cast<int>(rng->NextInRange(3, 20));
+        break;
+      default:
+        zone.target.cq_instances = static_cast<int>(rng->NextInRange(1, 200));
+        break;
+    }
+  } else {
+    switch (rng->NextBelow(3)) {
+      case 0:
+        zone.attacker.ttl = kTtls[rng->NextBelow(8)];
+        break;
+      case 1:
+        zone.attacker.fanout_a = static_cast<int>(rng->NextInRange(2, 12));
+        break;
+      default:
+        zone.attacker.fanout_t = static_cast<int>(rng->NextInRange(2, 12));
+        break;
+    }
+  }
+  return true;
+}
+
+bool MutateNetwork(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  (void)error;
+  if (rng->NextBool(0.5)) {
+    spec->network.jitter = Milliseconds(rng->NextInRange(0, 20));
+  } else {
+    // Loss in [0, 5%] on a 0.1% grid (exact decimals round-trip).
+    spec->network.loss_probability =
+        static_cast<double>(rng->NextInRange(0, 50)) / 1000.0;
+  }
+  return true;
+}
+
+bool MutateFaultWindow(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  if (spec->faults.plan.events.empty()) {
+    return Fail(error, "fault_window: spec has no fault events");
+  }
+  const int64_t horizon_s = spec->horizon / kSecond;
+  if (horizon_s < 2) {
+    return Fail(error, "fault_window: horizon under 2s");
+  }
+  fault::FaultEvent& event =
+      spec->faults.plan.events[rng->NextBelow(spec->faults.plan.events.size())];
+  const int64_t start = rng->NextInRange(0, horizon_s - 1);
+  const int64_t end = rng->NextInRange(start + 1, horizon_s);
+  event.start = Seconds(start);
+  event.end = Seconds(end);
+  return true;
+}
+
+}  // namespace
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kAttackerQps:
+      return "attacker_qps";
+    case MutationOp::kAttackerPattern:
+      return "attacker_pattern";
+    case MutationOp::kAttackWindow:
+      return "attack_window";
+    case MutationOp::kAttackerRamp:
+      return "attacker_ramp";
+    case MutationOp::kCloneAttacker:
+      return "clone_attacker";
+    case MutationOp::kDropAttacker:
+      return "drop_attacker";
+    case MutationOp::kZoneShape:
+      return "zone_shape";
+    case MutationOp::kNetwork:
+      return "network";
+    case MutationOp::kFaultWindow:
+      return "fault_window";
+  }
+  return "?";
+}
+
+bool ParseMutationOpName(const std::string& text, MutationOp* op) {
+  for (int i = 0; i < kNumMutationOps; ++i) {
+    const MutationOp candidate = static_cast<MutationOp>(i);
+    if (text == MutationOpName(candidate)) {
+      *op = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatMutationStep(const MutationStep& step) {
+  return std::string(MutationOpName(step.op)) + ":" + std::to_string(step.seed);
+}
+
+bool ParseMutationStep(const std::string& text, MutationStep* step) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  if (!ParseMutationOpName(text.substr(0, colon), &step->op)) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string digits = text.substr(colon + 1);
+  step->seed = std::strtoull(digits.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ApplyMutation(scenario::ScenarioSpec* spec, const MutationStep& step,
+                   std::string* error) {
+  Rng rng(step.seed);
+  bool ok = false;
+  switch (step.op) {
+    case MutationOp::kAttackerQps:
+      ok = MutateAttackerQps(spec, &rng, error);
+      break;
+    case MutationOp::kAttackerPattern:
+      ok = MutateAttackerPattern(spec, &rng, error);
+      break;
+    case MutationOp::kAttackWindow:
+      ok = MutateAttackWindow(spec, &rng, error);
+      break;
+    case MutationOp::kAttackerRamp:
+      ok = MutateAttackerRamp(spec, &rng, error);
+      break;
+    case MutationOp::kCloneAttacker:
+      ok = MutateCloneAttacker(spec, &rng, error);
+      break;
+    case MutationOp::kDropAttacker:
+      ok = MutateDropAttacker(spec, &rng, error);
+      break;
+    case MutationOp::kZoneShape:
+      ok = MutateZoneShape(spec, &rng, error);
+      break;
+    case MutationOp::kNetwork:
+      ok = MutateNetwork(spec, &rng, error);
+      break;
+    case MutationOp::kFaultWindow:
+      ok = MutateFaultWindow(spec, &rng, error);
+      break;
+  }
+  if (!ok) {
+    return false;
+  }
+  std::string validation_error;
+  if (!ValidateScenarioSpec(spec, &validation_error)) {
+    return Fail(error, std::string(MutationOpName(step.op)) +
+                           ": offspring invalid: " + validation_error);
+  }
+  return true;
+}
+
+bool ApplyLineage(const scenario::ScenarioSpec& base,
+                  const std::vector<MutationStep>& lineage,
+                  scenario::ScenarioSpec* out, std::string* error) {
+  *out = base;
+  std::string validation_error;
+  if (!ValidateScenarioSpec(out, &validation_error)) {
+    return Fail(error, "lineage base invalid: " + validation_error);
+  }
+  for (size_t i = 0; i < lineage.size(); ++i) {
+    if (!ApplyMutation(out, lineage[i], error)) {
+      if (error != nullptr) {
+        *error = "lineage step " + std::to_string(i) + " (" +
+                 FormatMutationStep(lineage[i]) + "): " + *error;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace search
+}  // namespace dcc

@@ -1,0 +1,87 @@
+// Typed, validity-preserving mutation operators over ScenarioSpec genomes.
+//
+// dcc_search explores the scenario space by perturbing a validated spec one
+// operator at a time. Every operator draws all of its randomness from an Rng
+// seeded with MutationStep::seed, so a candidate is fully reproducible from
+// (parent spec, operator, seed) — the lineage recorded in a corpus file's
+// provenance is an executable recipe. ApplyMutation re-validates the mutated
+// spec; offspring that an operator drives into an invalid configuration
+// (e.g. a CQ attacker pointed at a zone without chains) are rejected rather
+// than repaired, keeping the operator semantics simple and the search loop in
+// charge of retry policy.
+
+#ifndef SRC_SEARCH_MUTATION_H_
+#define SRC_SEARCH_MUTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/spec.h"
+
+namespace dcc {
+namespace search {
+
+enum class MutationOp {
+  // Rescale one attacker's QPS by a factor in [1/4, 4], clamped to
+  // [1, 4000] whole queries per second.
+  kAttackerQps,
+  // Switch one attacker to a different query pattern that the spec's zones
+  // can serve (FF needs an attacker zone, CQ a target zone with chains),
+  // re-pointing the client's generator zone accordingly.
+  kAttackerPattern,
+  // Re-draw one attacker's [start, stop) window on whole seconds within the
+  // horizon (minimum 1s of activity).
+  kAttackWindow,
+  // Toggle/re-draw one attacker's linear QPS ramp (ramp_to_qps).
+  kAttackerRamp,
+  // Duplicate one attacker under a fresh label and generator seed
+  // (population capped at kMaxClients).
+  kCloneAttacker,
+  // Remove one attacker (only when at least two are present).
+  kDropAttacker,
+  // Perturb zone shape: target-zone TTL / CQ chain geometry or attacker-zone
+  // fan-outs (the §2.2 amplification levers).
+  kZoneShape,
+  // Perturb network-wide jitter and loss probability.
+  kNetwork,
+  // Re-draw the [start, end) window of one fault-plan event on whole
+  // seconds within the horizon (no-op failure on empty plans).
+  kFaultWindow,
+};
+
+inline constexpr int kNumMutationOps = 9;
+// Bounds shared by the operators: attacker rates stay in [1, 4000] QPS and
+// mutated populations at or below 12 clients.
+inline constexpr double kMinQps = 1;
+inline constexpr double kMaxQps = 4000;
+inline constexpr size_t kMaxClients = 12;
+
+const char* MutationOpName(MutationOp op);
+bool ParseMutationOpName(const std::string& text, MutationOp* op);
+
+// One step of a lineage: `op` applied with randomness from `seed`.
+struct MutationStep {
+  MutationOp op = MutationOp::kAttackerQps;
+  uint64_t seed = 0;
+};
+
+// Formats as "op:seed" / parses it back (provenance line syntax).
+std::string FormatMutationStep(const MutationStep& step);
+bool ParseMutationStep(const std::string& text, MutationStep* step);
+
+// Applies one operator in place and re-validates. On failure (operator
+// preconditions unmet or the offspring fails validation) returns false with
+// a diagnostic in `error` and leaves `spec` in an unspecified state — apply
+// to a copy.
+bool ApplyMutation(scenario::ScenarioSpec* spec, const MutationStep& step,
+                   std::string* error);
+
+// Replays a whole lineage against a copy of `base`. Every step must apply.
+bool ApplyLineage(const scenario::ScenarioSpec& base,
+                  const std::vector<MutationStep>& lineage,
+                  scenario::ScenarioSpec* out, std::string* error);
+
+}  // namespace search
+}  // namespace dcc
+
+#endif  // SRC_SEARCH_MUTATION_H_

@@ -1,0 +1,108 @@
+#include "src/search/objective.h"
+
+#include <algorithm>
+
+namespace dcc {
+namespace search {
+namespace {
+
+// Total QPS the attackers are configured to offer (ramps count at their
+// peak). Zero when the spec has no attackers.
+double OfferedAttackerQps(const scenario::ScenarioSpec& spec) {
+  double total = 0;
+  for (const scenario::ClientSpec& client : spec.clients) {
+    if (client.is_attacker) {
+      total += std::max(client.qps, client.ramp_to_qps);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* ObjectiveName(Objective objective) {
+  switch (objective) {
+    case Objective::kBenignWorst:
+      return "benign-worst";
+    case Objective::kBenignMean:
+      return "benign-mean";
+    case Objective::kStarvation:
+      return "starvation";
+    case Objective::kAmplification:
+      return "amplification";
+    case Objective::kDccBlowup:
+      return "dcc-blowup";
+    case Objective::kComposite:
+      return "composite";
+  }
+  return "?";
+}
+
+bool ParseObjectiveName(const std::string& text, Objective* objective) {
+  for (int i = 0; i < kNumObjectives; ++i) {
+    const Objective candidate = static_cast<Objective>(i);
+    if (text == ObjectiveName(candidate)) {
+      *objective = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+ScoreBreakdown ScoreOutcome(const scenario::ScenarioSpec& spec,
+                            const scenario::ScenarioOutcome& outcome) {
+  ScoreBreakdown out;
+  out.collateral =
+      measure::SummarizeBenignCollateral(measure::FairnessSamples(outcome.clients));
+  out.benign_worst = 1.0 - out.collateral.worst_ratio;
+  out.benign_mean = 1.0 - out.collateral.mean_ratio;
+
+  const double horizon_s = ToSeconds(spec.horizon);
+  if (horizon_s > 0) {
+    out.starvation =
+        static_cast<double>(out.collateral.max_starved_seconds) / horizon_s;
+  }
+
+  double peak_ans = 0;
+  for (const scenario::AnsOutcome& probe : outcome.ans) {
+    peak_ans = std::max(peak_ans, probe.peak_qps);
+  }
+  const double offered = OfferedAttackerQps(spec);
+  if (offered > 0) {
+    out.amplification = peak_ans / offered;
+  }
+
+  // Memory in MB plus conviction churn; both grow when an attacker forces
+  // the shim to track (and convict) many flows (§5.2 state blowup).
+  out.dcc_blowup = outcome.dcc_peak_memory_bytes / 1e6 +
+                   static_cast<double>(outcome.dcc_convictions) / 100.0;
+
+  // The blend: benign harm dominates, with soft-saturated amplification and
+  // blowup terms so unbounded signals cannot drown the [0, 1] ones.
+  const double amp_norm = out.amplification / (out.amplification + 10.0);
+  const double blowup_norm = out.dcc_blowup / (out.dcc_blowup + 1.0);
+  out.composite = 0.5 * out.benign_worst + 0.2 * out.benign_mean +
+                  0.15 * out.starvation + 0.1 * amp_norm + 0.05 * blowup_norm;
+  return out;
+}
+
+double ObjectiveScore(const ScoreBreakdown& breakdown, Objective objective) {
+  switch (objective) {
+    case Objective::kBenignWorst:
+      return breakdown.benign_worst;
+    case Objective::kBenignMean:
+      return breakdown.benign_mean;
+    case Objective::kStarvation:
+      return breakdown.starvation;
+    case Objective::kAmplification:
+      return breakdown.amplification;
+    case Objective::kDccBlowup:
+      return breakdown.dcc_blowup;
+    case Objective::kComposite:
+      return breakdown.composite;
+  }
+  return 0;
+}
+
+}  // namespace search
+}  // namespace dcc

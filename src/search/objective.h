@@ -1,0 +1,57 @@
+// Objectives scoring a ScenarioOutcome from the attacker's point of view.
+//
+// Every objective maps a finished run to a single "badness" score — higher
+// means the scenario hurt the defended system more — so the search loop can
+// rank candidates. ScoreOutcome computes all raw signals once (via the shared
+// measure/fairness summaries); ObjectiveScore projects the breakdown onto one
+// of the named objectives. Scores are pure functions of (spec, outcome), so a
+// replayed run reproduces its recorded score bit-for-bit.
+
+#ifndef SRC_SEARCH_OBJECTIVE_H_
+#define SRC_SEARCH_OBJECTIVE_H_
+
+#include <string>
+
+#include "src/measure/fairness.h"
+#include "src/scenario/engine.h"
+#include "src/scenario/spec.h"
+
+namespace dcc {
+namespace search {
+
+enum class Objective {
+  kBenignWorst,     // 1 - worst benign success ratio (the §5.1 headline).
+  kBenignMean,      // 1 - mean benign success ratio.
+  kStarvation,      // Longest benign zero-success streak / horizon.
+  kAmplification,   // Peak authoritative QPS per offered attacker QPS.
+  kDccBlowup,       // Peak DCC shim memory (MB) plus conviction churn.
+  kComposite,       // Weighted blend of the above (search default).
+};
+
+inline constexpr int kNumObjectives = 6;
+
+const char* ObjectiveName(Objective objective);
+bool ParseObjectiveName(const std::string& text, Objective* objective);
+
+struct ScoreBreakdown {
+  measure::BenignCollateral collateral;
+  // Raw per-objective signals (see Objective for definitions).
+  double benign_worst = 0;
+  double benign_mean = 0;
+  double starvation = 0;
+  double amplification = 0;
+  double dcc_blowup = 0;
+  double composite = 0;
+};
+
+// Computes every signal for one finished run. `spec` supplies the horizon
+// and the attacker's offered load (for amplification normalization).
+ScoreBreakdown ScoreOutcome(const scenario::ScenarioSpec& spec,
+                            const scenario::ScenarioOutcome& outcome);
+
+double ObjectiveScore(const ScoreBreakdown& breakdown, Objective objective);
+
+}  // namespace search
+}  // namespace dcc
+
+#endif  // SRC_SEARCH_OBJECTIVE_H_

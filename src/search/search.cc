@@ -1,0 +1,274 @@
+#include "src/search/search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/scenario/scenarios.h"
+
+namespace dcc {
+namespace search {
+namespace {
+
+// Ranking order: higher score first, earlier-created candidate on ties.
+bool RankBefore(const Candidate& a, const Candidate& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.order < b.order;
+}
+
+void SortRanked(std::vector<Candidate>* candidates) {
+  std::sort(candidates->begin(), candidates->end(), RankBefore);
+}
+
+// Evaluates every batch entry, in slot order on one thread or work-stealing
+// over `threads` workers. Results land in the slot they were constructed
+// for, so thread count cannot reorder anything. Returns the per-slot
+// success flags.
+std::vector<char> EvaluateBatch(const std::vector<SeedSpec>& seeds,
+                                std::vector<Candidate>* batch,
+                                Objective objective, int threads) {
+  std::vector<char> ok(batch->size(), 0);
+  auto evaluate_slot = [&](size_t slot) {
+    std::string error;
+    ok[slot] =
+        EvaluateCandidate(seeds, &(*batch)[slot], objective, &error) ? 1 : 0;
+  };
+  const int workers =
+      std::min<int>(std::max(threads, 1), static_cast<int>(batch->size()));
+  if (workers <= 1) {
+    for (size_t slot = 0; slot < batch->size(); ++slot) {
+      evaluate_slot(slot);
+    }
+    return ok;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (size_t slot = next.fetch_add(1); slot < batch->size();
+           slot = next.fetch_add(1)) {
+        evaluate_slot(slot);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  return ok;
+}
+
+// Evaluates the seed specs themselves (empty lineages) within the budget.
+void EvaluateSeeds(const std::vector<SeedSpec>& seeds,
+                   const SearchOptions& options, SearchResult* result,
+                   uint64_t* order) {
+  std::vector<Candidate> batch;
+  for (size_t i = 0; i < seeds.size() && batch.size() < options.budget; ++i) {
+    Candidate candidate;
+    candidate.base_index = i;
+    candidate.order = (*order)++;
+    batch.push_back(std::move(candidate));
+  }
+  const std::vector<char> ok =
+      EvaluateBatch(seeds, &batch, options.objective, options.threads);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ++result->evaluations;
+    if (ok[i]) {
+      result->ranked.push_back(std::move(batch[i]));
+    } else {
+      ++result->rejected_offspring;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SeedSpec> DefaultSeedSpecs(Duration horizon, uint64_t seed) {
+  struct SeedDef {
+    const char* name;
+    QueryPattern pattern;
+    double qps;
+  };
+  // WC/NX/FF rates are the paper's §5.1 settings; CQ (never run by the
+  // legacy Table 2 benches) gets 100 QPS — each CQ request costs the
+  // resolver ~chain_length x labels upstream queries, so 1100 is off-model.
+  static const SeedDef kDefs[] = {
+      {"wc", QueryPattern::kWc, 1100},
+      {"nx", QueryPattern::kNx, 1100},
+      {"cq", QueryPattern::kCq, 100},
+      {"ff", QueryPattern::kFf, 50},
+  };
+  std::vector<SeedSpec> out;
+  for (const SeedDef& def : kDefs) {
+    ResilienceOptions options;
+    options.dcc_enabled = true;
+    options.channel_qps = 1000;
+    options.horizon = horizon;
+    options.seed = seed;
+    options.clients = Table2Clients(def.pattern, def.qps);
+    scenario::ScenarioSpec spec = CompileResilienceSpec(options);
+    spec.name = std::string("seed-") + def.name;
+    if (def.pattern == QueryPattern::kCq) {
+      // The legacy compiler never provisions CQ chains; give the target
+      // zone enough instances that the attacker cycles distinct chains.
+      for (scenario::ZoneSpec& zone : spec.zones) {
+        if (zone.kind == scenario::ZoneKind::kTarget) {
+          zone.target.cq_instances = 64;
+        }
+      }
+    }
+    // Materialize derived fields now so candidate-vs-seed diffs show only
+    // what a mutation changed, not validation's own bookkeeping. Compiled
+    // specs are valid by construction.
+    std::string error;
+    if (!ValidateScenarioSpec(&spec, &error)) {
+      std::fprintf(stderr, "seed spec '%s' invalid: %s\n", spec.name.c_str(),
+                   error.c_str());
+      std::abort();
+    }
+    out.push_back({def.name, std::move(spec)});
+  }
+  return out;
+}
+
+bool EvaluateCandidate(const std::vector<SeedSpec>& seeds, Candidate* candidate,
+                       Objective objective, std::string* error) {
+  if (candidate->base_index >= seeds.size()) {
+    if (error != nullptr) {
+      *error = "candidate references unknown seed spec";
+    }
+    return false;
+  }
+  const SeedSpec& base = seeds[candidate->base_index];
+  candidate->base_name = base.name;
+  if (!ApplyLineage(base.spec, candidate->lineage, &candidate->spec, error)) {
+    return false;
+  }
+  scenario::ScenarioOutcome outcome;
+  if (!scenario::RunScenarioSpec(candidate->spec, scenario::EngineHooks{},
+                                 &outcome, error)) {
+    return false;
+  }
+  candidate->breakdown = ScoreOutcome(candidate->spec, outcome);
+  candidate->score = ObjectiveScore(candidate->breakdown, objective);
+  candidate->events_executed = outcome.events_executed;
+  return true;
+}
+
+SearchResult RunRandomSearch(const std::vector<SeedSpec>& seeds,
+                             const SearchOptions& options) {
+  SearchResult result;
+  if (seeds.empty()) {
+    return result;
+  }
+  uint64_t order = 0;
+  EvaluateSeeds(seeds, options, &result, &order);
+
+  // Candidate construction is single-threaded off one Rng stream; only the
+  // evaluations fan out, so the result is thread-count-invariant.
+  Rng rng(options.seed);
+  while (result.evaluations < options.budget) {
+    const size_t batch_size = std::min(
+        std::max<size_t>(options.offspring, 1), options.budget - result.evaluations);
+    std::vector<Candidate> batch;
+    for (size_t slot = 0; slot < batch_size; ++slot) {
+      Candidate candidate;
+      candidate.base_index = rng.NextBelow(seeds.size());
+      MutationStep step;
+      step.op = static_cast<MutationOp>(rng.NextBelow(kNumMutationOps));
+      step.seed = rng.Next();
+      candidate.lineage.push_back(step);
+      candidate.order = order++;
+      batch.push_back(std::move(candidate));
+    }
+    const std::vector<char> ok =
+        EvaluateBatch(seeds, &batch, options.objective, options.threads);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++result.evaluations;  // Invalid offspring consume budget too.
+      if (ok[i]) {
+        result.ranked.push_back(std::move(batch[i]));
+      } else {
+        ++result.rejected_offspring;
+      }
+    }
+  }
+  SortRanked(&result.ranked);
+  return result;
+}
+
+SearchResult RunEvolutionSearch(const std::vector<SeedSpec>& seeds,
+                                const SearchOptions& options) {
+  SearchResult result;
+  if (seeds.empty()) {
+    return result;
+  }
+  uint64_t order = 0;
+  EvaluateSeeds(seeds, options, &result, &order);
+
+  // Generation 0 population: the seeds themselves, ranked.
+  std::vector<Candidate> population = result.ranked;
+  SortRanked(&population);
+  if (population.size() > options.population) {
+    population.resize(options.population);
+  }
+
+  uint64_t generation = 1;
+  while (result.evaluations < options.budget && !population.empty()) {
+    // Parents still allowed to grow (lineage cap).
+    std::vector<const Candidate*> parents;
+    for (const Candidate& candidate : population) {
+      if (candidate.lineage.size() < options.max_lineage) {
+        parents.push_back(&candidate);
+      }
+    }
+    if (parents.empty()) {
+      break;
+    }
+    const size_t batch_size = std::min(
+        std::max<size_t>(options.offspring, 1), options.budget - result.evaluations);
+    std::vector<Candidate> batch;
+    for (size_t slot = 0; slot < batch_size; ++slot) {
+      // Offspring depend only on (search seed, generation, slot) and the
+      // ranked parent list — not on evaluation timing.
+      Rng slot_rng(options.seed * 1000003 + generation * 1009 + slot);
+      const Candidate& parent = *parents[slot % parents.size()];
+      Candidate child;
+      child.base_index = parent.base_index;
+      child.lineage = parent.lineage;
+      MutationStep step;
+      step.op = static_cast<MutationOp>(slot_rng.NextBelow(kNumMutationOps));
+      step.seed = slot_rng.Next();
+      child.lineage.push_back(step);
+      child.order = order++;
+      batch.push_back(std::move(child));
+    }
+    const std::vector<char> ok =
+        EvaluateBatch(seeds, &batch, options.objective, options.threads);
+    std::vector<Candidate> survivors = population;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++result.evaluations;
+      if (ok[i]) {
+        survivors.push_back(batch[i]);
+        result.ranked.push_back(std::move(batch[i]));
+      } else {
+        ++result.rejected_offspring;
+      }
+    }
+    SortRanked(&survivors);
+    if (survivors.size() > options.population) {
+      survivors.resize(options.population);
+    }
+    population = std::move(survivors);
+    ++generation;
+  }
+  SortRanked(&result.ranked);
+  return result;
+}
+
+}  // namespace search
+}  // namespace dcc

@@ -8,12 +8,14 @@
 namespace dcc {
 namespace {
 
-// The loop currently registered as the global log clock (last one wins);
-// tracked so destruction clears only its own registration.
-const EventLoop* g_log_clock_owner = nullptr;
+// The loop currently registered as the thread's log clock (last one wins);
+// tracked so destruction clears only its own registration. thread_local so
+// independent simulations (dcc_search candidate evaluation) can run on
+// worker threads without sharing clock or counter state.
+thread_local const EventLoop* g_log_clock_owner = nullptr;
 
-// Process-wide executed-event total (single-threaded simulator).
-uint64_t g_total_events_executed = 0;
+// Per-thread executed-event total (each simulation runs on one thread).
+thread_local uint64_t g_total_events_executed = 0;
 
 }  // namespace
 

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "src/scenario/outcome_json.h"
 #include "src/scenario/scenarios.h"
 #include "src/common/logging.h"
 #include "src/fault/fault_plan.h"
@@ -327,10 +328,51 @@ int RunSpec(int argc, char** argv) {
   }
   NOTE("events executed: %llu\n",
        static_cast<unsigned long long>(outcome.events_executed));
+  if (const char* out = FlagValue(argc, argv, "--summary-out"); out != nullptr) {
+    const std::string summary = scenario::WriteScenarioOutcome(outcome);
+    if (std::strcmp(out, "-") == 0) {
+      std::fwrite(summary.data(), 1, summary.size(), stdout);
+    } else {
+      if (!WriteFile(out, summary)) {
+        return 1;
+      }
+      NOTE("summary: full outcome -> %s\n", out);
+    }
+  }
   if (const int rc = DumpSeries(argc, argv, sampler.get()); rc != 0) {
     return rc;
   }
   return DumpTelemetry(argc, argv, sink.get());
+}
+
+// `dcc_sim validate --spec FILE`: lint + materialize without running. The
+// effective (derived fields baked in) spec goes to stdout; diagnostics and
+// the one-line verdict go to stderr so the JSON stays parseable on its own.
+int ValidateSpec(int argc, char** argv) {
+  const char* path = FlagValue(argc, argv, "--spec");
+  if (path == nullptr) {
+    std::fprintf(stderr, "validate requires --spec FILE ('-' for stdin)\n");
+    return 2;
+  }
+  scenario::ScenarioSpec spec;
+  std::string error;
+  if (!scenario::LoadScenarioSpecFile(path, &spec, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return 2;
+  }
+  if (!scenario::ValidateScenarioSpec(&spec, &error)) {
+    std::fprintf(stderr, "%s: invalid: %s\n", path, error.c_str());
+    return 2;
+  }
+  const std::string out = scenario::WriteScenarioSpec(spec);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  std::fprintf(stderr,
+               "%s: scenario '%s' ok — %zu zones, %zu nodes, %zu clients, "
+               "horizon %s, seed %llu\n",
+               path, spec.name.c_str(), spec.zones.size(), spec.nodes.size(),
+               spec.clients.size(), FormatDuration(spec.horizon).c_str(),
+               static_cast<unsigned long long>(spec.seed));
+  return 0;
 }
 
 void PrintClients(const ScenarioResult& result) {
@@ -539,6 +581,8 @@ void PrintUsage(std::FILE* stream) {
       "commands:\n"
       "  run          execute a declarative scenario spec (JSON; see\n"
       "               examples/scenarios/ and DESIGN.md for the schema)\n"
+      "  validate     lint + materialize a scenario spec and print its\n"
+      "               effective form without running it\n"
       "  resilience   Table 2 / Fig. 8 attack-resilience run: attacker +\n"
       "               benign client mix against one resolver\n"
       "  validation   Fig. 4 congestion-validation topologies (setups a-d)\n"
@@ -560,6 +604,15 @@ void PrintUsage(std::FILE* stream) {
       "  --fault-plan FILE    replace the spec's fault plan\n"
       "  --dump-effective     print the materialized spec (derived fields\n"
       "                       baked in) to stdout instead of running\n"
+      "  --summary-out FILE   write the full ScenarioOutcome as JSON ('-'\n"
+      "                       for stdout): per-client totals/series, ANS\n"
+      "                       peaks, resolver degradation, DCC counters and\n"
+      "                       the events-executed fingerprint\n"
+      "\n"
+      "validate options:\n"
+      "  --spec FILE          scenario spec to check ('-' for stdin);\n"
+      "                       required. Exit 0 prints the materialized spec\n"
+      "                       on stdout; exit 2 prints the diagnostic\n"
       "\n"
       "resilience options:\n"
       "  --pattern wc|nx|ff   attack query pattern (default wc)\n"
@@ -649,9 +702,16 @@ int main(int argc, char** argv) {
       trace_out != nullptr && std::strcmp(trace_out, "-") == 0) {
     g_note = stderr;
   }
+  if (const char* summary_out = FlagValue(argc, argv, "--summary-out");
+      summary_out != nullptr && std::strcmp(summary_out, "-") == 0) {
+    g_note = stderr;
+  }
   ApplyLogLevel(argc, argv);
   if (command == "run") {
     return RunSpec(argc, argv);
+  }
+  if (command == "validate") {
+    return ValidateSpec(argc, argv);
   }
   if (command == "resilience") {
     return RunResilience(argc, argv);
