@@ -24,6 +24,8 @@ const std::vector<BenchInfo>& AllBenches() {
        &RunAblationSchedulers},
       {"ablation_nsec", "Aggressive NSEC caching vs the NX pattern",
        &RunAblationNsec},
+      {"fleet", "Fleet frontend failover under member blackout",
+       &RunFleet},
   };
   return benches;
 }

@@ -20,6 +20,7 @@ int RunFig11Latency(const BenchOptions& options);
 int RunAblationFairness(const BenchOptions& options);
 int RunAblationSchedulers(const BenchOptions& options);
 int RunAblationNsec(const BenchOptions& options);
+int RunFleet(const BenchOptions& options);
 
 }  // namespace bench
 }  // namespace dcc

@@ -18,6 +18,9 @@ void Testbed::AttachTelemetry(telemetry::TelemetrySink* sink) {
   for (auto& forwarder : forwarders_) {
     forwarder->AttachTelemetry(&sink->metrics);
   }
+  for (auto& frontend : frontends_) {
+    frontend->AttachTelemetry(&sink->metrics);
+  }
   for (auto& injector : fault_injectors_) {
     injector->AttachTelemetry(&sink->metrics);
   }
@@ -66,6 +69,19 @@ Forwarder& Testbed::AddForwarder(HostAddress addr, ForwarderConfig config) {
     forwarders_.back()->AttachTelemetry(&telemetry_->metrics);
   }
   return *forwarders_.back();
+}
+
+FleetFrontend& Testbed::AddFrontend(HostAddress addr, FrontendConfig config) {
+  auto host = std::make_unique<HostNode>(network_, addr);
+  auto server = std::make_unique<FleetFrontend>(*host, config, /*seed=*/addr);
+  host->SetHandler(server.get());
+  hosts_.push_back(std::move(host));
+  frontends_.push_back(std::move(server));
+  RegisterCrashResettable(addr, frontends_.back().get());
+  if (telemetry_ != nullptr) {
+    frontends_.back()->AttachTelemetry(&telemetry_->metrics);
+  }
+  return *frontends_.back();
 }
 
 StubClient& Testbed::AddStub(HostAddress addr, StubConfig config,

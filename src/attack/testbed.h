@@ -16,6 +16,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/server/authoritative.h"
 #include "src/server/forwarder.h"
+#include "src/server/frontend.h"
 #include "src/server/resolver.h"
 #include "src/server/stub.h"
 #include "src/server/transport.h"
@@ -45,6 +46,9 @@ class Testbed {
                                         AuthoritativeConfig config = {});
   RecursiveResolver& AddResolver(HostAddress addr, ResolverConfig config = {});
   Forwarder& AddForwarder(HostAddress addr, ForwarderConfig config = {});
+  // Fleet frontend: caller adds members, then calls Start() once wiring is
+  // complete (the testbed cannot know when the member list is final).
+  FleetFrontend& AddFrontend(HostAddress addr, FrontendConfig config = {});
   StubClient& AddStub(HostAddress addr, StubConfig config, QuestionGenerator generator);
 
   // --- DCC-enabled hosts ------------------------------------------------------
@@ -84,6 +88,7 @@ class Testbed {
   std::vector<std::unique_ptr<AuthoritativeServer>> auths_;
   std::vector<std::unique_ptr<RecursiveResolver>> resolvers_;
   std::vector<std::unique_ptr<Forwarder>> forwarders_;
+  std::vector<std::unique_ptr<FleetFrontend>> frontends_;
   std::vector<std::unique_ptr<StubClient>> stubs_;
   std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
   // Servers that lose volatile state on a kCrash fault event, by address.

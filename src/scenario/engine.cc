@@ -149,6 +149,7 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
   std::unordered_map<std::string, HostAddress> addresses;
   std::unordered_map<std::string, RecursiveResolver*> resolvers;
   std::unordered_map<std::string, Forwarder*> forwarders;
+  std::unordered_map<std::string, FleetFrontend*> frontends;
   std::unordered_map<std::string, AuthoritativeServer*> auths;
   std::vector<DccNode*> shims;  // Creation order (sampler attach order).
   for (const NodeSpec& node : spec.nodes) {
@@ -190,6 +191,10 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
         }
         break;
       }
+      case NodeKind::kFrontend: {
+        frontends[node.id] = &bed.AddFrontend(addr, node.frontend);
+        break;
+      }
     }
   }
 
@@ -207,6 +212,15 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
         for (const std::string& upstream : node.upstreams) {
           forwarder->AddUpstream(addresses.at(upstream));
         }
+      } else if (node.kind == NodeKind::kFrontend) {
+        // Start() arms the probe loops and rotation timer; running it here
+        // (spec order, after the full member list is wired) keeps the
+        // construction-time event schedule deterministic.
+        FleetFrontend* frontend = frontends.at(node.id);
+        for (const std::string& member : node.members) {
+          frontend->AddMember(addresses.at(member));
+        }
+        frontend->Start();
       }
       if (node.dcc_enabled) {
         DccNode* shim = shims[shim_index++];
@@ -313,9 +327,11 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
           spec.measure.trackers.size() == 1
               ? telemetry::Labels{}
               : telemetry::Labels{{"node", node}};
-      auto resolver_it = resolvers.find(node);
-      if (resolver_it != resolvers.end()) {
+      if (auto resolver_it = resolvers.find(node); resolver_it != resolvers.end()) {
         resolver_it->second->upstream_tracker().AttachSampler(hooks.sampler, labels);
+      } else if (auto frontend_it = frontends.find(node);
+                 frontend_it != frontends.end()) {
+        frontend_it->second->tracker().AttachSampler(hooks.sampler, labels);
       } else {
         forwarders.at(node)->upstream_tracker().AttachSampler(hooks.sampler, labels);
       }
@@ -368,6 +384,30 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
     series.stale_qps = SeriesSeconds(scoreboard, kResolverStaleSeries,
                                      series_labels(node), spec.horizon);
     outcome->resolver_series.push_back(std::move(series));
+  }
+  for (const NodeSpec& node : spec.nodes) {
+    if (node.kind != NodeKind::kFrontend) {
+      continue;
+    }
+    const FleetFrontend* frontend = frontends.at(node.id);
+    FrontendOutcome fo;
+    fo.node = node.id;
+    fo.requests = frontend->requests_received();
+    fo.resteers = frontend->resteers();
+    fo.resteer_denied = frontend->resteer_denied();
+    fo.rotations = frontend->rotations();
+    fo.probes_sent = frontend->probes_sent();
+    fo.probe_timeouts = frontend->probe_timeouts();
+    fo.servfails = frontend->servfails_sent();
+    const Time end = bed.loop().now();
+    for (const std::string& member : node.members) {
+      FrontendMemberOutcome mo;
+      mo.node = member;
+      mo.steered = frontend->SteeredCount(addresses.at(member));
+      mo.healthy_at_end = frontend->IsMemberHealthy(addresses.at(member), end);
+      fo.members.push_back(std::move(mo));
+    }
+    outcome->frontends.push_back(std::move(fo));
   }
   for (const DccNode* shim : shims) {
     outcome->dcc_convictions += shim->convictions();

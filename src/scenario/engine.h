@@ -58,10 +58,30 @@ struct ResolverSeriesOutcome {
   std::vector<double> stale_qps;
 };
 
+struct FrontendMemberOutcome {
+  std::string node;
+  // Queries relayed to this member (initial + re-steered attempts).
+  uint64_t steered = 0;
+  bool healthy_at_end = false;
+};
+
+struct FrontendOutcome {
+  std::string node;
+  uint64_t requests = 0;
+  uint64_t resteers = 0;
+  uint64_t resteer_denied = 0;
+  uint64_t rotations = 0;
+  uint64_t probes_sent = 0;
+  uint64_t probe_timeouts = 0;
+  uint64_t servfails = 0;
+  std::vector<FrontendMemberOutcome> members;  // Member list order.
+};
+
 struct ScenarioOutcome {
   std::vector<ClientOutcome> clients;  // Same order as ScenarioSpec::clients.
   std::vector<AnsOutcome> ans;         // Same order as MeasureSpec::ans.
   std::vector<ResolverSeriesOutcome> resolver_series;
+  std::vector<FrontendOutcome> frontends;  // Frontend nodes in spec order.
   // Summed over every DCC shim in the scenario.
   uint64_t dcc_convictions = 0;
   uint64_t dcc_policed_drops = 0;

@@ -63,6 +63,32 @@ json::Value ScenarioOutcomeToJson(const ScenarioOutcome& outcome) {
   }
   out.Set("resolver_series", std::move(resolver_series));
 
+  if (!outcome.frontends.empty()) {
+    json::Value frontends = json::Value::MakeArray();
+    for (const FrontendOutcome& frontend : outcome.frontends) {
+      json::Value f = json::Value::MakeObject();
+      f.Set("node", Str(frontend.node));
+      f.Set("requests", U64(frontend.requests));
+      f.Set("resteers", U64(frontend.resteers));
+      f.Set("resteer_denied", U64(frontend.resteer_denied));
+      f.Set("rotations", U64(frontend.rotations));
+      f.Set("probes_sent", U64(frontend.probes_sent));
+      f.Set("probe_timeouts", U64(frontend.probe_timeouts));
+      f.Set("servfails", U64(frontend.servfails));
+      json::Value members = json::Value::MakeArray();
+      for (const FrontendMemberOutcome& member : frontend.members) {
+        json::Value m = json::Value::MakeObject();
+        m.Set("node", Str(member.node));
+        m.Set("steered", U64(member.steered));
+        m.Set("healthy_at_end", json::Value::OfBool(member.healthy_at_end));
+        members.PushBack(std::move(m));
+      }
+      f.Set("members", std::move(members));
+      frontends.PushBack(std::move(f));
+    }
+    out.Set("frontends", std::move(frontends));
+  }
+
   json::Value dcc = json::Value::MakeObject();
   dcc.Set("convictions", U64(outcome.dcc_convictions));
   dcc.Set("policed_drops", U64(outcome.dcc_policed_drops));

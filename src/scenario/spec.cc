@@ -361,6 +361,76 @@ void ForwarderConfigFromJson(const json::Value& value, const std::string& path,
       static_cast<uint32_t>(r.Num("stale_answer_ttl", config->stale_answer_ttl));
 }
 
+json::Value FrontendConfigToJson(const FrontendConfig& config) {
+  json::Value out = json::Value::MakeObject();
+  out.Set("steering", Str(SteeringPolicyName(config.steering)));
+  out.Set("processing_delay", Secs(config.processing_delay));
+  out.Set("max_attempts", Num(config.max_attempts));
+  out.Set("query_timeout", Secs(config.query_timeout));
+  out.Set("retry_backoff_factor", Num(config.retry_backoff_factor));
+  out.Set("retry_backoff_max", Secs(config.retry_backoff_max));
+  out.Set("retry_jitter", Num(config.retry_jitter));
+  out.Set("health_checks", Boolean(config.health_checks));
+  out.Set("probe_interval", Secs(config.probe_interval));
+  out.Set("probe_name", Str(config.probe_name));
+  out.Set("probe_timeout", Secs(config.probe_timeout));
+  out.Set("resteer_budget_qps", Num(config.resteer_budget_qps));
+  out.Set("resteer_budget_burst", Num(config.resteer_budget_burst));
+  out.Set("rotation_period", Secs(config.rotation_period));
+  out.Set("rotation_active", Num(config.rotation_active));
+  out.Set("attach_attribution", Boolean(config.attach_attribution));
+  out.Set("holddown_after", Num(config.upstream.holddown_after));
+  out.Set("holddown_initial", Secs(config.upstream.holddown_initial));
+  out.Set("holddown_max", Secs(config.upstream.holddown_max));
+  out.Set("min_rto", Secs(config.upstream.min_rto));
+  return out;
+}
+
+void FrontendConfigFromJson(const json::Value& value, const std::string& path,
+                            Ctx& ctx, FrontendConfig* config) {
+  ObjReader r(value, path, ctx);
+  r.AllowKeys({"steering", "processing_delay", "max_attempts", "query_timeout",
+               "retry_backoff_factor", "retry_backoff_max", "retry_jitter",
+               "health_checks", "probe_interval", "probe_name",
+               "probe_timeout", "resteer_budget_qps", "resteer_budget_burst",
+               "rotation_period", "rotation_active", "attach_attribution",
+               "holddown_after", "holddown_initial", "holddown_max",
+               "min_rto"});
+  const std::string steering = r.Str("steering", SteeringPolicyName(config->steering));
+  if (!ParseSteeringPolicyName(steering, &config->steering)) {
+    ctx.Fail(Sub(path, "steering"),
+             "unknown steering policy '" + steering +
+                 "' (consistent_hash|least_loaded|round_robin)");
+    return;
+  }
+  config->processing_delay = r.Secs("processing_delay", config->processing_delay);
+  config->max_attempts = r.Int("max_attempts", config->max_attempts);
+  config->query_timeout = r.Secs("query_timeout", config->query_timeout);
+  config->retry_backoff_factor =
+      r.Num("retry_backoff_factor", config->retry_backoff_factor);
+  config->retry_backoff_max = r.Secs("retry_backoff_max", config->retry_backoff_max);
+  config->retry_jitter = r.Num("retry_jitter", config->retry_jitter);
+  config->health_checks = r.Bool("health_checks", config->health_checks);
+  config->probe_interval = r.Secs("probe_interval", config->probe_interval);
+  config->probe_name = r.Str("probe_name", config->probe_name);
+  config->probe_timeout = r.Secs("probe_timeout", config->probe_timeout);
+  config->resteer_budget_qps =
+      r.Num("resteer_budget_qps", config->resteer_budget_qps);
+  config->resteer_budget_burst =
+      r.Num("resteer_budget_burst", config->resteer_budget_burst);
+  config->rotation_period = r.Secs("rotation_period", config->rotation_period);
+  config->rotation_active = r.Int("rotation_active", config->rotation_active);
+  config->attach_attribution =
+      r.Bool("attach_attribution", config->attach_attribution);
+  config->upstream.holddown_after =
+      r.Int("holddown_after", config->upstream.holddown_after);
+  config->upstream.holddown_initial =
+      r.Secs("holddown_initial", config->upstream.holddown_initial);
+  config->upstream.holddown_max =
+      r.Secs("holddown_max", config->upstream.holddown_max);
+  config->upstream.min_rto = r.Secs("min_rto", config->upstream.min_rto);
+}
+
 const char* SignalPolicyName(PolicyType type) {
   switch (type) {
     case PolicyType::kNone: return "none";
@@ -580,8 +650,36 @@ const char* NodeKindName(NodeKind kind) {
     case NodeKind::kAuthoritative: return "auth";
     case NodeKind::kResolver: return "resolver";
     case NodeKind::kForwarder: return "forwarder";
+    case NodeKind::kFrontend: return "frontend";
   }
   return "auth";
+}
+
+json::Value HintsToJson(const std::vector<AuthorityHintSpec>& hints) {
+  json::Value out = json::Value::MakeArray();
+  for (const AuthorityHintSpec& hint : hints) {
+    json::Value h = json::Value::MakeObject();
+    h.Set("zone", Str(hint.zone));
+    h.Set("node", Str(hint.node));
+    out.PushBack(std::move(h));
+  }
+  return out;
+}
+
+void HintsFromJson(const json::Value* hints, const std::string& path, Ctx& ctx,
+                   std::vector<AuthorityHintSpec>* out) {
+  if (hints == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < hints->AsArray().size(); ++i) {
+    const std::string hint_path = Idx(path, i);
+    ObjReader h(hints->AsArray()[i], hint_path, ctx);
+    h.AllowKeys({"zone", "node"});
+    AuthorityHintSpec hint;
+    hint.zone = h.Str("zone", "");
+    hint.node = h.Str("node", "");
+    out->push_back(std::move(hint));
+  }
 }
 
 json::Value NodeToJson(const NodeSpec& node) {
@@ -600,14 +698,7 @@ json::Value NodeToJson(const NodeSpec& node) {
     }
     case NodeKind::kResolver: {
       out.Set("resolver", ResolverConfigToJson(node.resolver));
-      json::Value hints = json::Value::MakeArray();
-      for (const AuthorityHintSpec& hint : node.hints) {
-        json::Value h = json::Value::MakeObject();
-        h.Set("zone", Str(hint.zone));
-        h.Set("node", Str(hint.node));
-        hints.PushBack(std::move(h));
-      }
-      out.Set("hints", std::move(hints));
+      out.Set("hints", HintsToJson(node.hints));
       break;
     }
     case NodeKind::kForwarder: {
@@ -617,6 +708,24 @@ json::Value NodeToJson(const NodeSpec& node) {
         upstreams.PushBack(Str(upstream));
       }
       out.Set("upstreams", std::move(upstreams));
+      break;
+    }
+    case NodeKind::kFrontend: {
+      out.Set("frontend", FrontendConfigToJson(node.frontend));
+      json::Value members = json::Value::MakeArray();
+      for (const std::string& member : node.members) {
+        members.PushBack(Str(member));
+      }
+      out.Set("members", std::move(members));
+      if (node.replicate > 0) {
+        out.Set("replicate", Num(node.replicate));
+      }
+      if (node.has_member_template) {
+        json::Value tmpl = json::Value::MakeObject();
+        tmpl.Set("resolver", ResolverConfigToJson(node.member_template.resolver));
+        tmpl.Set("hints", HintsToJson(node.member_template.hints));
+        out.Set("member_template", std::move(tmpl));
+      }
       break;
     }
   }
@@ -654,17 +763,7 @@ void NodeFromJson(const json::Value& value, const std::string& path, Ctx& ctx,
     if (const json::Value* cfg = r.Obj("resolver"); cfg != nullptr) {
       ResolverConfigFromJson(*cfg, Sub(path, "resolver"), ctx, &node->resolver);
     }
-    if (const json::Value* hints = r.Arr("hints"); hints != nullptr) {
-      for (size_t i = 0; i < hints->AsArray().size(); ++i) {
-        const std::string hint_path = Idx(Sub(path, "hints"), i);
-        ObjReader h(hints->AsArray()[i], hint_path, ctx);
-        h.AllowKeys({"zone", "node"});
-        AuthorityHintSpec hint;
-        hint.zone = h.Str("zone", "");
-        hint.node = h.Str("node", "");
-        node->hints.push_back(std::move(hint));
-      }
-    }
+    HintsFromJson(r.Arr("hints"), Sub(path, "hints"), ctx, &node->hints);
   } else if (kind == "forwarder") {
     node->kind = NodeKind::kForwarder;
     r.AllowKeys({"id", "kind", "forwarder", "upstreams", "dcc", "channels"});
@@ -672,9 +771,32 @@ void NodeFromJson(const json::Value& value, const std::string& path, Ctx& ctx,
       ForwarderConfigFromJson(*cfg, Sub(path, "forwarder"), ctx, &node->forwarder);
     }
     node->upstreams = r.StrList("upstreams");
+  } else if (kind == "frontend") {
+    node->kind = NodeKind::kFrontend;
+    r.AllowKeys({"id", "kind", "frontend", "members", "replicate",
+                 "member_template"});
+    if (const json::Value* cfg = r.Obj("frontend"); cfg != nullptr) {
+      FrontendConfigFromJson(*cfg, Sub(path, "frontend"), ctx, &node->frontend);
+    }
+    node->members = r.StrList("members");
+    node->replicate = r.Int("replicate", 0);
+    if (const json::Value* tmpl = r.Obj("member_template"); tmpl != nullptr) {
+      node->has_member_template = true;
+      const std::string tmpl_path = Sub(path, "member_template");
+      ObjReader t(*tmpl, tmpl_path, ctx);
+      t.AllowKeys({"resolver", "hints"});
+      if (const json::Value* cfg = t.Obj("resolver"); cfg != nullptr) {
+        ResolverConfigFromJson(*cfg, Sub(tmpl_path, "resolver"), ctx,
+                               &node->member_template.resolver);
+      }
+      HintsFromJson(t.Arr("hints"), Sub(tmpl_path, "hints"), ctx,
+                    &node->member_template.hints);
+    }
+    return;
   } else {
     ctx.Fail(Sub(path, "kind"),
-             "unknown node kind '" + kind + "' (auth|resolver|forwarder)");
+             "unknown node kind '" + kind +
+                 "' (auth|resolver|forwarder|frontend)");
     return;
   }
   if (const json::Value* dcc = r.Obj("dcc"); dcc != nullptr) {
@@ -982,6 +1104,46 @@ bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error) {
     }
   }
 
+  // Materialize replicate-stamped fleet members before any id or address
+  // bookkeeping. Generated member nodes are inserted immediately after their
+  // frontend in `nodes` — the vector order IS the address assignment, so
+  // member addresses are a pure function of spec order, never of map
+  // iteration order. Zeroing `replicate` afterwards keeps validation
+  // idempotent (the appended member ids make re-expansion a no-op).
+  for (size_t i = 0; i < spec->nodes.size(); ++i) {
+    if (spec->nodes[i].kind != NodeKind::kFrontend ||
+        spec->nodes[i].replicate == 0) {
+      continue;
+    }
+    const std::string path = Idx("nodes", i);
+    NodeSpec& node = spec->nodes[i];
+    if (node.replicate < 0) {
+      return ctx.Fail(Sub(path, "replicate"), "must be >= 0");
+    }
+    if (!node.has_member_template) {
+      return ctx.Fail(Sub(path, "member_template"),
+                      "required when replicate > 0");
+    }
+    const int replicate = node.replicate;
+    std::vector<NodeSpec> generated;
+    generated.reserve(static_cast<size_t>(replicate));
+    for (int k = 0; k < replicate; ++k) {
+      NodeSpec member;
+      member.id = node.id + "-r" + std::to_string(k + 1);
+      member.kind = NodeKind::kResolver;
+      member.resolver = node.member_template.resolver;
+      member.hints = node.member_template.hints;
+      node.members.push_back(member.id);
+      generated.push_back(std::move(member));
+    }
+    node.replicate = 0;
+    // `node` is dead after this insert (possible reallocation).
+    spec->nodes.insert(spec->nodes.begin() + static_cast<ptrdiff_t>(i) + 1,
+                       std::make_move_iterator(generated.begin()),
+                       std::make_move_iterator(generated.end()));
+    i += static_cast<size_t>(replicate);
+  }
+
   std::unordered_map<std::string, const NodeSpec*> nodes;
   for (size_t i = 0; i < spec->nodes.size(); ++i) {
     NodeSpec& node = spec->nodes[i];
@@ -1040,6 +1202,52 @@ bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error) {
     if (node.kind == NodeKind::kForwarder && node.upstreams.empty()) {
       return ctx.Fail(Sub(path, "upstreams"), "a forwarder needs at least one upstream");
     }
+    if (node.kind == NodeKind::kFrontend) {
+      if (node.members.empty()) {
+        return ctx.Fail(Sub(path, "members"),
+                        "a frontend needs at least one fleet member");
+      }
+      for (size_t m = 0; m < node.members.size(); ++m) {
+        auto it = nodes.find(node.members[m]);
+        if (it == nodes.end() || (it->second->kind != NodeKind::kResolver &&
+                                  it->second->kind != NodeKind::kForwarder)) {
+          return ctx.Fail(Idx(Sub(path, "members"), m),
+                          "must reference a resolver or forwarder node (got '" +
+                              node.members[m] + "')");
+        }
+      }
+      const std::string fpath = Sub(path, "frontend");
+      FrontendConfig& fc = node.frontend;
+      if (fc.max_attempts < 1) {
+        return ctx.Fail(Sub(fpath, "max_attempts"), "must be >= 1");
+      }
+      if (fc.health_checks && fc.probe_interval <= 0) {
+        return ctx.Fail(Sub(fpath, "probe_interval"),
+                        "must be > 0 when health_checks is on");
+      }
+      if (fc.rotation_period < 0) {
+        return ctx.Fail(Sub(fpath, "rotation_period"), "must be >= 0");
+      }
+      if (fc.rotation_active < 0 ||
+          static_cast<size_t>(fc.rotation_active) > node.members.size()) {
+        return ctx.Fail(Sub(fpath, "rotation_active"),
+                        "must be in [0, member count]");
+      }
+      if (fc.probe_name.empty()) {
+        // Default probe target: the in-bailiwick "ans.<apex>" A record every
+        // target zone carries (cheap, cacheable at the member).
+        for (const ZoneSpec& zone : spec->zones) {
+          if (zone.kind == ZoneKind::kTarget) {
+            fc.probe_name = "ans." + zone.apex;
+            break;
+          }
+        }
+      }
+      if (fc.health_checks && !Name::Parse(fc.probe_name).has_value()) {
+        return ctx.Fail(Sub(fpath, "probe_name"),
+                        "not a valid DNS name: '" + fc.probe_name + "'");
+      }
+    }
   }
 
   std::unordered_map<std::string, size_t> client_labels;
@@ -1068,8 +1276,8 @@ bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error) {
       auto it = nodes.find(client.resolvers[e]);
       if (it == nodes.end() || it->second->kind == NodeKind::kAuthoritative) {
         return ctx.Fail(Idx(Sub(path, "resolvers"), e),
-                        "must reference a resolver or forwarder node (got '" +
-                            client.resolvers[e] + "')");
+                        "must reference a resolver, forwarder or frontend "
+                        "node (got '" + client.resolvers[e] + "')");
       }
     }
     auto zone_it = zones.find(client.zone);
@@ -1138,8 +1346,8 @@ bool ValidateScenarioSpec(ScenarioSpec* spec, std::string* error) {
     auto it = nodes.find(spec->measure.trackers[i]);
     if (it == nodes.end() || it->second->kind == NodeKind::kAuthoritative) {
       return ctx.Fail(Idx("measure.trackers", i),
-                      "must reference a resolver or forwarder node (got '" +
-                          spec->measure.trackers[i] + "')");
+                      "must reference a resolver, forwarder or frontend node "
+                      "(got '" + spec->measure.trackers[i] + "')");
     }
   }
   return true;

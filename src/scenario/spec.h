@@ -35,6 +35,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/server/authoritative.h"
 #include "src/server/forwarder.h"
+#include "src/server/frontend.h"
 #include "src/server/resolver.h"
 #include "src/zone/experiment_zones.h"
 
@@ -71,7 +72,7 @@ struct ZoneSpec {
   std::string target_zone;  // kAttacker: id of the zone fanned into.
 };
 
-enum class NodeKind { kAuthoritative, kResolver, kForwarder };
+enum class NodeKind { kAuthoritative, kResolver, kForwarder, kFrontend };
 
 // One iteration starting point: queries under `zone`'s apex may go to `node`.
 struct AuthorityHintSpec {
@@ -83,6 +84,17 @@ struct AuthorityHintSpec {
 struct ChannelSpec {
   std::string node;
   double qps = 0;
+};
+
+// kFrontend convenience: `replicate` stamps out N resolver nodes from this
+// template. Materialization (ValidateScenarioSpec) inserts them as full
+// resolver NodeSpecs immediately after the frontend in spec order — address
+// assignment stays spec-order-deterministic — appends their generated ids
+// ("<frontend-id>-r<k>") to `members`, and zeroes `replicate` so a validated
+// spec re-validates unchanged.
+struct FleetMemberTemplateSpec {
+  ResolverConfig resolver;
+  std::vector<AuthorityHintSpec> hints;  // Ordered (selection order).
 };
 
 struct NodeSpec {
@@ -100,6 +112,14 @@ struct NodeSpec {
   // kForwarder:
   ForwarderConfig forwarder;
   std::vector<std::string> upstreams;  // Node ids; forward references OK.
+
+  // kFrontend: fleet members (resolver/forwarder node ids; forward
+  // references OK) plus the optional replicate template above.
+  FrontendConfig frontend;
+  std::vector<std::string> members;
+  int replicate = 0;
+  bool has_member_template = false;
+  FleetMemberTemplateSpec member_template;
 
   // Optional DCC shim wrapping a resolver or forwarder (§3.2).
   bool dcc_enabled = false;

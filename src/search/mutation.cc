@@ -12,6 +12,8 @@ namespace search {
 namespace {
 
 using scenario::ClientSpec;
+using scenario::NodeKind;
+using scenario::NodeSpec;
 using scenario::QueryPattern;
 using scenario::ScenarioSpec;
 using scenario::ZoneKind;
@@ -244,6 +246,100 @@ bool MutateFaultWindow(ScenarioSpec* spec, Rng* rng, std::string* error) {
   return true;
 }
 
+std::vector<size_t> FrontendIndices(const ScenarioSpec& spec) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    if (spec.nodes[i].kind == NodeKind::kFrontend) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool MutateRotatePeriod(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> frontends = FrontendIndices(*spec);
+  if (frontends.empty()) {
+    return Fail(error, "rotate_period: spec has no frontend nodes");
+  }
+  NodeSpec& node = spec->nodes[frontends[rng->NextBelow(frontends.size())]];
+  static const Duration kPeriods[] = {0,          Seconds(1),  Seconds(2),
+                                      Seconds(5), Seconds(10), Seconds(20)};
+  Duration period = node.frontend.rotation_period;
+  // Re-draw until the period actually changes (6 choices, so this halts).
+  while (period == node.frontend.rotation_period) {
+    period = kPeriods[rng->NextBelow(6)];
+  }
+  node.frontend.rotation_period = period;
+  return true;
+}
+
+bool MutateFleetSize(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> frontends = FrontendIndices(*spec);
+  if (frontends.empty()) {
+    return Fail(error, "fleet_size: spec has no frontend nodes");
+  }
+  const size_t frontend_index = frontends[rng->NextBelow(frontends.size())];
+  const size_t member_count = spec->nodes[frontend_index].members.size();
+  if (member_count == 0) {
+    // Replicate not yet materialized: operators run on validated specs.
+    return Fail(error, "fleet_size: frontend has no materialized members");
+  }
+  bool grow = rng->NextBool(0.5);
+  if (member_count >= kMaxFleetMembers) {
+    grow = false;
+  } else if (member_count < 2) {
+    grow = true;
+  }
+  if (!grow) {
+    NodeSpec& node = spec->nodes[frontend_index];
+    // Un-list a member; the node stays, so no address shifts downstream.
+    const size_t victim = rng->NextBelow(node.members.size());
+    node.members.erase(node.members.begin() + static_cast<long>(victim));
+    return true;
+  }
+  const std::string source_id =
+      spec->nodes[frontend_index]
+          .members[rng->NextBelow(member_count)];
+  size_t source_index = spec->nodes.size();
+  for (size_t i = 0; i < spec->nodes.size(); ++i) {
+    if (spec->nodes[i].id == source_id) {
+      source_index = i;
+      break;
+    }
+  }
+  if (source_index == spec->nodes.size()) {
+    return Fail(error, "fleet_size: member '" + source_id + "' has no node");
+  }
+  NodeSpec clone = spec->nodes[source_index];
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "-f%04llx",
+                static_cast<unsigned long long>(rng->Next() & 0xffff));
+  clone.id += suffix;
+  spec->nodes[frontend_index].members.push_back(clone.id);
+  // Insert right after the source so the clone's address is a pure function
+  // of spec order (satellite: no map-iteration-order address assignment).
+  spec->nodes.insert(spec->nodes.begin() + static_cast<long>(source_index) + 1,
+                     std::move(clone));
+  return true;
+}
+
+bool MutateSteeringPolicy(ScenarioSpec* spec, Rng* rng, std::string* error) {
+  const std::vector<size_t> frontends = FrontendIndices(*spec);
+  if (frontends.empty()) {
+    return Fail(error, "steering_policy: spec has no frontend nodes");
+  }
+  NodeSpec& node = spec->nodes[frontends[rng->NextBelow(frontends.size())]];
+  static const SteeringPolicy kPolicies[] = {SteeringPolicy::kConsistentHash,
+                                             SteeringPolicy::kLeastLoaded,
+                                             SteeringPolicy::kRoundRobin};
+  SteeringPolicy policy = node.frontend.steering;
+  while (policy == node.frontend.steering) {
+    policy = kPolicies[rng->NextBelow(3)];
+  }
+  node.frontend.steering = policy;
+  return true;
+}
+
 }  // namespace
 
 const char* MutationOpName(MutationOp op) {
@@ -266,6 +362,12 @@ const char* MutationOpName(MutationOp op) {
       return "network";
     case MutationOp::kFaultWindow:
       return "fault_window";
+    case MutationOp::kRotatePeriod:
+      return "rotate_period";
+    case MutationOp::kFleetSize:
+      return "fleet_size";
+    case MutationOp::kSteeringPolicy:
+      return "steering_policy";
   }
   return "?";
 }
@@ -330,6 +432,15 @@ bool ApplyMutation(scenario::ScenarioSpec* spec, const MutationStep& step,
       break;
     case MutationOp::kFaultWindow:
       ok = MutateFaultWindow(spec, &rng, error);
+      break;
+    case MutationOp::kRotatePeriod:
+      ok = MutateRotatePeriod(spec, &rng, error);
+      break;
+    case MutationOp::kFleetSize:
+      ok = MutateFleetSize(spec, &rng, error);
+      break;
+    case MutationOp::kSteeringPolicy:
+      ok = MutateSteeringPolicy(spec, &rng, error);
       break;
   }
   if (!ok) {

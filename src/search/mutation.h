@@ -47,14 +47,24 @@ enum class MutationOp {
   // Re-draw the [start, end) window of one fault-plan event on whole
   // seconds within the horizon (no-op failure on empty plans).
   kFaultWindow,
+  // Re-draw one frontend's moving-target rotation period from
+  // {off, 1, 2, 5, 10, 20}s (no-op failure on frontend-less specs).
+  kRotatePeriod,
+  // Grow one frontend's fleet by cloning a member node (inserted right after
+  // the original, keeping address assignment spec-order-deterministic) or
+  // shrink it by un-listing a member (the node itself stays).
+  kFleetSize,
+  // Switch one frontend to a different steering policy.
+  kSteeringPolicy,
 };
 
-inline constexpr int kNumMutationOps = 9;
-// Bounds shared by the operators: attacker rates stay in [1, 4000] QPS and
-// mutated populations at or below 12 clients.
+inline constexpr int kNumMutationOps = 12;
+// Bounds shared by the operators: attacker rates stay in [1, 4000] QPS,
+// mutated populations at or below 12 clients, fleets at or below 8 members.
 inline constexpr double kMinQps = 1;
 inline constexpr double kMaxQps = 4000;
 inline constexpr size_t kMaxClients = 12;
+inline constexpr size_t kMaxFleetMembers = 8;
 
 const char* MutationOpName(MutationOp op);
 bool ParseMutationOpName(const std::string& text, MutationOp* op);

@@ -311,6 +311,24 @@ int RunSpec(int argc, char** argv) {
          static_cast<unsigned long long>(series.upstream_timeouts),
          static_cast<unsigned long long>(series.holddowns));
   }
+  for (const auto& frontend : outcome.frontends) {
+    NOTE("frontend %s: requests=%llu resteers=%llu denied=%llu "
+         "rotations=%llu probes=%llu probe_timeouts=%llu servfails=%llu\n",
+         frontend.node.c_str(),
+         static_cast<unsigned long long>(frontend.requests),
+         static_cast<unsigned long long>(frontend.resteers),
+         static_cast<unsigned long long>(frontend.resteer_denied),
+         static_cast<unsigned long long>(frontend.rotations),
+         static_cast<unsigned long long>(frontend.probes_sent),
+         static_cast<unsigned long long>(frontend.probe_timeouts),
+         static_cast<unsigned long long>(frontend.servfails));
+    for (const auto& member : frontend.members) {
+      NOTE("  member %-10s steered=%llu healthy_at_end=%s\n",
+           member.node.c_str(),
+           static_cast<unsigned long long>(member.steered),
+           member.healthy_at_end ? "yes" : "no");
+    }
+  }
   bool any_dcc = false;
   for (const auto& node : spec.nodes) {
     any_dcc = any_dcc || node.dcc_enabled;
