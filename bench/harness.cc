@@ -6,17 +6,60 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 namespace dcc {
 namespace bench {
 
+namespace {
+
+// Reads a "KiB-valued" field like "VmHWM:    12345 kB" out of
+// /proc/self/status. Returns -1 when the file or field is unavailable.
+int64_t ProcStatusKb(const char* field) {
+  std::ifstream status("/proc/self/status");
+  if (!status) {
+    return -1;
+  }
+  const size_t field_len = std::strlen(field);
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, field_len, field) == 0 && line[field_len] == ':') {
+      return std::atoll(line.c_str() + field_len + 1);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
 int64_t PeakRssKb() {
+  const int64_t hwm = ProcStatusKb("VmHWM");
+  if (hwm >= 0) {
+    return hwm;
+  }
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) {
     return 0;
   }
   // Linux reports ru_maxrss in KiB.
   return static_cast<int64_t>(usage.ru_maxrss);
+}
+
+int64_t CurrentRssKb() {
+  const int64_t rss = ProcStatusKb("VmRSS");
+  return rss >= 0 ? rss : 0;
+}
+
+bool ResetPeakRss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) {
+    return false;
+  }
+  clear_refs << "5";  // 5 = reset the peak-RSS watermark (VmHWM) only.
+  clear_refs.flush();
+  return static_cast<bool>(clear_refs) && ProcStatusKb("VmHWM") >= 0;
 }
 
 std::string RenderJson(const SuiteReport& report) {
@@ -26,14 +69,23 @@ std::string RenderJson(const SuiteReport& report) {
   for (size_t i = 0; i < report.benches.size(); ++i) {
     const BenchReport& bench = report.benches[i];
     const BenchMetrics& m = bench.metrics;
+    // A bench that ran zero simulated events has no meaningful event rate;
+    // emit null rather than a misleading 0.0 so consumers can tell "no sim
+    // ran" apart from "infinitely slow".
+    char rate[64];
+    if (m.sim_events > 0) {
+      std::snprintf(rate, sizeof(rate), "%.1f", m.events_per_sec);
+    } else {
+      std::snprintf(rate, sizeof(rate), "null");
+    }
     char buffer[512];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"sim_events\": "
-                  "%llu, \"events_per_sec\": %.1f, \"peak_rss_kb\": %lld, "
+                  "%llu, \"events_per_sec\": %s, \"peak_rss_delta_kb\": %lld, "
                   "\"exit_code\": %d}%s\n",
                   bench.name.c_str(), m.wall_ms,
-                  static_cast<unsigned long long>(m.sim_events),
-                  m.events_per_sec, static_cast<long long>(m.peak_rss_kb),
+                  static_cast<unsigned long long>(m.sim_events), rate,
+                  static_cast<long long>(m.peak_rss_delta_kb),
                   m.exit_code, i + 1 < report.benches.size() ? "," : "");
     out += buffer;
   }
@@ -135,9 +187,14 @@ bool ParseReportJson(const std::string& text, SuiteReport* out) {
             bench.metrics.sim_events =
                 static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
           } else if (field == "events_per_sec") {
+            // "null" parses as a scalar token; atof maps it to 0, which is
+            // exactly the sentinel the comparison logic expects.
             bench.metrics.events_per_sec = std::atof(value.c_str());
-          } else if (field == "peak_rss_kb") {
-            bench.metrics.peak_rss_kb = std::atoll(value.c_str());
+          } else if (field == "peak_rss_delta_kb" || field == "peak_rss_kb") {
+            // Accept the legacy process-cumulative key so old baselines
+            // still parse; CompareReports treats those rows via the same
+            // slack + absolute floor.
+            bench.metrics.peak_rss_delta_kb = std::atoll(value.c_str());
           } else if (field == "exit_code") {
             bench.metrics.exit_code = std::atoi(value.c_str());
           }
@@ -176,9 +233,15 @@ bool ParseReportJson(const std::string& text, SuiteReport* out) {
 
 std::vector<std::string> CompareReports(const SuiteReport& current,
                                         const SuiteReport& baseline,
-                                        const Tolerances& tolerances) {
+                                        const Tolerances& tolerances,
+                                        std::vector<std::string>* notes) {
   std::vector<std::string> violations;
   char buffer[256];
+  auto note = [notes](const std::string& line) {
+    if (notes != nullptr) {
+      notes->push_back(line);
+    }
+  };
   if (current.quick != baseline.quick) {
     std::snprintf(buffer, sizeof(buffer),
                   "mode mismatch: current is %s, baseline is %s",
@@ -217,7 +280,10 @@ std::vector<std::string> CompareReports(const SuiteReport& current,
                     tolerances.wall_slack * 100);
       violations.emplace_back(buffer);
     }
-    if (b.sim_events > 0) {
+    if (b.sim_events == 0) {
+      note(base.name + ": sim_events is 0 in the baseline (no event-loop "
+                       "work); drift check skipped");
+    } else {
       const double drift =
           std::abs(static_cast<double>(c.sim_events) -
                    static_cast<double>(b.sim_events)) /
@@ -232,14 +298,20 @@ std::vector<std::string> CompareReports(const SuiteReport& current,
         violations.emplace_back(buffer);
       }
     }
-    if (b.peak_rss_kb > 0 &&
-        static_cast<double>(c.peak_rss_kb) >
-            static_cast<double>(b.peak_rss_kb) * (1.0 + tolerances.rss_slack)) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "%s: peak_rss_kb %lld exceeds baseline %lld by more than %.0f%%",
-                    base.name.c_str(), static_cast<long long>(c.peak_rss_kb),
-                    static_cast<long long>(b.peak_rss_kb),
-                    tolerances.rss_slack * 100);
+    if (b.peak_rss_delta_kb <= 0) {
+      note(base.name + ": no peak RSS delta in the baseline; RSS check "
+                       "skipped");
+    } else if (static_cast<double>(c.peak_rss_delta_kb) >
+                   static_cast<double>(b.peak_rss_delta_kb) *
+                       (1.0 + tolerances.rss_slack) &&
+               static_cast<double>(c.peak_rss_delta_kb - b.peak_rss_delta_kb) >
+                   tolerances.rss_floor_kb) {
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "%s: peak_rss_delta_kb %lld exceeds baseline %lld by more than %.0f%%",
+          base.name.c_str(), static_cast<long long>(c.peak_rss_delta_kb),
+          static_cast<long long>(b.peak_rss_delta_kb),
+          tolerances.rss_slack * 100);
       violations.emplace_back(buffer);
     }
   }

@@ -46,8 +46,11 @@ const BenchInfo* FindBench(std::string_view name);
 struct BenchMetrics {
   double wall_ms = 0;        // Host wall-clock; machine-dependent.
   uint64_t sim_events = 0;   // Event-loop handlers executed; deterministic.
-  double events_per_sec = 0; // sim_events / wall seconds.
-  int64_t peak_rss_kb = 0;   // Process peak RSS after the bench (monotonic).
+  double events_per_sec = 0; // sim_events / wall seconds; meaningless (and
+                             // rendered as JSON null) when sim_events is 0.
+  int64_t peak_rss_delta_kb = 0;  // Peak RSS growth attributable to this
+                                  // bench (watermark reset before it runs),
+                                  // not the process-cumulative peak.
   int exit_code = 0;
 };
 
@@ -61,8 +64,20 @@ struct SuiteReport {
   std::vector<BenchReport> benches;
 };
 
-// Current peak RSS of this process in KiB (getrusage ru_maxrss).
+// Current peak RSS of this process in KiB. Prefers /proc/self/status VmHWM
+// (resettable via ResetPeakRss) and falls back to getrusage ru_maxrss
+// (process-cumulative, never resets).
 int64_t PeakRssKb();
+
+// Current (not peak) RSS in KiB from /proc/self/status VmRSS; 0 when
+// unavailable.
+int64_t CurrentRssKb();
+
+// Resets the kernel's peak-RSS watermark (VmHWM) to the current RSS by
+// writing "5" to /proc/self/clear_refs. Returns false when the kernel does
+// not support it; PeakRssKb() then reports the process-cumulative peak and
+// per-bench deltas degrade to max(0, peak - rss_at_bench_start).
+bool ResetPeakRss();
 
 // BENCH_dcc.json rendering and (minimal, format-specific) parsing.
 std::string RenderJson(const SuiteReport& report);
@@ -83,14 +98,22 @@ struct Tolerances {
   double sim_events_slack = 0.02;
   // Peak-RSS growth allowed as a fraction of the baseline.
   double rss_slack = 0.50;
+  // An RSS regression must also exceed this many absolute KiB: per-bench
+  // deltas on small benches are a few MiB, where allocator and page-cache
+  // noise swamps any relative slack.
+  double rss_floor_kb = 4096;
 };
 
 // Returns one human-readable line per violation (empty = pass). Benches
 // present in only one of the two reports are reported as violations, as is a
-// quick/full mode mismatch.
+// quick/full mode mismatch. When `notes` is non-null it receives one line
+// per comparison that was skipped rather than judged (e.g. a bench whose
+// baseline ran zero simulated events), so "passed" is distinguishable from
+// "had nothing to compare".
 std::vector<std::string> CompareReports(const SuiteReport& current,
                                         const SuiteReport& baseline,
-                                        const Tolerances& tolerances);
+                                        const Tolerances& tolerances,
+                                        std::vector<std::string>* notes = nullptr);
 
 }  // namespace bench
 }  // namespace dcc

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/dns/codec.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 namespace {
@@ -49,7 +50,8 @@ void DccNode::OnUpstreamHoldDown(HostAddress server, bool down, Time now) {
 }
 
 void DccNode::Start() {
-  loop().SchedulePeriodic(config_.purge_interval, [this]() { PeriodicMaintenance(); });
+  loop().SchedulePeriodic(config_.purge_interval, "dcc.maintenance",
+                          [this]() { PeriodicMaintenance(); });
 }
 
 void DccNode::AttachTelemetry(telemetry::MetricsRegistry* registry,
@@ -185,6 +187,7 @@ DccNode::ClientSignalState& DccNode::SignalStateFor(SourceId client) {
 // ---------------------------------------------------------------------------
 
 void DccNode::OnDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("dcc.datagram");
   if (server_ == nullptr) {
     return;
   }
@@ -357,7 +360,7 @@ void DccNode::FailQuery(const QueuedQuery& queued, EnqueueResult reason) {
     state.last_drop_output = queued.dst.addr;
   }
   // Deliver asynchronously to keep resolver re-entrancy simple.
-  loop().ScheduleAfter(0, [this, dgram]() {
+  loop().ScheduleAfter(0, "dcc.deliver", [this, dgram]() {
     if (server_ != nullptr) {
       server_->HandleDatagram(dgram);
     }
@@ -398,7 +401,7 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
     if (servfail_counter_ != nullptr) {
       servfail_counter_->Inc();
     }
-    loop().ScheduleAfter(0, [this, dgram]() {
+    loop().ScheduleAfter(0, "dcc.deliver", [this, dgram]() {
       if (server_ != nullptr) {
         server_->HandleDatagram(dgram);
       }
@@ -511,7 +514,7 @@ void DccNode::ScheduleDrainAt(Time t) {
     return;
   }
   drain_scheduled_for_ = t;
-  loop().ScheduleAt(t, [this, t]() {
+  loop().ScheduleAt(t, "dcc.dequeue", [this, t]() {
     if (drain_scheduled_for_ == t) {
       drain_scheduled_for_ = kTimeInfinity;
     }

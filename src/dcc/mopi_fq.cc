@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "src/common/logging.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 
@@ -131,6 +132,7 @@ SchedMessage MopiFq::EvictFromLatestRound(OutputId /*output*/, PoqState& poq) {
 }
 
 EnqueueOutcome MopiFq::Enqueue(const SchedMessage& msg, Time now) {
+  DCC_PROF_SCOPE("mopi.enqueue");
   EnqueueOutcome out;
   Channel(msg.output, now).last_active = now;
 
@@ -267,6 +269,7 @@ EnqueueOutcome MopiFq::Enqueue(const SchedMessage& msg, Time now) {
 }
 
 std::optional<SchedMessage> MopiFq::Dequeue(Time now) {
+  DCC_PROF_SCOPE("mopi.dequeue");
   while (!out_seq_.empty()) {
     const auto it = out_seq_.begin();
     const SeqKey key = *it;

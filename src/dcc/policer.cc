@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/profiler.h"
+
 namespace dcc {
 
 void PreQueuePolicer::Impose(SourceId client, PolicyType type, double rate_qps,
@@ -17,6 +19,7 @@ void PreQueuePolicer::Impose(SourceId client, PolicyType type, double rate_qps,
 }
 
 bool PreQueuePolicer::AllowQuery(SourceId client, Time now) {
+  DCC_PROF_SCOPE("policer.check");
   auto it = entries_.find(client);
   if (it == entries_.end() || it->second.policy.expires <= now) {
     return true;

@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 
+#include "src/telemetry/profiler.h"
+
 namespace dcc {
 namespace {
 
@@ -384,6 +386,7 @@ bool ReadRecord(Reader& r, Message& msg, bool& saw_opt) {
 }  // namespace
 
 std::vector<uint8_t> EncodeMessage(const Message& msg) {
+  DCC_PROF_SCOPE("dns.encode");
   Writer w;
   w.U16(msg.header.id);
   uint16_t flags = 0;
@@ -428,10 +431,14 @@ std::vector<uint8_t> EncodeMessage(const Message& msg) {
   if (msg.edns.has_value()) {
     WriteOpt(w, *msg.edns, msg.header.rcode);
   }
-  return w.Take();
+  std::vector<uint8_t> wire = w.Take();
+  prof::CountEncode(wire.size());
+  return wire;
 }
 
 std::optional<Message> DecodeMessage(std::span<const uint8_t> wire) {
+  DCC_PROF_SCOPE("dns.decode");
+  prof::CountDecode(wire.size());
   Reader r(wire);
   Message msg;
   uint16_t flags = 0;

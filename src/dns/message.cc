@@ -1,6 +1,58 @@
 #include "src/dns/message.h"
 
+#include <utility>
+
+#include "src/telemetry/profiler.h"
+
 namespace dcc {
+
+Message::Message() = default;
+
+Message::Message(const Message& other)
+    : header(other.header),
+      question(other.question),
+      answers(other.answers),
+      authority(other.authority),
+      additional(other.additional),
+      edns(other.edns) {
+  prof::CountMessageCopy();
+}
+
+Message::Message(Message&& other) noexcept
+    : header(other.header),
+      question(std::move(other.question)),
+      answers(std::move(other.answers)),
+      authority(std::move(other.authority)),
+      additional(std::move(other.additional)),
+      edns(std::move(other.edns)) {
+  prof::CountMessageMove();
+}
+
+Message& Message::operator=(const Message& other) {
+  if (this != &other) {
+    header = other.header;
+    question = other.question;
+    answers = other.answers;
+    authority = other.authority;
+    additional = other.additional;
+    edns = other.edns;
+    prof::CountMessageCopy();
+  }
+  return *this;
+}
+
+Message& Message::operator=(Message&& other) noexcept {
+  if (this != &other) {
+    header = other.header;
+    question = std::move(other.question);
+    answers = std::move(other.answers);
+    authority = std::move(other.authority);
+    additional = std::move(other.additional);
+    edns = std::move(other.edns);
+    prof::CountMessageMove();
+  }
+  return *this;
+}
 
 const EdnsOption* Edns::Find(uint16_t code) const {
   for (const auto& opt : options) {

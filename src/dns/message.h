@@ -65,6 +65,17 @@ struct Message {
   std::vector<ResourceRecord> additional;  // Excludes the OPT pseudo-RR.
   std::optional<Edns> edns;
 
+  // Copies and moves are counted by the hot-path profiler (when enabled):
+  // a Message copy deep-copies four RR vectors, and the per-hop copy count
+  // is exactly what the ROADMAP's pooling/copy-elimination work needs to
+  // see. Semantics are unchanged from the implicit members.
+  Message();
+  Message(const Message& other);
+  Message(Message&& other) noexcept;
+  Message& operator=(const Message& other);
+  Message& operator=(Message&& other) noexcept;
+  ~Message() = default;
+
   bool IsQuery() const { return !header.qr; }
   bool IsResponse() const { return header.qr; }
 

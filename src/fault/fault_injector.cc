@@ -41,8 +41,8 @@ void FaultInjector::Arm() {
   EventLoop& loop = network_.loop();
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& event = plan_.events[i];
-    loop.ScheduleAt(event.start, [this, i] { Activate(i); });
-    loop.ScheduleAt(event.end, [this, i] { Deactivate(i); });
+    loop.ScheduleAt(event.start, "fault.activate", [this, i] { Activate(i); });
+    loop.ScheduleAt(event.end, "fault.deactivate", [this, i] { Deactivate(i); });
   }
 }
 
@@ -144,7 +144,8 @@ void FaultInjector::FlapTick(size_t index, bool going_down) {
   double fraction = going_down ? event.duty_down : 1.0 - event.duty_down;
   Duration phase = static_cast<Duration>(fraction * static_cast<double>(event.period));
   if (phase < 1) phase = 1;
-  loop.ScheduleAfter(phase, [this, index, going_down] { FlapTick(index, !going_down); });
+  loop.ScheduleAfter(phase, "fault.flap",
+                     [this, index, going_down] { FlapTick(index, !going_down); });
 }
 
 void FaultInjector::SetPartition(const FaultEvent& event, bool down) {

@@ -85,7 +85,7 @@ ProbeRun RunStep(const ResolverProfile& profile, ProbePattern pattern,
     return static_cast<double>(ans.queries_received());
   });
   bed.loop().SchedulePeriodic(
-      sampler.interval(),
+      sampler.interval(), "telemetry.sample",
       [&sampler, &bed]() { sampler.SampleNow(bed.loop().now()); },
       duration + Seconds(2));
 

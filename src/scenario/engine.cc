@@ -1,10 +1,12 @@
 #include "src/scenario/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "src/attack/patterns.h"
 #include "src/attack/testbed.h"
+#include "src/telemetry/profiler.h"
 #include "src/zone/experiment_zones.h"
 
 namespace dcc {
@@ -52,7 +54,7 @@ void StartSampling(Testbed& bed, telemetry::TimeSeriesSampler& sampler,
                    Time until) {
   EventLoop& loop = bed.loop();
   loop.SchedulePeriodic(
-      sampler.interval(),
+      sampler.interval(), "telemetry.sample",
       [&sampler, &loop]() { sampler.SampleNow(loop.now()); }, until);
 }
 
@@ -121,6 +123,13 @@ std::vector<Time> RampSchedule(const ClientSpec& client) {
 
 bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
                      ScenarioOutcome* outcome, std::string* error) {
+  // Everything before the event loop — validation/materialization plus
+  // testbed wiring (zones, servers, clients, faults, samplers) — is
+  // attributed to its own site so setup cost is separable from the loop.
+  static prof::Site kBuildSite("scenario.build");
+  std::optional<prof::ScopedSite> build_scope;
+  build_scope.emplace(kBuildSite);
+
   ScenarioSpec spec = input;
   if (!ValidateScenarioSpec(&spec, error)) {
     return false;
@@ -343,7 +352,13 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
     injector = &bed.InstallFaultPlan(spec.faults.plan);
   }
 
+  build_scope.reset();
   outcome->events_executed = bed.RunFor(spec.horizon + Seconds(3));
+
+  // Post-run outcome assembly (series extraction, counter reads) gets its
+  // own site; the optional releases it on every return path.
+  static prof::Site kCollectSite("scenario.collect");
+  build_scope.emplace(kCollectSite);
 
   // --- outcome ----------------------------------------------------------------
   for (size_t i = 0; i < spec.clients.size(); ++i) {

@@ -5,6 +5,7 @@
 #include "src/common/ids.h"
 #include "src/common/logging.h"
 #include "src/dns/codec.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 
@@ -76,10 +77,11 @@ void AuthoritativeServer::Respond(const Datagram& request_dgram, Message respons
   const uint16_t local_port = request_dgram.dst.port;
   auto wire = EncodeMessage(response);
   if (delay > 0) {
-    transport_.loop().ScheduleAfter(delay, [this, local_port, reply_to,
-                                            wire = std::move(wire)]() mutable {
-      transport_.Send(local_port, reply_to, std::move(wire));
-    });
+    transport_.loop().ScheduleAfter(delay, "auth.respond",
+                                    [this, local_port, reply_to,
+                                     wire = std::move(wire)]() mutable {
+                                      transport_.Send(local_port, reply_to, std::move(wire));
+                                    });
   } else {
     transport_.Send(local_port, reply_to, std::move(wire));
   }
@@ -90,6 +92,7 @@ void AuthoritativeServer::Respond(const Datagram& request_dgram, Message respons
 }
 
 void AuthoritativeServer::HandleDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("auth.handle");
   auto decoded = DecodeMessage(dgram.payload);
   if (!decoded.has_value() || !decoded->IsQuery() || decoded->question.empty()) {
     return;

@@ -4,6 +4,7 @@
 
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 
@@ -81,7 +82,8 @@ void Forwarder::RespondToClient(const Pending& pending, Message response) {
   const uint16_t local_port = pending.local_port;
   if (config_.processing_delay > 0) {
     transport_.loop().ScheduleAfter(
-        config_.processing_delay, [this, local_port, client, wire = std::move(wire)]() mutable {
+        config_.processing_delay, "forwarder.respond",
+        [this, local_port, client, wire = std::move(wire)]() mutable {
           transport_.Send(local_port, client, std::move(wire));
         });
   } else {
@@ -91,6 +93,7 @@ void Forwarder::RespondToClient(const Pending& pending, Message response) {
 }
 
 void Forwarder::HandleDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("forwarder.handle");
   auto decoded = DecodeMessage(dgram.payload);
   if (!decoded.has_value()) {
     return;
@@ -255,7 +258,7 @@ void Forwarder::ForwardQuery(uint16_t port) {
 
   const uint64_t generation = pending.generation;
   transport_.loop().ScheduleAfter(AttemptTimeout(upstream, attempt),
-                                  [this, port, generation]() {
+                                  "forwarder.timeout", [this, port, generation]() {
                                     OnTimeout(port, generation);
                                   });
 }

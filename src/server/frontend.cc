@@ -5,6 +5,7 @@
 
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 namespace {
@@ -83,11 +84,12 @@ void FleetFrontend::Start() {
       // Stagger the first round so a large fleet does not probe in lockstep.
       const Duration offset = static_cast<Duration>(
           config_.probe_interval * (i + 1) / (members_.size() + 1));
-      transport_.loop().ScheduleAfter(offset, [this, i]() { SendProbe(i); });
+      transport_.loop().ScheduleAfter(offset, "frontend.probe",
+                                      [this, i]() { SendProbe(i); });
     }
   }
   if (config_.rotation_period > 0) {
-    transport_.loop().ScheduleAfter(config_.rotation_period,
+    transport_.loop().ScheduleAfter(config_.rotation_period, "frontend.rotate",
                                     [this]() { OnRotationTick(); });
   }
 }
@@ -315,7 +317,7 @@ void FleetFrontend::RespondToClient(const Pending& pending, Message response) {
   const uint16_t local_port = pending.local_port;
   if (config_.processing_delay > 0) {
     transport_.loop().ScheduleAfter(
-        config_.processing_delay,
+        config_.processing_delay, "frontend.respond",
         [this, local_port, client, wire = std::move(wire)]() mutable {
           transport_.Send(local_port, client, std::move(wire));
         });
@@ -330,6 +332,7 @@ void FleetFrontend::FailPending(Pending done) {
 }
 
 void FleetFrontend::HandleDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("frontend.handle");
   auto decoded = DecodeMessage(dgram.payload);
   if (!decoded.has_value()) {
     return;
@@ -454,7 +457,7 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
 
   const uint64_t generation = pending.generation;
   transport_.loop().ScheduleAfter(
-      AttemptTimeout(member, attempt),
+      AttemptTimeout(member, attempt), "frontend.timeout",
       [this, port, generation]() { OnRelayTimeout(port, generation); });
 }
 
@@ -474,9 +477,8 @@ void FleetFrontend::SendProbe(size_t member_index) {
     return;
   }
   const HostAddress member = members_[member_index];
-  transport_.loop().ScheduleAfter(config_.probe_interval, [this, member_index]() {
-    SendProbe(member_index);
-  });
+  transport_.loop().ScheduleAfter(config_.probe_interval, "frontend.probe",
+                                  [this, member_index]() { SendProbe(member_index); });
   auto parsed = Name::Parse(config_.probe_name);
   if (!parsed.has_value()) {
     return;
@@ -498,7 +500,8 @@ void FleetFrontend::SendProbe(size_t member_index) {
   const Duration timeout = std::max<Duration>(
       tracker_.RetransmitTimeout(member, config_.probe_timeout), kMillisecond);
   transport_.loop().ScheduleAfter(
-      timeout, [this, port, generation]() { OnProbeTimeout(port, generation); });
+      timeout, "frontend.probe_timeout",
+      [this, port, generation]() { OnProbeTimeout(port, generation); });
 }
 
 void FleetFrontend::OnProbeTimeout(uint16_t port, uint64_t generation) {
@@ -521,7 +524,7 @@ void FleetFrontend::OnRotationTick() {
   if (rotation_counter_ != nullptr) {
     rotation_counter_->Inc();
   }
-  transport_.loop().ScheduleAfter(config_.rotation_period,
+  transport_.loop().ScheduleAfter(config_.rotation_period, "frontend.rotate",
                                   [this]() { OnRotationTick(); });
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/dns/codec.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 namespace {
@@ -264,6 +265,7 @@ void RecursiveResolver::StoreNsec(const Message& response, Time now) {
 }
 
 void RecursiveResolver::HandleDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("resolver.handle");
   auto decoded = DecodeMessage(dgram.payload);
   if (!decoded.has_value()) {
     return;
@@ -426,7 +428,8 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
   const Question& q = request.query.Q();
   request.root_task = CreateTask(request_id, /*parent=*/0, /*depth=*/0, q.qname, q.qtype);
 
-  transport_.loop().ScheduleAfter(config_.request_deadline, [this, request_id]() {
+  transport_.loop().ScheduleAfter(config_.request_deadline, "resolver.deadline",
+                                  [this, request_id]() {
     auto it = requests_.find(request_id);
     if (it == requests_.end() || it->second.done) {
       return;
@@ -480,7 +483,8 @@ void RecursiveResolver::RespondToClient(ClientRequest& request, Message response
   const uint16_t local_port = request.local_port;
   if (config_.processing_delay > 0) {
     transport_.loop().ScheduleAfter(
-        config_.processing_delay, [this, local_port, client, wire = std::move(wire)]() mutable {
+        config_.processing_delay, "resolver.respond",
+        [this, local_port, client, wire = std::move(wire)]() mutable {
           transport_.Send(local_port, client, std::move(wire));
         });
   } else {
@@ -817,7 +821,7 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
 
   const uint64_t generation = oq.generation;
   transport_.loop().ScheduleAfter(AttemptTimeout(server, /*attempt=*/0),
-                                  [this, port, generation]() {
+                                  "resolver.timeout", [this, port, generation]() {
                                     OnQueryTimeout(port, generation);
                                   });
 }
@@ -896,7 +900,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
     }
     const uint64_t new_generation = oq.generation;
     transport_.loop().ScheduleAfter(AttemptTimeout(oq.server, oq.attempt),
-                                    [this, port, new_generation]() {
+                                    "resolver.timeout", [this, port, new_generation]() {
                                       OnQueryTimeout(port, new_generation);
                                     });
     return;

@@ -5,6 +5,7 @@
 #include "src/common/ids.h"
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 
@@ -68,7 +69,7 @@ void StubClient::Start() {
       ToSeconds(config_.stop - config_.start) * config_.qps);
   for (uint64_t i = 0; i < count; ++i) {
     const Time when = config_.start + static_cast<Duration>(i) * interval;
-    transport_.loop().ScheduleAt(when, [this]() { LaunchRequest(); });
+    transport_.loop().ScheduleAt(when, "stub.launch", [this]() { LaunchRequest(); });
   }
 }
 
@@ -77,7 +78,7 @@ void StubClient::StartWithSchedule(const std::vector<Time>& times) {
     return;
   }
   for (Time when : times) {
-    transport_.loop().ScheduleAt(when, [this]() { LaunchRequest(); });
+    transport_.loop().ScheduleAt(when, "stub.launch", [this]() { LaunchRequest(); });
   }
 }
 
@@ -125,9 +126,10 @@ void StubClient::SendAttempt(uint16_t port) {
   }
 
   const uint64_t generation = p.generation;
-  transport_.loop().ScheduleAfter(config_.timeout, [this, port, generation]() {
-    OnTimeout(port, generation);
-  });
+  transport_.loop().ScheduleAfter(config_.timeout, "stub.timeout",
+                                  [this, port, generation]() {
+                                    OnTimeout(port, generation);
+                                  });
 }
 
 void StubClient::Finish(uint16_t port, bool success, Time now) {
@@ -155,6 +157,7 @@ void StubClient::Finish(uint16_t port, bool success, Time now) {
 }
 
 void StubClient::HandleDatagram(const Datagram& dgram) {
+  DCC_PROF_SCOPE("stub.handle");
   auto decoded = DecodeMessage(dgram.payload);
   if (!decoded.has_value() || !decoded->IsResponse()) {
     return;

@@ -1,12 +1,19 @@
 #include "src/sim/event_loop.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 namespace {
+
+// Events scheduled through the category-less overloads. A real category at
+// the call site is always better; this keeps unlabeled callers visible in
+// the profile instead of silently unattributed.
+constexpr char kUncategorized[] = "event.uncategorized";
 
 // The loop currently registered as the thread's log clock (last one wins);
 // tracked so destruction clears only its own registration. thread_local so
@@ -49,26 +56,65 @@ void EventLoop::AttachTelemetry(telemetry::MetricsRegistry* registry) {
 }
 
 void EventLoop::ScheduleAt(Time t, Handler fn) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  ScheduleAt(t, kUncategorized, std::move(fn));
+}
+
+void EventLoop::ScheduleAt(Time t, const char* category, Handler fn) {
+  queue_.push(
+      Event{std::max(t, now_), next_seq_++, std::move(fn), category, now_});
+  max_pending_ = std::max(max_pending_, queue_.size());
+  prof::RecordQueueDepth(queue_.size());
 }
 
 void EventLoop::ScheduleAfter(Duration delay, Handler fn) {
-  ScheduleAt(now_ + std::max<Duration>(0, delay), std::move(fn));
+  ScheduleAt(now_ + std::max<Duration>(0, delay), kUncategorized, std::move(fn));
+}
+
+void EventLoop::ScheduleAfter(Duration delay, const char* category, Handler fn) {
+  ScheduleAt(now_ + std::max<Duration>(0, delay), category, std::move(fn));
 }
 
 void EventLoop::SchedulePeriodic(Duration period, Handler fn, Time until) {
+  SchedulePeriodic(period, "event.periodic", std::move(fn), until);
+}
+
+void EventLoop::SchedulePeriodic(Duration period, const char* category,
+                                 Handler fn, Time until) {
   if (period <= 0 || now_ + period > until) {
     return;
   }
-  ScheduleAt(now_ + period, [this, period, fn = std::move(fn), until]() {
-    fn();
-    SchedulePeriodic(period, fn, until);
-  });
+  // The handler lives in shared state: each tick re-arms by copying a
+  // shared_ptr (one refcount bump) instead of copying the std::function —
+  // periodic samplers capture probe tables that used to be cloned per tick.
+  struct Tick {
+    EventLoop* loop;
+    Duration period;
+    const char* category;
+    Handler fn;
+    Time until;
+
+    void Arm(std::shared_ptr<Tick> self) {
+      EventLoop* target = loop;
+      const Duration gap = period;
+      const char* label = category;
+      target->ScheduleAt(target->now_ + gap, label,
+                         [self = std::move(self)]() {
+                           self->fn();
+                           if (self->loop->now_ + self->period <= self->until) {
+                             self->Arm(self);
+                           }
+                         });
+    }
+  };
+  auto tick = std::make_shared<Tick>(
+      Tick{this, period, category, std::move(fn), until});
+  tick->Arm(tick);
 }
 
 size_t EventLoop::Run(Time until) {
   stopped_ = false;
   size_t executed = 0;
+  DCC_PROF_SCOPE("sim.run");
   while (!stopped_ && !queue_.empty()) {
     const Event& top = queue_.top();
     if (top.when > until) {
@@ -77,9 +123,16 @@ size_t EventLoop::Run(Time until) {
     }
     // Move the handler out before popping so it survives the pop.
     Handler fn = std::move(const_cast<Event&>(top).fn);
+    const char* category = top.category;
+    const uint64_t lag_us = static_cast<uint64_t>(top.when - top.enqueued_at);
     now_ = top.when;
     queue_.pop();
-    fn();
+    {
+      // Profiling only reads the host clock and thread-local counters, so
+      // the executed schedule is identical with it on or off.
+      prof::EventScope scope(category, lag_us);
+      fn();
+    }
     ++executed;
     ++g_total_events_executed;
     if (events_executed_ != nullptr) {

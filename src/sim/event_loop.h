@@ -4,6 +4,15 @@
 // running 60 simulated seconds takes only as long as the handlers themselves.
 // Events at equal timestamps run in scheduling order (FIFO), which keeps the
 // simulation deterministic.
+//
+// Every schedule call accepts an optional *category* — a string literal
+// naming the kind of work ("net.deliver", "stub.launch", "resolver.timeout").
+// Categories feed the hot-path profiler (src/telemetry/profiler.h): when
+// profiling is enabled, Run() wraps each handler in a scoped site named
+// after its category and records per-category execution counts, handler
+// wall time and the virtual schedule-to-run lag. Categories are plain
+// labels: they never affect ordering, so labeled and unlabeled runs are
+// event-for-event identical.
 
 #ifndef SRC_SIM_EVENT_LOOP_H_
 #define SRC_SIM_EVENT_LOOP_H_
@@ -37,15 +46,23 @@ class EventLoop {
   // before the loop dies.
   void AttachTelemetry(telemetry::MetricsRegistry* registry);
 
-  // Schedules `fn` at absolute time `t` (clamped to `now`).
+  // Schedules `fn` at absolute time `t` (clamped to `now`). `category` must
+  // be a string literal (or otherwise outlive the loop); it labels the event
+  // for the profiler's per-category table and flamegraph output.
   void ScheduleAt(Time t, Handler fn);
+  void ScheduleAt(Time t, const char* category, Handler fn);
 
   // Schedules `fn` after `delay` from now.
   void ScheduleAfter(Duration delay, Handler fn);
+  void ScheduleAfter(Duration delay, const char* category, Handler fn);
 
   // Schedules `fn` every `period`, starting at now + period, until the loop
-  // stops or `until` is reached (kTimeInfinity = forever).
+  // stops or `until` is reached (kTimeInfinity = forever). The handler is
+  // stored once in shared state: re-arming each tick copies a shared_ptr,
+  // not the handler itself (periodic samplers capture non-trivial state).
   void SchedulePeriodic(Duration period, Handler fn, Time until = kTimeInfinity);
+  void SchedulePeriodic(Duration period, const char* category, Handler fn,
+                        Time until = kTimeInfinity);
 
   // Runs until the queue is empty, `until` is passed, or Stop() is called.
   // Returns the number of events executed.
@@ -61,11 +78,18 @@ class EventLoop {
 
   size_t pending() const { return queue_.size(); }
 
+  // Highest queue depth observed since construction. Always tracked (two
+  // instructions per schedule) — the profiler report includes it, and the
+  // upcoming scheduler rebuild sizes its timing wheel from it.
+  size_t max_pending() const { return max_pending_; }
+
  private:
   struct Event {
     Time when;
     uint64_t seq;
     Handler fn;
+    const char* category;  // Never null; label only, never ordering.
+    Time enqueued_at;      // Virtual enqueue time, for schedule-to-run lag.
     bool operator>(const Event& other) const {
       return when != other.when ? when > other.when : seq > other.seq;
     }
@@ -74,6 +98,7 @@ class EventLoop {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
+  size_t max_pending_ = 0;
   bool stopped_ = false;
   telemetry::Counter* events_executed_ = nullptr;
 };

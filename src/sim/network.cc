@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/telemetry/profiler.h"
 
 namespace dcc {
 namespace {
@@ -41,7 +42,9 @@ Duration Network::DelayFor(HostAddress a, HostAddress b) const {
 }
 
 void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
+  DCC_PROF_SCOPE("net.send");
   ++datagrams_sent_;
+  prof::CountPayloadHop(payload.size());
   auto down = [this](HostAddress addr) {
     auto it = host_down_.find(addr);
     return it != host_down_.end() && it->second;
@@ -86,7 +89,7 @@ void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
   if (delay_histogram_ != nullptr) {
     delay_histogram_->Observe(static_cast<double>(delay));
   }
-  loop_.ScheduleAfter(delay, [this, src, dst, payload = std::move(payload)]() mutable {
+  loop_.ScheduleAfter(delay, "net.deliver", [this, src, dst, payload = std::move(payload)]() mutable {
     auto it = nodes_.find(dst.addr);
     if (it == nodes_.end()) {
       ++datagrams_dropped_;

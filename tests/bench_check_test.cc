@@ -12,14 +12,14 @@ namespace bench {
 namespace {
 
 BenchReport MakeBench(const std::string& name, double wall_ms,
-                      uint64_t sim_events, int64_t rss_kb, int exit_code = 0) {
+                      uint64_t sim_events, int64_t rss_delta_kb, int exit_code = 0) {
   BenchReport report;
   report.name = name;
   report.metrics.wall_ms = wall_ms;
   report.metrics.sim_events = sim_events;
   report.metrics.events_per_sec =
       wall_ms > 0 ? static_cast<double>(sim_events) / (wall_ms / 1000.0) : 0;
-  report.metrics.peak_rss_kb = rss_kb;
+  report.metrics.peak_rss_delta_kb = rss_delta_kb;
   report.metrics.exit_code = exit_code;
   return report;
 }
@@ -27,8 +27,8 @@ BenchReport MakeBench(const std::string& name, double wall_ms,
 SuiteReport MakeSuite() {
   SuiteReport suite;
   suite.quick = true;
-  suite.benches.push_back(MakeBench("fig8_resilience", 3800.0, 2268024, 116280));
-  suite.benches.push_back(MakeBench("ablation_nsec", 131.5, 149124, 155448));
+  suite.benches.push_back(MakeBench("fig8_resilience", 3800.0, 2268024, 58000));
+  suite.benches.push_back(MakeBench("ablation_nsec", 131.5, 149124, 39000));
   return suite;
 }
 
@@ -45,8 +45,8 @@ TEST(BenchReportTest, JsonRoundTrips) {
                 suite.benches[i].metrics.wall_ms, 0.01);
     EXPECT_EQ(parsed.benches[i].metrics.sim_events,
               suite.benches[i].metrics.sim_events);
-    EXPECT_EQ(parsed.benches[i].metrics.peak_rss_kb,
-              suite.benches[i].metrics.peak_rss_kb);
+    EXPECT_EQ(parsed.benches[i].metrics.peak_rss_delta_kb,
+              suite.benches[i].metrics.peak_rss_delta_kb);
     EXPECT_EQ(parsed.benches[i].metrics.exit_code,
               suite.benches[i].metrics.exit_code);
   }
@@ -99,11 +99,11 @@ TEST(BenchCheckTest, SimEventDriftFailsInBothDirections) {
 TEST(BenchCheckTest, RssGrowthBeyondSlackFails) {
   const SuiteReport baseline = MakeSuite();
   SuiteReport current = MakeSuite();
-  current.benches[1].metrics.peak_rss_kb *= 2;
+  current.benches[1].metrics.peak_rss_delta_kb *= 2;
   const std::vector<std::string> violations =
       CompareReports(current, baseline, Tolerances{});
   ASSERT_EQ(violations.size(), 1u);
-  EXPECT_NE(violations[0].find("peak_rss_kb"), std::string::npos);
+  EXPECT_NE(violations[0].find("peak_rss_delta_kb"), std::string::npos);
 }
 
 TEST(BenchCheckTest, FailedBenchIsAViolation) {
@@ -151,6 +151,60 @@ TEST(BenchCheckTest, TinyBenchWallNoiseIsBelowTheFloor) {
   SuiteReport current = MakeSuite();
   current.benches[1].metrics.wall_ms = 170.0;
   EXPECT_TRUE(CompareReports(current, baseline, Tolerances{}).empty());
+}
+
+TEST(BenchReportTest, ZeroSimEventsRendersNullRateAndRoundTrips) {
+  SuiteReport suite;
+  suite.quick = true;
+  suite.benches.push_back(MakeBench("fig10_overhead", 420.0, 0, 12000));
+  const std::string json = RenderJson(suite);
+  // No sim ran: the rate is null, not a misleading 0.0.
+  EXPECT_NE(json.find("\"events_per_sec\": null"), std::string::npos);
+  EXPECT_EQ(json.find("\"events_per_sec\": 0.0"), std::string::npos);
+  SuiteReport parsed;
+  ASSERT_TRUE(ParseReportJson(json, &parsed));
+  ASSERT_EQ(parsed.benches.size(), 1u);
+  EXPECT_EQ(parsed.benches[0].metrics.sim_events, 0u);
+  EXPECT_EQ(parsed.benches[0].metrics.events_per_sec, 0.0);
+}
+
+TEST(BenchReportTest, ParseAcceptsLegacyPeakRssKey) {
+  const std::string json =
+      "{\"suite\": \"dcc_bench\", \"quick\": true, \"benches\": [\n"
+      "  {\"name\": \"fig8_resilience\", \"wall_ms\": 100.0, \"sim_events\": "
+      "5, \"events_per_sec\": 50.0, \"peak_rss_kb\": 116280, \"exit_code\": "
+      "0}\n]}";
+  SuiteReport parsed;
+  ASSERT_TRUE(ParseReportJson(json, &parsed));
+  ASSERT_EQ(parsed.benches.size(), 1u);
+  EXPECT_EQ(parsed.benches[0].metrics.peak_rss_delta_kb, 116280);
+}
+
+TEST(BenchCheckTest, ZeroEventBaselineSkipsWithNote) {
+  SuiteReport baseline;
+  baseline.quick = true;
+  baseline.benches.push_back(MakeBench("fig10_overhead", 400.0, 0, 12000));
+  SuiteReport current = baseline;
+  current.benches[0].metrics.sim_events = 123456;  // Would be huge drift.
+  std::vector<std::string> notes;
+  EXPECT_TRUE(CompareReports(current, baseline, Tolerances{}, &notes).empty());
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("fig10_overhead"), std::string::npos);
+  EXPECT_NE(notes[0].find("skipped"), std::string::npos);
+}
+
+TEST(BenchCheckTest, RssGrowthUnderAbsoluteFloorPasses) {
+  // 2 MB -> 5 MB is +150% relative but only 3 MB absolute — below the 4 MB
+  // floor, so it's allocator noise, not a regression.
+  SuiteReport baseline;
+  baseline.quick = true;
+  baseline.benches.push_back(MakeBench("tiny", 100.0, 1000, 2048));
+  SuiteReport current = baseline;
+  current.benches[0].metrics.peak_rss_delta_kb = 5120;
+  EXPECT_TRUE(CompareReports(current, baseline, Tolerances{}).empty());
+  // The same relative growth above the floor fails.
+  current.benches[0].metrics.peak_rss_delta_kb = 2048 + 8192;
+  EXPECT_FALSE(CompareReports(current, baseline, Tolerances{}).empty());
 }
 
 TEST(BenchCheckTest, WallSlackIsTunable) {

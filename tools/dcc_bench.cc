@@ -15,6 +15,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +29,9 @@
 
 #include "bench/benches.h"
 #include "bench/harness.h"
+#include "src/common/json.h"
 #include "src/sim/event_loop.h"
+#include "src/telemetry/profiler.h"
 
 namespace {
 
@@ -42,6 +45,7 @@ struct RunnerOptions {
   std::string out = "BENCH_dcc.json";
   std::string baseline = "bench/baseline.json";
   std::string filter;
+  std::string profile_out;  // Empty = profiling off; "-" = stdout.
 };
 
 void PrintUsage(FILE* stream) {
@@ -62,6 +66,10 @@ void PrintUsage(FILE* stream) {
                "                      differently-sized machines — sim_events\n"
                "                      stays tight either way)\n"
                "  --write-baseline    write the report to the baseline path too\n"
+               "  --profile-out PATH  run with the hot-path profiler enabled and\n"
+               "                      write per-bench profiles (dcc_bench_profile\n"
+               "                      JSON, readable by tools/dcc_prof) to PATH,\n"
+               "                      or to stdout with '-'\n"
                "  --help              this text\n");
 }
 
@@ -97,6 +105,10 @@ bool ParseArgs(int argc, char** argv, RunnerOptions* options) {
       const char* v = value("--baseline");
       if (v == nullptr) return false;
       options->baseline = v;
+    } else if (arg == "--profile-out") {
+      const char* v = value("--profile-out");
+      if (v == nullptr) return false;
+      options->profile_out = v;
     } else if (arg == "--wall-slack") {
       const char* v = value("--wall-slack");
       if (v == nullptr) return false;
@@ -177,6 +189,8 @@ int main(int argc, char** argv) {
 
   dcc::bench::SuiteReport report;
   report.quick = options.quick;
+  const bool profiling = !options.profile_out.empty();
+  dcc::json::Value profile_benches = dcc::json::Value::MakeArray();
   bool any_failed = false;
   for (const dcc::bench::BenchInfo& bench : dcc::bench::AllBenches()) {
     if (!options.filter.empty() &&
@@ -186,6 +200,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[dcc_bench] %s ...", bench.name);
     std::fflush(stderr);
 
+    // Reset the kernel's peak-RSS watermark so the bench's own growth is
+    // measurable; ru_maxrss alone is process-cumulative and only ever grows
+    // across the suite. When the reset is unsupported the delta degrades to
+    // peak-so-far minus RSS at bench start (still per-bench-ish, just an
+    // upper bound for the first bench that touches the most memory).
+    dcc::bench::ResetPeakRss();
+    const int64_t rss_before = dcc::bench::CurrentRssKb();
+    if (profiling) {
+      dcc::prof::Reset();
+      dcc::prof::Enable();
+    }
     const uint64_t events_before = dcc::EventLoop::TotalEventsExecuted();
     const auto wall_start = std::chrono::steady_clock::now();
     int exit_code = 0;
@@ -206,21 +231,31 @@ int main(int argc, char** argv) {
     entry.metrics.sim_events =
         dcc::EventLoop::TotalEventsExecuted() - events_before;
     entry.metrics.events_per_sec =
-        entry.metrics.wall_ms > 0
+        entry.metrics.wall_ms > 0 && entry.metrics.sim_events > 0
             ? static_cast<double>(entry.metrics.sim_events) /
                   (entry.metrics.wall_ms / 1000.0)
             : 0;
-    entry.metrics.peak_rss_kb = dcc::bench::PeakRssKb();
+    entry.metrics.peak_rss_delta_kb =
+        std::max<int64_t>(0, dcc::bench::PeakRssKb() - rss_before);
     entry.metrics.exit_code = exit_code;
     report.benches.push_back(entry);
     any_failed = any_failed || exit_code != 0;
 
+    if (profiling) {
+      dcc::prof::Disable();
+      dcc::json::Value row = dcc::json::Value::MakeObject();
+      row.Set("name", dcc::json::Value::OfString(bench.name));
+      row.Set("wall_ms", dcc::json::Value::OfNumber(entry.metrics.wall_ms));
+      row.Set("profile", dcc::prof::ProfileJsonValue(dcc::prof::Snapshot()));
+      profile_benches.PushBack(std::move(row));
+    }
+
     std::fprintf(stderr,
-                 " %.0f ms, %llu sim events (%.2fM events/s), rss %lld KB%s\n",
+                 " %.0f ms, %llu sim events (%.2fM events/s), rss +%lld KB%s\n",
                  entry.metrics.wall_ms,
                  static_cast<unsigned long long>(entry.metrics.sim_events),
                  entry.metrics.events_per_sec / 1e6,
-                 static_cast<long long>(entry.metrics.peak_rss_kb),
+                 static_cast<long long>(entry.metrics.peak_rss_delta_kb),
                  exit_code == 0 ? "" : " [FAILED]");
   }
 
@@ -228,6 +263,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dcc_bench: no bench matches filter '%s'\n",
                  options.filter.c_str());
     return 2;
+  }
+
+  if (profiling) {
+    dcc::json::Value doc = dcc::json::Value::MakeObject();
+    doc.Set("tool", dcc::json::Value::OfString("dcc_bench_profile"));
+    doc.Set("version", dcc::json::Value::OfNumber(1));
+    doc.Set("benches", std::move(profile_benches));
+    const std::string profile_json = dcc::json::Write(doc, 1) + "\n";
+    if (options.profile_out == "-") {
+      std::fputs(profile_json.c_str(), stdout);
+    } else if (!WriteFile(options.profile_out, profile_json)) {
+      std::fprintf(stderr, "dcc_bench: cannot write %s\n",
+                   options.profile_out.c_str());
+      return 2;
+    } else {
+      std::fprintf(stderr, "[dcc_bench] profiles written to %s\n",
+                   options.profile_out.c_str());
+    }
   }
 
   const std::string json = dcc::bench::RenderJson(report);
@@ -277,8 +330,12 @@ int main(int argc, char** argv) {
     }
     dcc::bench::Tolerances tolerances;
     tolerances.wall_slack = options.wall_slack;
+    std::vector<std::string> notes;
     const std::vector<std::string> violations =
-        dcc::bench::CompareReports(report, baseline, tolerances);
+        dcc::bench::CompareReports(report, baseline, tolerances, &notes);
+    for (const std::string& skipped : notes) {
+      std::fprintf(stderr, "[dcc_bench] note: %s\n", skipped.c_str());
+    }
     if (!violations.empty()) {
       std::fprintf(stderr, "[dcc_bench] REGRESSION vs %s:\n",
                    options.baseline.c_str());

@@ -35,6 +35,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
 #include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/profiler.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/timeseries_export.h"
@@ -281,10 +282,27 @@ int RunSpec(int argc, char** argv) {
   scenario::EngineHooks hooks;
   hooks.telemetry = sink.get();
   hooks.sampler = sampler.get();
+  const char* profile_out = FlagValue(argc, argv, "--profile-out");
+  if (profile_out != nullptr) {
+    prof::Reset();
+    prof::Enable();
+  }
   scenario::ScenarioOutcome outcome;
   if (!scenario::RunScenarioSpec(spec, hooks, &outcome, &error)) {
     std::fprintf(stderr, "%s: %s\n", path, error.c_str());
     return 2;
+  }
+  if (profile_out != nullptr) {
+    prof::Disable();
+    const std::string profile = prof::WriteProfileJson(prof::Snapshot());
+    if (std::strcmp(profile_out, "-") == 0) {
+      std::fwrite(profile.data(), 1, profile.size(), stdout);
+    } else {
+      if (!WriteFile(profile_out, profile)) {
+        return 1;
+      }
+      NOTE("profile: hot-path sites -> %s\n", profile_out);
+    }
   }
 
   NOTE("scenario '%s': %zu nodes, %zu clients, horizon %s, seed %llu\n",
@@ -626,6 +644,12 @@ void PrintUsage(std::FILE* stream) {
       "                       for stdout): per-client totals/series, ANS\n"
       "                       peaks, resolver degradation, DCC counters and\n"
       "                       the events-executed fingerprint\n"
+      "  --profile-out FILE   run with the hot-path profiler enabled and\n"
+      "                       write the site/event/copy profile as JSON\n"
+      "                       ('-' for stdout; load with tools/dcc_prof).\n"
+      "                       Profiling never perturbs the simulation: the\n"
+      "                       events-executed fingerprint and summary are\n"
+      "                       byte-identical with or without it\n"
       "\n"
       "validate options:\n"
       "  --spec FILE          scenario spec to check ('-' for stdin);\n"
@@ -722,6 +746,10 @@ int main(int argc, char** argv) {
   }
   if (const char* summary_out = FlagValue(argc, argv, "--summary-out");
       summary_out != nullptr && std::strcmp(summary_out, "-") == 0) {
+    g_note = stderr;
+  }
+  if (const char* profile_out = FlagValue(argc, argv, "--profile-out");
+      profile_out != nullptr && std::strcmp(profile_out, "-") == 0) {
     g_note = stderr;
   }
   ApplyLogLevel(argc, argv);
