@@ -19,7 +19,7 @@ void Testbed::AttachTelemetry(telemetry::TelemetrySink* sink) {
     forwarder->AttachTelemetry(&sink->metrics);
   }
   for (auto& frontend : frontends_) {
-    frontend->AttachTelemetry(&sink->metrics);
+    frontend->AttachTelemetry(&sink->metrics, &sink->trace);
   }
   for (auto& injector : fault_injectors_) {
     injector->AttachTelemetry(&sink->metrics);
@@ -29,6 +29,28 @@ void Testbed::AttachTelemetry(telemetry::TelemetrySink* sink) {
   }
   for (auto& node : dcc_nodes_) {
     node->AttachTelemetry(&sink->metrics, &sink->trace);
+  }
+}
+
+void Testbed::AttachAudit(telemetry::DecisionAuditLog* audit) {
+  audit_ = audit;
+  if (audit == nullptr) {
+    return;
+  }
+  for (auto& resolver : resolvers_) {
+    resolver->AttachAudit(audit);
+  }
+  for (auto& forwarder : forwarders_) {
+    forwarder->AttachAudit(audit);
+  }
+  for (auto& frontend : frontends_) {
+    frontend->AttachAudit(audit);
+  }
+  for (auto& injector : fault_injectors_) {
+    injector->AttachAudit(audit);
+  }
+  for (auto& node : dcc_nodes_) {
+    node->AttachAudit(audit);
   }
 }
 
@@ -55,6 +77,9 @@ RecursiveResolver& Testbed::AddResolver(HostAddress addr, ResolverConfig config)
   if (telemetry_ != nullptr) {
     resolvers_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
   }
+  if (audit_ != nullptr) {
+    resolvers_.back()->AttachAudit(audit_);
+  }
   return *resolvers_.back();
 }
 
@@ -68,6 +93,9 @@ Forwarder& Testbed::AddForwarder(HostAddress addr, ForwarderConfig config) {
   if (telemetry_ != nullptr) {
     forwarders_.back()->AttachTelemetry(&telemetry_->metrics);
   }
+  if (audit_ != nullptr) {
+    forwarders_.back()->AttachAudit(audit_);
+  }
   return *forwarders_.back();
 }
 
@@ -79,7 +107,10 @@ FleetFrontend& Testbed::AddFrontend(HostAddress addr, FrontendConfig config) {
   frontends_.push_back(std::move(server));
   RegisterCrashResettable(addr, frontends_.back().get());
   if (telemetry_ != nullptr) {
-    frontends_.back()->AttachTelemetry(&telemetry_->metrics);
+    frontends_.back()->AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
+  }
+  if (audit_ != nullptr) {
+    frontends_.back()->AttachAudit(audit_);
   }
   return *frontends_.back();
 }
@@ -120,6 +151,10 @@ std::pair<DccNode&, RecursiveResolver&> Testbed::AddDccResolver(
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
     server_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
   }
+  if (audit_ != nullptr) {
+    shim_ref.AttachAudit(audit_);
+    server_ref.AttachAudit(audit_);
+  }
   return {shim_ref, server_ref};
 }
 
@@ -144,6 +179,10 @@ std::pair<DccNode&, Forwarder&> Testbed::AddDccForwarder(HostAddress addr,
     shim_ref.AttachTelemetry(&telemetry_->metrics, &telemetry_->trace);
     server_ref.AttachTelemetry(&telemetry_->metrics);
   }
+  if (audit_ != nullptr) {
+    shim_ref.AttachAudit(audit_);
+    server_ref.AttachAudit(audit_);
+  }
   return {shim_ref, server_ref};
 }
 
@@ -163,6 +202,9 @@ fault::FaultInjector& Testbed::InstallFaultPlan(fault::FaultPlan plan) {
   }
   if (telemetry_ != nullptr) {
     injector->AttachTelemetry(&telemetry_->metrics);
+  }
+  if (audit_ != nullptr) {
+    injector->AttachAudit(audit_);
   }
   injector->Arm();
   fault_injectors_.push_back(std::move(injector));

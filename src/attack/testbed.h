@@ -39,6 +39,11 @@ class Testbed {
   // the testbed unless MetricsRegistry::FreezeCallbacks() has been called.
   void AttachTelemetry(telemetry::TelemetrySink* sink);
 
+  // Wires the decision-audit log into every drop/SERVFAIL decision point
+  // built so far and any added later (same lifetime contract as
+  // AttachTelemetry). nullptr detaches future builders only.
+  void AttachAudit(telemetry::DecisionAuditLog* audit);
+
   HostAddress NextAddress() { return next_address_++; }
 
   // --- vanilla hosts ---------------------------------------------------------
@@ -81,6 +86,7 @@ class Testbed {
   EventLoop loop_;
   Network network_;
   telemetry::TelemetrySink* telemetry_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
   HostAddress next_address_ = 0x0a000001;  // 10.0.0.1
 
   std::vector<std::unique_ptr<HostNode>> hosts_;

@@ -16,6 +16,27 @@ uint32_t SpanOf(const Attribution& a) {
   return a.span_id != 0 ? a.span_id : telemetry::kClientSpanId;
 }
 
+// Audit cause for a failed MOPI-FQ enqueue (kSuccess never reaches here).
+telemetry::AuditCause AuditCauseForEnqueue(EnqueueResult result) {
+  switch (result) {
+    case EnqueueResult::kQueueOverflow:
+      return telemetry::AuditCause::kMopiQueueFull;
+    case EnqueueResult::kClientOverspeed:
+      return telemetry::AuditCause::kMopiClientOverspeed;
+    case EnqueueResult::kChannelCongested:
+    case EnqueueResult::kSuccess:
+      break;
+  }
+  return telemetry::AuditCause::kMopiChannelCongested;
+}
+
+bool IsMopiCause(telemetry::AuditCause cause) {
+  return cause == telemetry::AuditCause::kMopiChannelCongested ||
+         cause == telemetry::AuditCause::kMopiQueueFull ||
+         cause == telemetry::AuditCause::kMopiClientOverspeed ||
+         cause == telemetry::AuditCause::kMopiEvicted;
+}
+
 }  // namespace
 
 DccNode::DccNode(Network& network, HostAddress addr, const DccConfig& config)
@@ -42,10 +63,23 @@ void DccNode::OnUpstreamHoldDown(HostAddress server, bool down, Time now) {
   if (!down || !capacity_estimator_.enabled()) {
     return;
   }
+  const double before = capacity_estimator_.EstimateFor(server);
   const double qps = capacity_estimator_.NotifyOutage(server, now);
   scheduler_.SetChannelCapacity(server, qps);
   if (capacity_update_counter_ != nullptr) {
     capacity_update_counter_->Inc();
+  }
+  if (audit_ != nullptr) {
+    telemetry::AuditRecord rec;
+    rec.at = now;
+    rec.cause = telemetry::AuditCause::kCapacityShrunk;
+    rec.actor = address();
+    rec.channel = server;
+    rec.observed = qps;
+    rec.limit = before;
+    telemetry::SetAuditQname(rec, "outage");
+    audit_->Record(rec);
+    audit_capacity_last_[server] = qps;
   }
 }
 
@@ -62,8 +96,12 @@ void DccNode::AttachTelemetry(telemetry::MetricsRegistry* registry,
       counter = nullptr;
     }
     eviction_counter_ = nullptr;
-    servfail_counter_ = nullptr;
-    policer_reject_counter_ = nullptr;
+    for (auto& counter : servfail_counters_) {
+      counter = nullptr;
+    }
+    for (auto& counter : policer_reject_counters_) {
+      counter = nullptr;
+    }
     dequeue_counter_ = nullptr;
     alarm_counter_ = nullptr;
     conviction_nx_counter_ = nullptr;
@@ -86,10 +124,30 @@ void DccNode::AttachTelemetry(telemetry::MetricsRegistry* registry,
       "dcc_scheduler_evictions_total", {}, "Queued queries evicted by a later arrival");
   dequeue_counter_ = registry->GetCounter("dcc_scheduler_dequeue_total", {},
                                           "Queries released by the scheduler");
-  servfail_counter_ = registry->GetCounter(
-      "dcc_servfails_synthesized_total", {}, "SERVFAILs synthesized toward the resolver");
-  policer_reject_counter_ = registry->GetCounter(
-      "dcc_policer_rejects_total", {}, "Queries rejected by pre-queue policing");
+  // SERVFAIL / policer-reject counters carry a `reason` label drawn from the
+  // audit cause taxonomy, so Prometheus output and audit records share one
+  // vocabulary. Aggregate views use MetricsSnapshot::Sum.
+  const char* servfail_help = "SERVFAILs synthesized toward the resolver";
+  constexpr telemetry::AuditCause kServfailCauses[] = {
+      telemetry::AuditCause::kPolicerRateExceeded,
+      telemetry::AuditCause::kPolicerBlocked,
+      telemetry::AuditCause::kMopiChannelCongested,
+      telemetry::AuditCause::kMopiQueueFull,
+      telemetry::AuditCause::kMopiClientOverspeed,
+      telemetry::AuditCause::kMopiEvicted,
+  };
+  for (telemetry::AuditCause cause : kServfailCauses) {
+    servfail_counters_[static_cast<size_t>(cause)] = registry->GetCounter(
+        "dcc_servfails_synthesized_total",
+        {{"reason", telemetry::AuditCauseName(cause)}}, servfail_help);
+  }
+  const char* reject_help = "Queries rejected by pre-queue policing";
+  for (telemetry::AuditCause cause : {telemetry::AuditCause::kPolicerRateExceeded,
+                                      telemetry::AuditCause::kPolicerBlocked}) {
+    policer_reject_counters_[static_cast<size_t>(cause)] = registry->GetCounter(
+        "dcc_policer_rejects_total",
+        {{"reason", telemetry::AuditCauseName(cause)}}, reject_help);
+  }
   alarm_counter_ = registry->GetCounter("dcc_anomaly_alarms_total", {},
                                         "Anomaly-window alarm events");
   const char* conviction_help = "Client convictions by imposed policy";
@@ -227,8 +285,8 @@ void DccNode::HandleIncomingAnswer(const Datagram& dgram, Message msg) {
         tracer_->Record(
             telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id),
             telemetry::SpanKind::kAuthResponse, now(), address(),
-            static_cast<int32_t>(dgram.src.addr), SpanOf(a), a.parent_span_id,
-            /*peer=*/dgram.src.addr);
+            static_cast<int32_t>(msg.header.rcode), SpanOf(a),
+            a.parent_span_id, /*peer=*/dgram.src.addr);
       }
     }
     pending_.erase(it);
@@ -273,6 +331,17 @@ void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
       ++convictions_;
       if (conviction_signal_counter_ != nullptr) {
         conviction_signal_counter_->Inc();
+      }
+      if (audit_ != nullptr) {
+        telemetry::AuditRecord rec;
+        rec.at = now();
+        rec.cause = telemetry::AuditCause::kSignalConvicted;
+        rec.actor = address();
+        rec.client = culprit;
+        rec.observed = static_cast<double>(anomaly->countdown);
+        rec.limit = static_cast<double>(config_.countdown_police_threshold);
+        telemetry::SetAuditQname(rec, AnomalyReasonName(anomaly->reason));
+        audit_->Record(rec);
       }
       PolicingSignal local;
       local.policy = config_.signal_policy;
@@ -338,23 +407,61 @@ SourceId DccNode::AttributionSource(const Message& query, Attribution* attributi
   return address();
 }
 
-void DccNode::FailQuery(const QueuedQuery& queued, EnqueueResult reason) {
+void DccNode::AuditDrop(telemetry::AuditCause cause, const QueuedQuery& queued,
+                        double observed, double limit) {
+  if (audit_ == nullptr) {
+    return;
+  }
+  telemetry::AuditRecord rec;
+  rec.at = now();
+  rec.cause = cause;
+  rec.actor = address();
+  rec.channel = queued.dst.addr;
+  if (queued.has_attribution) {
+    const Attribution& a = queued.attribution;
+    rec.client = a.client_addr;
+    rec.trace_id =
+        telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id);
+    rec.span_id = SpanOf(a);
+    rec.parent_span_id = a.parent_span_id;
+  }
+  rec.observed = observed;
+  rec.limit = limit;
+  if (!queued.query.question.empty()) {
+    telemetry::SetAuditQname(rec, queued.query.Q().qname.ToString());
+  }
+  audit_->Record(rec);
+}
+
+void DccNode::FailQuery(const QueuedQuery& queued, telemetry::AuditCause cause,
+                        double observed, double limit) {
   // Synthesize SERVFAIL to the wrapped resolver so it fails fast instead of
   // waiting out a timeout (§3.2.1).
   Message response = MakeResponse(queued.query, Rcode::kServFail);
   response.header.qr = true;
+  if (queued.has_attribution) {
+    // Carry the span coordinates on the synthesized failure so trace trees
+    // show the sub-query as failed rather than vanished.
+    SetOption(response, EncodeAttribution(queued.attribution));
+  }
   Datagram dgram;
   dgram.src = queued.dst;  // Appears to come from the intended upstream.
   dgram.dst = Endpoint{address(), queued.src_port};
   dgram.payload = EncodeMessage(response);
   ++servfails_synthesized_;
-  if (servfail_counter_ != nullptr) {
-    servfail_counter_->Inc();
+  if (servfail_counters_[static_cast<size_t>(cause)] != nullptr) {
+    servfail_counters_[static_cast<size_t>(cause)]->Inc();
   }
-  if (queued.has_attribution &&
-      (reason == EnqueueResult::kChannelCongested ||
-       reason == EnqueueResult::kQueueOverflow ||
-       reason == EnqueueResult::kClientOverspeed)) {
+  if (tracer_ != nullptr && queued.has_attribution) {
+    const Attribution& a = queued.attribution;
+    tracer_->Record(
+        telemetry::MakeTraceId(a.client_addr, a.client_port, a.request_id),
+        telemetry::SpanKind::kAuthResponse, now(), address(),
+        static_cast<int32_t>(Rcode::kServFail), SpanOf(a), a.parent_span_id,
+        /*peer=*/queued.dst.addr);
+  }
+  AuditDrop(cause, queued, observed, limit);
+  if (queued.has_attribution && IsMopiCause(cause)) {
     ClientSignalState& state = SignalStateFor(queued.attribution.client_addr);
     ++state.congestion_drops;
     state.last_drop_output = queued.dst.addr;
@@ -383,29 +490,24 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
                     attribution.parent_span_id, /*peer=*/dst.addr);
   }
   if (!policer_allowed) {
-    if (policer_reject_counter_ != nullptr) {
-      policer_reject_counter_->Inc();
+    // Blocked clients vs drained rate buckets are distinct causes; the
+    // active policy (if still visible) also supplies the deciding rate.
+    const ActivePolicy* policy = policer_.Get(source, now());
+    const telemetry::AuditCause cause =
+        policy != nullptr && policy->type == PolicyType::kBlock
+            ? telemetry::AuditCause::kPolicerBlocked
+            : telemetry::AuditCause::kPolicerRateExceeded;
+    if (policer_reject_counters_[static_cast<size_t>(cause)] != nullptr) {
+      policer_reject_counters_[static_cast<size_t>(cause)]->Inc();
     }
     QueuedQuery rejected;
-    rejected.query = msg;
+    rejected.query = std::move(msg);
     rejected.src_port = src_port;
     rejected.dst = dst;
     rejected.attribution = attribution;
     rejected.has_attribution = has_attribution;
-    Message response = MakeResponse(rejected.query, Rcode::kServFail);
-    Datagram dgram;
-    dgram.src = dst;
-    dgram.dst = Endpoint{address(), src_port};
-    dgram.payload = EncodeMessage(response);
-    ++servfails_synthesized_;
-    if (servfail_counter_ != nullptr) {
-      servfail_counter_->Inc();
-    }
-    loop().ScheduleAfter(0, "dcc.deliver", [this, dgram]() {
-      if (server_ != nullptr) {
-        server_->HandleDatagram(dgram);
-      }
-    });
+    const double rate = policy != nullptr ? policy->rate_qps : 0;
+    FailQuery(rejected, cause, /*observed=*/rate, /*limit=*/rate);
     return;
   }
 
@@ -448,7 +550,9 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
     }
     auto evicted = queued_.extract(outcome.evicted->cookie);
     if (!evicted.empty()) {
-      FailQuery(evicted.mapped(), EnqueueResult::kChannelCongested);
+      FailQuery(evicted.mapped(), telemetry::AuditCause::kMopiEvicted,
+                static_cast<double>(scheduler_.QueueDepth(dst.addr)),
+                static_cast<double>(config_.scheduler.max_poq_depth));
     }
   }
   switch (outcome.result) {
@@ -468,7 +572,9 @@ void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) 
   }
   auto failed = queued_.extract(cookie);
   if (!failed.empty()) {
-    FailQuery(failed.mapped(), outcome.result);
+    FailQuery(failed.mapped(), AuditCauseForEnqueue(outcome.result),
+              static_cast<double>(scheduler_.QueueDepth(dst.addr)),
+              static_cast<double>(config_.scheduler.max_poq_depth));
   }
 }
 
@@ -663,6 +769,21 @@ void DccNode::PeriodicMaintenance() {
     if (alarm_counter_ != nullptr) {
       alarm_counter_->Inc();
     }
+    if (audit_ != nullptr) {
+      telemetry::AuditRecord rec;
+      rec.at = t;
+      rec.cause = event.convicted ? telemetry::AuditCause::kAnomalyConvicted
+                                  : telemetry::AuditCause::kAnomalyAlarm;
+      rec.actor = address();
+      rec.client = event.client;
+      // Alarms accumulated vs the conviction threshold; the event reports
+      // the remaining countdown.
+      rec.observed = static_cast<double>(config_.anomaly.alarms_to_convict -
+                                         event.countdown);
+      rec.limit = static_cast<double>(config_.anomaly.alarms_to_convict);
+      telemetry::SetAuditQname(rec, AnomalyReasonName(event.reason));
+      audit_->Record(rec);
+    }
     if (!event.convicted) {
       continue;
     }
@@ -689,6 +810,24 @@ void DccNode::PeriodicMaintenance() {
       scheduler_.SetChannelCapacity(output, qps);
       if (capacity_update_counter_ != nullptr) {
         capacity_update_counter_->Inc();
+      }
+      if (audit_ != nullptr) {
+        // AIMD updates move both ways; only shrinkage is a decision worth
+        // explaining. Direction comes from audit-local bookkeeping so the
+        // control loop stays untouched.
+        auto [last, inserted] = audit_capacity_last_.try_emplace(output, qps);
+        if (!inserted && qps < last->second) {
+          telemetry::AuditRecord rec;
+          rec.at = t;
+          rec.cause = telemetry::AuditCause::kCapacityShrunk;
+          rec.actor = address();
+          rec.channel = output;
+          rec.observed = qps;
+          rec.limit = last->second;
+          telemetry::SetAuditQname(rec, "aimd_decrease");
+          audit_->Record(rec);
+        }
+        last->second = qps;
       }
     }
     capacity_estimator_.PurgeIdle(t, config_.state_idle_timeout);

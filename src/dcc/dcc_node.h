@@ -32,6 +32,7 @@
 #include "src/dcc/mopi_fq.h"
 #include "src/dcc/policer.h"
 #include "src/server/transport.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/trace.h"
@@ -147,6 +148,12 @@ class DccNode : public Node, public Transport {
   // SERVFAIL rates. The sampler must not outlive this node's last tick.
   void AttachSampler(telemetry::TimeSeriesSampler* sampler);
 
+  // Routes every drop/conviction decision into `audit` (policer verdicts,
+  // MOPI-FQ failures and evictions, anomaly alarms/convictions,
+  // signal-triggered policing, capacity shrinkage). nullptr detaches; the
+  // disabled path is one pointer check per decision.
+  void AttachAudit(telemetry::DecisionAuditLog* audit) { audit_ = audit; }
+
  private:
   struct QueuedQuery {
     Message query;  // Attribution already stripped.
@@ -188,7 +195,13 @@ class DccNode : public Node, public Transport {
   SourceId AttributionSource(const Message& query, Attribution* attribution,
                              bool* has_attribution) const;
   SourceId AggregateClient(SourceId client) const;
-  void FailQuery(const QueuedQuery& queued, EnqueueResult reason);
+  // Synthesizes the SERVFAIL for `queued` and accounts the drop under
+  // `cause`; `observed`/`limit` snapshot the deciding state for the audit
+  // record (queue depth vs cap, policed rate vs bucket, ...).
+  void FailQuery(const QueuedQuery& queued, telemetry::AuditCause cause,
+                 double observed, double limit);
+  void AuditDrop(telemetry::AuditCause cause, const QueuedQuery& queued,
+                 double observed, double limit);
   void Drain();
   void ScheduleDrainAt(Time t);
   void PeriodicMaintenance();
@@ -221,13 +234,18 @@ class DccNode : public Node, public Transport {
   uint64_t convictions_ = 0;
 
   // Telemetry (resolved once in AttachTelemetry; nullptr = disabled). The
-  // enqueue counters are indexed by the EnqueueResult ordinal so the hot
-  // path is a single array load + nullptr check.
+  // enqueue counters are indexed by the EnqueueResult ordinal, the
+  // SERVFAIL / policer-reject counters by the AuditCause ordinal of their
+  // `reason` label, so the hot path is a single array load + nullptr check.
   telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
+  // Last pushed capacity per channel; audit-only state for detecting AIMD
+  // shrinkage direction (never read by the control loop).
+  std::unordered_map<OutputId, double> audit_capacity_last_;
   telemetry::Counter* enqueue_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
   telemetry::Counter* eviction_counter_ = nullptr;
-  telemetry::Counter* servfail_counter_ = nullptr;
-  telemetry::Counter* policer_reject_counter_ = nullptr;
+  telemetry::Counter* servfail_counters_[telemetry::kAuditCauseCount] = {};
+  telemetry::Counter* policer_reject_counters_[telemetry::kAuditCauseCount] = {};
   telemetry::Counter* dequeue_counter_ = nullptr;
   telemetry::Counter* alarm_counter_ = nullptr;
   telemetry::Counter* conviction_nx_counter_ = nullptr;

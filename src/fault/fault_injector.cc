@@ -84,6 +84,16 @@ void FaultInjector::Activate(size_t index) {
   }
   DCC_LOG_INFO("fault %s active t=[%.3fs, %.3fs)", FaultTypeName(event.type),
                ToSeconds(event.start), ToSeconds(event.end));
+  if (audit_ != nullptr) {
+    telemetry::AuditRecord rec;
+    rec.at = network_.loop().now();
+    rec.cause = telemetry::AuditCause::kFaultActivated;
+    rec.channel = event.a == kAnyHost ? 0 : event.a;
+    rec.observed = ToSeconds(event.start);
+    rec.limit = ToSeconds(event.end);
+    telemetry::SetAuditQname(rec, FaultTypeName(event.type));
+    audit_->Record(rec);
+  }
   switch (event.type) {
     case FaultType::kBlackout:
       network_.SetHostDown(event.a, true);

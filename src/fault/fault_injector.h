@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/fault/fault_plan.h"
 #include "src/sim/network.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
 
 namespace dcc {
@@ -47,6 +48,10 @@ class FaultInjector : public NetworkFaultHook {
   // and fault_datagrams_total{effect=dropped|corrupted|truncated|delayed}
   // into `registry`. nullptr detaches.
   void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
+  // Records a `fault.activated` audit entry per event activation so drop
+  // forensics can correlate loss bursts with fault windows. nullptr detaches.
+  void AttachAudit(telemetry::DecisionAuditLog* audit) { audit_ = audit; }
 
   Verdict OnDatagram(const Endpoint& src, const Endpoint& dst,
                      std::vector<uint8_t>& payload) override;
@@ -82,6 +87,7 @@ class FaultInjector : public NetworkFaultHook {
   telemetry::Counter* corrupted_counter_ = nullptr;
   telemetry::Counter* truncated_counter_ = nullptr;
   telemetry::Counter* delayed_counter_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
 };
 
 }  // namespace fault

@@ -138,6 +138,12 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
 
   Testbed bed;
   bed.AttachTelemetry(hooks.telemetry);
+  if (hooks.audit != nullptr) {
+    bed.AttachAudit(hooks.audit);
+    if (hooks.telemetry != nullptr) {
+      hooks.audit->AttachMetrics(&hooks.telemetry->metrics);
+    }
+  }
   if (spec.network.jitter > 0) {
     bed.network().SetDelayJitter(spec.network.jitter, spec.network.jitter_seed);
   }
@@ -450,6 +456,18 @@ bool RunScenarioSpec(const ScenarioSpec& input, const EngineHooks& hooks,
   }
   if (injector != nullptr) {
     outcome->fault_activations = injector->activations();
+  }
+  if (hooks.audit != nullptr) {
+    outcome->audit_enabled = true;
+    outcome->audit_records = hooks.audit->total_recorded();
+    outcome->audit_dropped = hooks.audit->dropped();
+    const std::vector<uint64_t> histogram = hooks.audit->CauseHistogram();
+    for (size_t i = 0; i < histogram.size(); ++i) {
+      if (histogram[i] == 0) continue;
+      outcome->audit_causes.emplace_back(
+          telemetry::AuditCauseName(static_cast<telemetry::AuditCause>(i)),
+          histogram[i]);
+    }
   }
   if (hooks.telemetry != nullptr) {
     hooks.telemetry->metrics.FreezeCallbacks();

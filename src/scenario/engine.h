@@ -20,9 +20,11 @@
 #define SRC_SCENARIO_ENGINE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/scenario/spec.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 
@@ -91,6 +93,13 @@ struct ScenarioOutcome {
   // §5.2 state-blowup signal; dcc_search's memory objective reads this).
   double dcc_peak_memory_bytes = 0;
   uint64_t fault_activations = 0;
+  // Decision-audit rollup (only when EngineHooks::audit was set). Causes are
+  // (dotted name, retained-record count) pairs in taxonomy order, zero
+  // entries elided.
+  bool audit_enabled = false;
+  uint64_t audit_records = 0;
+  uint64_t audit_dropped = 0;
+  std::vector<std::pair<std::string, uint64_t>> audit_causes;
   // Events the loop executed during the run (determinism fingerprint).
   size_t events_executed = 0;
 };
@@ -102,6 +111,10 @@ struct ScenarioOutcome {
 struct EngineHooks {
   telemetry::TelemetrySink* telemetry = nullptr;
   telemetry::TimeSeriesSampler* sampler = nullptr;
+  // When set, every drop/SERVFAIL decision point in the built topology
+  // records into this log (see src/telemetry/audit.h). Recording never
+  // perturbs the simulation: outcomes are byte-identical with or without it.
+  telemetry::DecisionAuditLog* audit = nullptr;
 };
 
 // Validates a copy of `spec` (materializing derived fields) and runs it.

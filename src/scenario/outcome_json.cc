@@ -97,6 +97,20 @@ json::Value ScenarioOutcomeToJson(const ScenarioOutcome& outcome) {
   dcc.Set("peak_memory_bytes", Num(outcome.dcc_peak_memory_bytes));
   out.Set("dcc", std::move(dcc));
 
+  // Emitted only when the run audited, so summaries stay byte-identical
+  // between plain runs before and after this field existed.
+  if (outcome.audit_enabled) {
+    json::Value audit = json::Value::MakeObject();
+    audit.Set("records", U64(outcome.audit_records));
+    audit.Set("dropped", U64(outcome.audit_dropped));
+    json::Value causes = json::Value::MakeObject();
+    for (const auto& [cause, count] : outcome.audit_causes) {
+      causes.Set(cause, U64(count));
+    }
+    audit.Set("causes", std::move(causes));
+    out.Set("audit", std::move(audit));
+  }
+
   out.Set("fault_activations", U64(outcome.fault_activations));
   out.Set("events_executed", U64(outcome.events_executed));
   return out;

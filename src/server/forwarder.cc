@@ -5,6 +5,7 @@
 #include "src/dns/codec.h"
 #include "src/dns/edns_options.h"
 #include "src/telemetry/profiler.h"
+#include "src/telemetry/trace.h"
 
 namespace dcc {
 
@@ -35,6 +36,11 @@ void Forwarder::AttachTelemetry(telemetry::MetricsRegistry* registry) {
       "forwarder_pending_requests",
       [this]() { return static_cast<double>(pending_.size()); }, host,
       "Relayed queries awaiting an upstream answer");
+}
+
+void Forwarder::AttachAudit(telemetry::DecisionAuditLog* audit) {
+  audit_ = audit;
+  tracker_.AttachAudit(audit, transport_.local_address());
 }
 
 void Forwarder::CrashReset() {
@@ -105,6 +111,22 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
       request_counter_->Inc();
     }
     if (decoded->question.empty() || upstreams_.empty()) {
+      if (audit_ != nullptr && upstreams_.empty()) {
+        telemetry::AuditRecord rec;
+        rec.at = transport_.now();
+        rec.cause = telemetry::AuditCause::kForwarderNoUpstreams;
+        rec.actor = transport_.local_address();
+        rec.client = dgram.src.addr;
+        rec.trace_id = telemetry::MakeTraceId(dgram.src.addr, dgram.src.port,
+                                              decoded->header.id);
+        rec.span_id = telemetry::kClientSpanId;
+        rec.observed = 0;  // Configured upstreams.
+        rec.limit = 1;
+        if (!decoded->question.empty()) {
+          telemetry::SetAuditQname(rec, decoded->Q().qname.ToString());
+        }
+        audit_->Record(rec);
+      }
       Message response = MakeResponse(*decoded, Rcode::kServFail);
       transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
       ++responses_sent_;
@@ -177,7 +199,8 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
   }
 }
 
-void Forwarder::FailPending(Pending done) {
+void Forwarder::FailPending(Pending done, telemetry::AuditCause cause,
+                            double observed, double limit) {
   if (config_.serve_stale && config_.cache_enabled) {
     const Question& q = done.query.Q();
     if (const CacheEntry* entry =
@@ -200,6 +223,23 @@ void Forwarder::FailPending(Pending done) {
       return;
     }
   }
+  if (audit_ != nullptr) {
+    telemetry::AuditRecord rec;
+    rec.at = transport_.now();
+    rec.cause = cause;
+    rec.actor = transport_.local_address();
+    rec.client = done.client.addr;
+    rec.channel = done.last_upstream == kInvalidAddress ? 0 : done.last_upstream;
+    rec.trace_id = telemetry::MakeTraceId(done.client.addr, done.client.port,
+                                          done.query.header.id);
+    rec.span_id = telemetry::kClientSpanId;
+    rec.observed = observed;
+    rec.limit = limit;
+    if (!done.query.question.empty()) {
+      telemetry::SetAuditQname(rec, done.query.Q().qname.ToString());
+    }
+    audit_->Record(rec);
+  }
   RespondToClient(done, MakeResponse(done.query, Rcode::kServFail));
 }
 
@@ -212,7 +252,9 @@ void Forwarder::ForwardQuery(uint16_t port) {
   if (pending.attempts_left <= 0) {
     Pending done = std::move(pending);
     pending_.erase(it);
-    FailPending(std::move(done));
+    FailPending(std::move(done),
+                telemetry::AuditCause::kForwarderAttemptsExhausted,
+                config_.upstream_attempts, config_.upstream_attempts);
     return;
   }
   const Time now = transport_.now();
@@ -234,7 +276,8 @@ void Forwarder::ForwardQuery(uint16_t port) {
     if (!found_live && config_.serve_stale) {
       Pending done = std::move(pending);
       pending_.erase(it);
-      FailPending(std::move(done));
+      FailPending(std::move(done), telemetry::AuditCause::kForwarderNoUpstreams,
+                  /*observed=*/0, /*limit=*/1);
       return;
     }
   }

@@ -15,6 +15,7 @@
 #include "src/server/cache.h"
 #include "src/server/transport.h"
 #include "src/server/upstream_tracker.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
 
 namespace dcc {
@@ -64,6 +65,10 @@ class Forwarder : public DatagramHandler, public CrashResettable {
   // into `registry`. nullptr detaches.
   void AttachTelemetry(telemetry::MetricsRegistry* registry);
 
+  // Records audit entries for SERVFAILs the forwarder synthesizes (no live
+  // upstreams, attempts exhausted) and upstream hold-downs. nullptr detaches.
+  void AttachAudit(telemetry::DecisionAuditLog* audit);
+
   // Simulated process crash: drops all relayed-in-flight queries and the
   // in-memory cache.
   void CrashReset() override;
@@ -85,7 +90,11 @@ class Forwarder : public DatagramHandler, public CrashResettable {
   void OnTimeout(uint16_t port, uint64_t generation);
   void RespondToClient(const Pending& pending, Message response);
   // Answers `pending` from a stale cache entry (TTL capped) or SERVFAIL.
-  void FailPending(Pending done);
+  // `cause` and the observed/limit pair describe why the query is being
+  // failed; they are audited only when the SERVFAIL path is taken (a stale
+  // answer means the client was not actually dropped).
+  void FailPending(Pending done, telemetry::AuditCause cause, double observed,
+                   double limit);
   Duration AttemptTimeout(HostAddress upstream, int attempt);
 
   uint16_t AllocatePort();
@@ -109,6 +118,7 @@ class Forwarder : public DatagramHandler, public CrashResettable {
 
   telemetry::Counter* request_counter_ = nullptr;
   telemetry::Counter* stale_counter_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
 };
 
 }  // namespace dcc

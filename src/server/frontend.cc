@@ -101,8 +101,10 @@ void FleetFrontend::CrashReset() {
                                 config_.resteer_budget_burst, transport_.now());
 }
 
-void FleetFrontend::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+void FleetFrontend::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                    telemetry::QueryTracer* tracer) {
   registry_ = registry;
+  tracer_ = tracer;
   steered_counters_.clear();
   if (registry == nullptr) {
     request_counter_ = nullptr;
@@ -171,6 +173,11 @@ telemetry::Counter* FleetFrontend::SteeredCounter(HostAddress member,
       "Queries relayed to a fleet member, by steering reason");
   steered_counters_.emplace(key, counter);
   return counter;
+}
+
+void FleetFrontend::AttachAudit(telemetry::DecisionAuditLog* audit) {
+  audit_ = audit;
+  tracker_.AttachAudit(audit, transport_.local_address());
 }
 
 uint64_t FleetFrontend::SteeredCount(HostAddress member) const {
@@ -327,7 +334,34 @@ void FleetFrontend::RespondToClient(const Pending& pending, Message response) {
   ++responses_sent_;
 }
 
-void FleetFrontend::FailPending(Pending done) {
+void FleetFrontend::FailPending(Pending done, telemetry::AuditCause cause,
+                                double observed, double limit) {
+  if (tracer_ != nullptr) {
+    // Synthesized failures must still show up in trace trees as a response
+    // decision at this node, not as a vanished query.
+    tracer_->Record(telemetry::MakeTraceId(done.client.addr, done.client.port,
+                                           done.query.header.id),
+                    telemetry::SpanKind::kResolverResponse, transport_.now(),
+                    transport_.local_address(),
+                    static_cast<int32_t>(Rcode::kServFail));
+  }
+  if (audit_ != nullptr) {
+    telemetry::AuditRecord rec;
+    rec.at = transport_.now();
+    rec.cause = cause;
+    rec.actor = transport_.local_address();
+    rec.client = done.client.addr;
+    rec.channel = done.member == kInvalidAddress ? 0 : done.member;
+    rec.trace_id = telemetry::MakeTraceId(done.client.addr, done.client.port,
+                                          done.query.header.id);
+    rec.span_id = telemetry::kClientSpanId;
+    rec.observed = observed;
+    rec.limit = limit;
+    if (!done.query.question.empty()) {
+      telemetry::SetAuditQname(rec, done.query.Q().qname.ToString());
+    }
+    audit_->Record(rec);
+  }
   RespondToClient(done, MakeResponse(done.query, Rcode::kServFail));
 }
 
@@ -348,6 +382,29 @@ void FleetFrontend::HandleDatagram(const Datagram& dgram) {
       ++servfails_sent_;
       if (servfail_counter_ != nullptr) {
         servfail_counter_->Inc();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Record(telemetry::MakeTraceId(dgram.src.addr, dgram.src.port,
+                                               decoded->header.id),
+                        telemetry::SpanKind::kResolverResponse,
+                        transport_.now(), transport_.local_address(),
+                        static_cast<int32_t>(Rcode::kServFail));
+      }
+      if (audit_ != nullptr) {
+        telemetry::AuditRecord rec;
+        rec.at = transport_.now();
+        rec.cause = telemetry::AuditCause::kFrontendNoMembers;
+        rec.actor = transport_.local_address();
+        rec.client = dgram.src.addr;
+        rec.trace_id = telemetry::MakeTraceId(dgram.src.addr, dgram.src.port,
+                                              decoded->header.id);
+        rec.span_id = telemetry::kClientSpanId;
+        rec.observed = static_cast<double>(members_.size());
+        rec.limit = 1;  // Relaying needs at least one member and a question.
+        if (!decoded->question.empty()) {
+          telemetry::SetAuditQname(rec, decoded->Q().qname.ToString());
+        }
+        audit_->Record(rec);
       }
       transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
       ++responses_sent_;
@@ -411,7 +468,10 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
   if (pending.attempts_left <= 0) {
     Pending done = std::move(pending);
     pending_.erase(it);
-    FailPending(std::move(done));
+    FailPending(std::move(done),
+                telemetry::AuditCause::kFrontendAttemptsExhausted,
+                static_cast<double>(config_.max_attempts),
+                static_cast<double>(config_.max_attempts));
     return;
   }
   const Time now = transport_.now();
@@ -425,7 +485,8 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
       }
       Pending done = std::move(pending);
       pending_.erase(it);
-      FailPending(std::move(done));
+      FailPending(std::move(done), telemetry::AuditCause::kFrontendBudgetDenied,
+                  /*observed=*/0, config_.resteer_budget_burst);
       return;
     }
     ++resteers_;

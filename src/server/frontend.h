@@ -36,7 +36,9 @@
 #include "src/dns/message.h"
 #include "src/server/transport.h"
 #include "src/server/upstream_tracker.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace dcc {
 
@@ -130,9 +132,16 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   UpstreamTracker& tracker() { return tracker_; }
 
   // Wires request/steering/probe counters, a per-member `resolver_healthy`
-  // gauge and the failover-latency histogram into `registry`. nullptr
-  // detaches. Safe to call before or after AddMember().
-  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+  // gauge and the failover-latency histogram into `registry`, and (when
+  // `tracer` is non-null) stamps a resolver_response span on frontend-
+  // synthesized SERVFAILs so trace trees show them as failed rather than
+  // vanished. nullptr detaches. Safe to call before or after AddMember().
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       telemetry::QueryTracer* tracer = nullptr);
+
+  // Routes fast-fail decisions (re-steer budget denial, attempts exhausted,
+  // no eligible member) and member hold-downs into `audit`. nullptr detaches.
+  void AttachAudit(telemetry::DecisionAuditLog* audit);
 
   // Point-in-time view for the introspection seam.
   struct DebugState {
@@ -176,7 +185,10 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   void OnProbeTimeout(uint16_t port, uint64_t generation);
   void OnRotationTick();
   void RespondToClient(const Pending& pending, Message response);
-  void FailPending(Pending done);
+  // Answers `done` with SERVFAIL, attributing the fast-fail to `cause` with
+  // the deciding observed/limit snapshot in the audit log and trace stream.
+  void FailPending(Pending done, telemetry::AuditCause cause, double observed,
+                   double limit);
   Duration AttemptTimeout(HostAddress member, int attempt);
   uint16_t AllocatePort();
 
@@ -210,6 +222,8 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   uint64_t servfails_sent_ = 0;
 
   telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
   telemetry::Counter* request_counter_ = nullptr;
   telemetry::Counter* resteer_denied_counter_ = nullptr;
   telemetry::Counter* rotation_counter_ = nullptr;

@@ -116,6 +116,11 @@ void RecursiveResolver::AttachTelemetry(telemetry::MetricsRegistry* registry,
       "RecursiveResolver::MemoryFootprint()");
 }
 
+void RecursiveResolver::AttachAudit(telemetry::DecisionAuditLog* audit) {
+  audit_ = audit;
+  tracker_.AttachAudit(audit, transport_.local_address());
+}
+
 void RecursiveResolver::AddAuthorityHint(const Name& apex, HostAddress server) {
   hints_.emplace_back(apex, server);
 }
@@ -441,6 +446,21 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
     tasks_.erase(root);
     ObserveAmplification(it->second);
     if (!TryServeStale(it->second)) {
+      if (audit_ != nullptr) {
+        ClientRequest& request = it->second;
+        telemetry::AuditRecord rec;
+        rec.at = transport_.now();
+        rec.cause = telemetry::AuditCause::kResolverDeadlineExceeded;
+        rec.actor = transport_.local_address();
+        rec.client = request.client.addr;
+        rec.trace_id = telemetry::MakeTraceId(
+            request.client.addr, request.client.port, request.query.header.id);
+        rec.span_id = telemetry::kClientSpanId;
+        rec.observed = static_cast<double>(config_.request_deadline);
+        rec.limit = static_cast<double>(config_.request_deadline);
+        telemetry::SetAuditQname(rec, request.query.Q().qname.ToString());
+        audit_->Record(rec);
+      }
       Message response = MakeResponse(it->second.query, Rcode::kServFail);
       RespondToClient(it->second, std::move(response));
     }
@@ -455,6 +475,23 @@ void RecursiveResolver::RespondToClient(ClientRequest& request, Message response
     ++ingress_rate_limited_;
     if (ingress_rl_counter_ != nullptr) {
       ingress_rl_counter_->Inc();
+    }
+    if (audit_ != nullptr) {
+      telemetry::AuditRecord rec;
+      rec.at = transport_.now();
+      rec.cause = telemetry::AuditCause::kResolverIngressRrl;
+      rec.actor = transport_.local_address();
+      rec.client = request.client.addr;
+      rec.trace_id = telemetry::MakeTraceId(
+          request.client.addr, request.client.port, request.query.header.id);
+      rec.span_id = telemetry::kClientSpanId;
+      rec.limit = response.header.rcode == Rcode::kNxDomain &&
+                          config_.ingress_rrl.per_class
+                      ? config_.ingress_rrl.nxdomain_qps
+                      : config_.ingress_rrl.noerror_qps;
+      rec.observed = rec.limit;  // The per-client bucket ran dry.
+      telemetry::SetAuditQname(rec, request.query.Q().qname.ToString());
+      audit_->Record(rec);
     }
     switch (config_.ingress_rrl.action) {
       case RateLimitAction::kDrop:
@@ -816,6 +853,22 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
     ++egress_rate_limited_;
     if (egress_rl_counter_ != nullptr) {
       egress_rl_counter_->Inc();
+    }
+    if (audit_ != nullptr) {
+      telemetry::AuditRecord rec;
+      rec.at = now;
+      rec.cause = telemetry::AuditCause::kResolverEgressRl;
+      rec.actor = transport_.local_address();
+      rec.client = request.client.addr;
+      rec.channel = server;
+      rec.trace_id = telemetry::MakeTraceId(
+          request.client.addr, request.client.port, request.query.header.id);
+      rec.span_id = oq.span_id;
+      rec.parent_span_id = oq.parent_span_id;
+      rec.observed = config_.egress_qps;  // The per-server bucket ran dry.
+      rec.limit = config_.egress_qps;
+      telemetry::SetAuditQname(rec, sname.ToString());
+      audit_->Record(rec);
     }
   }
 

@@ -36,6 +36,7 @@
 #include "src/server/cache.h"
 #include "src/server/transport.h"
 #include "src/server/upstream_tracker.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -131,6 +132,11 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
   // Either argument may be nullptr; passing both nullptr detaches.
   void AttachTelemetry(telemetry::MetricsRegistry* registry,
                        telemetry::QueryTracer* tracer);
+
+  // Routes this resolver's drop decisions (ingress RRL, egress rate limit,
+  // request-deadline SERVFAILs, upstream hold-downs) into `audit`. nullptr
+  // detaches.
+  void AttachAudit(telemetry::DecisionAuditLog* audit);
 
   const ResolverConfig& config() const { return config_; }
 
@@ -306,6 +312,7 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
 
   // Telemetry (resolved once in AttachTelemetry; nullptr = disabled).
   telemetry::QueryTracer* tracer_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
   telemetry::Counter* cache_hit_counter_ = nullptr;
   telemetry::Counter* cache_miss_counter_ = nullptr;
   telemetry::Counter* ingress_rl_counter_ = nullptr;

@@ -66,6 +66,17 @@ void UpstreamTracker::OnTimeout(HostAddress server, Time now) {
     state.down_until = now + state.holddown;
     ++holddowns_entered_;
     if (holddown_counter_ != nullptr) holddown_counter_->Inc();
+    if (audit_ != nullptr) {
+      telemetry::AuditRecord rec;
+      rec.at = now;
+      rec.cause = telemetry::AuditCause::kResolverUpstreamDead;
+      rec.actor = audit_actor_;
+      rec.channel = server;
+      rec.observed = static_cast<double>(state.consecutive_timeouts);
+      rec.limit = static_cast<double>(config_.holddown_after);
+      telemetry::SetAuditQname(rec, "holddown");
+      audit_->Record(rec);
+    }
     if (holddown_listener_) holddown_listener_(server, true, now);
   }
 }
@@ -123,6 +134,12 @@ void UpstreamTracker::Rank(std::vector<HostAddress>& servers, Time now) {
 void UpstreamTracker::SetHoldDownListener(
     std::function<void(HostAddress, bool, Time)> listener) {
   holddown_listener_ = std::move(listener);
+}
+
+void UpstreamTracker::AttachAudit(telemetry::DecisionAuditLog* audit,
+                                  HostAddress actor) {
+  audit_ = audit;
+  audit_actor_ = actor;
 }
 
 void UpstreamTracker::AttachTelemetry(telemetry::MetricsRegistry* registry,

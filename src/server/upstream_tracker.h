@@ -25,6 +25,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/sampler.h"
 
@@ -83,6 +84,11 @@ class UpstreamTracker {
   // srtt_ms gauge (labels: base + {upstream=<addr>}) into `registry`.
   void AttachTelemetry(telemetry::MetricsRegistry* registry,
                        const telemetry::Labels& base_labels);
+
+  // Records a `resolver.upstream_dead` audit record each time a server
+  // enters hold-down; `actor` is the owning node's address (resolver,
+  // forwarder or fleet frontend). nullptr detaches.
+  void AttachAudit(telemetry::DecisionAuditLog* audit, HostAddress actor);
 
   // Registers a collector on `sampler` emitting per-upstream SRTT, loss rate
   // and hold-down state every tick (labels: base + {upstream=<addr>}). The
@@ -143,6 +149,8 @@ class UpstreamTracker {
   telemetry::Labels base_labels_;
   telemetry::Counter* timeout_counter_ = nullptr;
   telemetry::Counter* holddown_counter_ = nullptr;
+  telemetry::DecisionAuditLog* audit_ = nullptr;
+  HostAddress audit_actor_ = 0;
 };
 
 }  // namespace dcc

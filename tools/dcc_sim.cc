@@ -34,6 +34,7 @@
 #include "src/common/logging.h"
 #include "src/fault/fault_plan.h"
 #include "src/measure/rate_limit_probe.h"
+#include "src/telemetry/audit.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/profiler.h"
 #include "src/telemetry/sampler.h"
@@ -282,6 +283,12 @@ int RunSpec(int argc, char** argv) {
   scenario::EngineHooks hooks;
   hooks.telemetry = sink.get();
   hooks.sampler = sampler.get();
+  const char* audit_out = FlagValue(argc, argv, "--audit-out");
+  std::unique_ptr<telemetry::DecisionAuditLog> audit;
+  if (audit_out != nullptr) {
+    audit = std::make_unique<telemetry::DecisionAuditLog>();
+    hooks.audit = audit.get();
+  }
   const char* profile_out = FlagValue(argc, argv, "--profile-out");
   if (profile_out != nullptr) {
     prof::Reset();
@@ -302,6 +309,19 @@ int RunSpec(int argc, char** argv) {
         return 1;
       }
       NOTE("profile: hot-path sites -> %s\n", profile_out);
+    }
+  }
+  if (audit != nullptr) {
+    const std::string lines = audit->ExportJsonLines();
+    if (std::strcmp(audit_out, "-") == 0) {
+      std::fwrite(lines.data(), 1, lines.size(), stdout);
+    } else {
+      if (!WriteFile(audit_out, lines)) {
+        return 1;
+      }
+      NOTE("audit: %llu decisions recorded (%llu evicted) -> %s\n",
+           static_cast<unsigned long long>(audit->total_recorded()),
+           static_cast<unsigned long long>(audit->dropped()), audit_out);
     }
   }
 
@@ -650,6 +670,12 @@ void PrintUsage(std::FILE* stream) {
       "                       Profiling never perturbs the simulation: the\n"
       "                       events-executed fingerprint and summary are\n"
       "                       byte-identical with or without it\n"
+      "  --audit-out FILE     record every drop/throttle/SERVFAIL/conviction\n"
+      "                       decision and write the audit trail as JSON\n"
+      "                       lines ('-' for stdout; analyze with\n"
+      "                       tools/dcc_why). Adds an `audit` block to\n"
+      "                       --summary-out. Like profiling, auditing never\n"
+      "                       perturbs the simulation\n"
       "\n"
       "validate options:\n"
       "  --spec FILE          scenario spec to check ('-' for stdin);\n"
@@ -750,6 +776,10 @@ int main(int argc, char** argv) {
   }
   if (const char* profile_out = FlagValue(argc, argv, "--profile-out");
       profile_out != nullptr && std::strcmp(profile_out, "-") == 0) {
+    g_note = stderr;
+  }
+  if (const char* audit_out = FlagValue(argc, argv, "--audit-out");
+      audit_out != nullptr && std::strcmp(audit_out, "-") == 0) {
     g_note = stderr;
   }
   ApplyLogLevel(argc, argv);
