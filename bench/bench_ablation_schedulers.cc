@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/dcc/baseline_schedulers.h"
+#include "src/sim/event_loop.h"
 #include "src/dcc/mopi_fq.h"
 
 namespace dcc {
@@ -47,25 +48,32 @@ std::vector<double> RunOverload(Scheduler& scheduler) {
     }
   }
   std::vector<double> delivered(demands.size(), 0);
+  // One event per arrival instant (see bench_ablation_fairness.cc): the
+  // loop drives the drain/enqueue cycle so the run counts sim events.
+  EventLoop loop;
   Time now = 0;
   for (const auto& [t, sources] : arrivals) {
-    while (true) {
-      const Time ready = scheduler.NextReadyTime(now);
-      if (ready > t) {
-        break;
+    const std::vector<SourceId>* batch = &sources;
+    loop.ScheduleAt(t, "bench.arrival", [&, t, batch]() {
+      while (true) {
+        const Time ready = scheduler.NextReadyTime(now);
+        if (ready > t) {
+          break;
+        }
+        now = std::max(now, ready);
+        auto msg = scheduler.Dequeue(now);
+        if (!msg.has_value()) {
+          break;
+        }
+        delivered[msg->source - 1] += 1;
       }
-      now = std::max(now, ready);
-      auto msg = scheduler.Dequeue(now);
-      if (!msg.has_value()) {
-        break;
+      now = t;
+      for (SourceId s : *batch) {
+        scheduler.Enqueue(SchedMessage{s, 1, now, 0}, now);
       }
-      delivered[msg->source - 1] += 1;
-    }
-    now = t;
-    for (SourceId s : sources) {
-      scheduler.Enqueue(SchedMessage{s, 1, now, 0}, now);
-    }
+    });
   }
+  loop.Run();
   for (double& d : delivered) {
     d /= ToSeconds(horizon);
   }
@@ -91,30 +99,35 @@ double RunCrossOutput(Scheduler& scheduler) {
   }
   double delivered_b = 0;
   double offered_b = 0;
+  EventLoop loop;
   Time now = 0;
   for (const auto& [t, outputs] : arrivals) {
-    while (true) {
-      const Time ready = scheduler.NextReadyTime(now);
-      if (ready > t) {
-        break;
+    const std::vector<OutputId>* batch = &outputs;
+    loop.ScheduleAt(t, "bench.arrival", [&, t, batch]() {
+      while (true) {
+        const Time ready = scheduler.NextReadyTime(now);
+        if (ready > t) {
+          break;
+        }
+        now = std::max(now, ready);
+        auto msg = scheduler.Dequeue(now);
+        if (!msg.has_value()) {
+          break;
+        }
+        if (msg->output == 2) {
+          delivered_b += 1;
+        }
       }
-      now = std::max(now, ready);
-      auto msg = scheduler.Dequeue(now);
-      if (!msg.has_value()) {
-        break;
+      now = t;
+      for (OutputId output : *batch) {
+        if (output == 2) {
+          offered_b += 1;
+        }
+        scheduler.Enqueue(SchedMessage{7, output, now, 0}, now);
       }
-      if (msg->output == 2) {
-        delivered_b += 1;
-      }
-    }
-    now = t;
-    for (OutputId output : outputs) {
-      if (output == 2) {
-        offered_b += 1;
-      }
-      scheduler.Enqueue(SchedMessage{7, output, now, 0}, now);
-    }
+    });
   }
+  loop.Run();
   return offered_b > 0 ? delivered_b / offered_b : 0;
 }
 

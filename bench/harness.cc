@@ -78,13 +78,23 @@ std::string RenderJson(const SuiteReport& report) {
     } else {
       std::snprintf(rate, sizeof(rate), "null");
     }
+    // The floor is policy, not measurement; only rows that carry one emit
+    // it, so reports from builds without floors are byte-identical to old
+    // ones.
+    char floor[64];
+    if (m.min_events_per_sec > 0) {
+      std::snprintf(floor, sizeof(floor), "\"min_eps\": %.1f, ",
+                    m.min_events_per_sec);
+    } else {
+      floor[0] = '\0';
+    }
     char buffer[512];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"sim_events\": "
-                  "%llu, \"events_per_sec\": %s, \"peak_rss_delta_kb\": %lld, "
+                  "%llu, \"events_per_sec\": %s, %s\"peak_rss_delta_kb\": %lld, "
                   "\"exit_code\": %d}%s\n",
                   bench.name.c_str(), m.wall_ms,
-                  static_cast<unsigned long long>(m.sim_events), rate,
+                  static_cast<unsigned long long>(m.sim_events), rate, floor,
                   static_cast<long long>(m.peak_rss_delta_kb),
                   m.exit_code, i + 1 < report.benches.size() ? "," : "");
     out += buffer;
@@ -190,6 +200,8 @@ bool ParseReportJson(const std::string& text, SuiteReport* out) {
             // "null" parses as a scalar token; atof maps it to 0, which is
             // exactly the sentinel the comparison logic expects.
             bench.metrics.events_per_sec = std::atof(value.c_str());
+          } else if (field == "min_eps") {
+            bench.metrics.min_events_per_sec = std::atof(value.c_str());
           } else if (field == "peak_rss_delta_kb" || field == "peak_rss_kb") {
             // Accept the legacy process-cumulative key so old baselines
             // still parse; CompareReports treats those rows via the same
@@ -295,6 +307,20 @@ std::vector<std::string> CompareReports(const SuiteReport& current,
                       base.name.c_str(),
                       static_cast<unsigned long long>(c.sim_events), drift * 100,
                       static_cast<unsigned long long>(b.sim_events));
+        violations.emplace_back(buffer);
+      }
+    }
+    if (b.min_events_per_sec > 0 && tolerances.min_eps_scale > 0) {
+      const double floor = b.min_events_per_sec * tolerances.min_eps_scale;
+      if (c.sim_events == 0 || c.events_per_sec <= 0) {
+        note(base.name + ": baseline has an events/sec floor but the current "
+                         "run has no event rate; throughput check skipped");
+      } else if (c.events_per_sec < floor) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%s: events_per_sec %.0f below floor %.0f "
+                      "(min_eps %.0f x scale %.2f)",
+                      base.name.c_str(), c.events_per_sec, floor,
+                      b.min_events_per_sec, tolerances.min_eps_scale);
         violations.emplace_back(buffer);
       }
     }

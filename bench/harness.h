@@ -51,6 +51,12 @@ struct BenchMetrics {
   int64_t peak_rss_delta_kb = 0;  // Peak RSS growth attributable to this
                                   // bench (watermark reset before it runs),
                                   // not the process-cumulative peak.
+  // Hand-maintained events/sec floor carried in the baseline (0 = none).
+  // Unlike the measured metrics this is a policy knob: --check fails when
+  // the current run's events_per_sec drops below it, making throughput wins
+  // regression-guarded instead of just claimed. --write-baseline preserves
+  // the floors from the previous baseline.
+  double min_events_per_sec = 0;
   int exit_code = 0;
 };
 
@@ -102,6 +108,10 @@ struct Tolerances {
   // deltas on small benches are a few MiB, where allocator and page-cache
   // noise swamps any relative slack.
   double rss_floor_kb = 4096;
+  // Scale applied to each baseline row's min_events_per_sec floor before
+  // the throughput check (CI can relax floors on slow runners with
+  // --min-eps 0.5; 0 disables the check entirely).
+  double min_eps_scale = 1.0;
 };
 
 // Returns one human-readable line per violation (empty = pass). Benches

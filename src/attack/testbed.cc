@@ -191,14 +191,16 @@ void Testbed::RegisterCrashResettable(HostAddress addr, CrashResettable* server)
   // Cover the new server in any already-armed fault plan: injectors look
   // crash handlers up at fire time, so late registration still takes effect.
   for (auto& injector : fault_injectors_) {
-    injector->SetCrashHandler(addr, [server]() { server->CrashReset(); });
+    injector->SetCrashHandler(addr, [server]() { server->CrashReset(); },
+                              [server]() { server->CrashRestart(); });
   }
 }
 
 fault::FaultInjector& Testbed::InstallFaultPlan(fault::FaultPlan plan) {
   auto injector = std::make_unique<fault::FaultInjector>(network_, std::move(plan));
   for (const auto& [addr, resettable] : crash_resettables_) {
-    injector->SetCrashHandler(addr, [resettable]() { resettable->CrashReset(); });
+    injector->SetCrashHandler(addr, [resettable]() { resettable->CrashReset(); },
+                              [resettable]() { resettable->CrashRestart(); });
   }
   if (telemetry_ != nullptr) {
     injector->AttachTelemetry(&telemetry_->metrics);

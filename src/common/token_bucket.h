@@ -19,6 +19,10 @@ class TokenBucket {
   // succeeds.
   TokenBucket(double rate_per_sec, double burst, Time now = 0);
 
+  // Unlimited bucket. Exists so FlatMap can default-construct empty slots;
+  // real buckets are always built with explicit rates.
+  TokenBucket() : TokenBucket(0.0, 0.0, 0) {}
+
   // Consumes `tokens` if available at `now`; returns whether it succeeded.
   bool TryConsume(Time now, double tokens = 1.0);
 

@@ -301,9 +301,10 @@ void DccNode::HandleIncomingAnswer(const Datagram& dgram, Message msg) {
     server_->HandleDatagram(dgram);
     return;
   }
-  Datagram clean = dgram;
-  clean.payload = EncodeMessage(msg);
-  server_->HandleDatagram(clean);
+  // Stripped message: hand the decoded form straight to the server. The
+  // carrier keeps the original addressing; a handler without a message-level
+  // path re-encodes and sees exactly the old stripped datagram.
+  server_->HandleMessage(dgram, std::move(msg));
 }
 
 void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
@@ -371,7 +372,7 @@ void DccNode::ProcessUpstreamSignals(const Message& answer, SourceId culprit) {
 // Outgoing traffic (resolver -> network)
 // ---------------------------------------------------------------------------
 
-void DccNode::Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+void DccNode::Send(uint16_t src_port, Endpoint dst, WireBytes payload) {
   auto decoded = DecodeMessage(payload);
   if (!decoded.has_value()) {
     SendDatagram(src_port, dst, std::move(payload));
@@ -383,6 +384,16 @@ void DccNode::Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload
     HandleOutgoingResponse(src_port, dst, std::move(*decoded));
   } else {
     SendDatagram(src_port, dst, std::move(payload));
+  }
+}
+
+void DccNode::SendMessage(uint16_t src_port, Endpoint dst, Message msg) {
+  if (msg.IsQuery() && dst.port == kDnsPort) {
+    HandleOutgoingQuery(src_port, dst, std::move(msg));
+  } else if (msg.IsResponse()) {
+    HandleOutgoingResponse(src_port, dst, std::move(msg));
+  } else {
+    SendDatagram(src_port, dst, EncodeMessage(msg));
   }
 }
 
@@ -447,7 +458,6 @@ void DccNode::FailQuery(const QueuedQuery& queued, telemetry::AuditCause cause,
   Datagram dgram;
   dgram.src = queued.dst;  // Appears to come from the intended upstream.
   dgram.dst = Endpoint{address(), queued.src_port};
-  dgram.payload = EncodeMessage(response);
   ++servfails_synthesized_;
   if (servfail_counters_[static_cast<size_t>(cause)] != nullptr) {
     servfail_counters_[static_cast<size_t>(cause)]->Inc();
@@ -466,12 +476,15 @@ void DccNode::FailQuery(const QueuedQuery& queued, telemetry::AuditCause cause,
     ++state.congestion_drops;
     state.last_drop_output = queued.dst.addr;
   }
-  // Deliver asynchronously to keep resolver re-entrancy simple.
-  loop().ScheduleAfter(0, "dcc.deliver", [this, dgram]() {
-    if (server_ != nullptr) {
-      server_->HandleDatagram(dgram);
-    }
-  });
+  // Deliver asynchronously to keep resolver re-entrancy simple. The decoded
+  // message rides along so the resolver never pays an encode/decode pair
+  // for a response that exists only inside this process.
+  loop().ScheduleAfter(
+      0, "dcc.deliver", [this, dgram, response = std::move(response)]() mutable {
+        if (server_ != nullptr) {
+          server_->HandleMessage(dgram, std::move(response));
+        }
+      });
 }
 
 void DccNode::HandleOutgoingQuery(uint16_t src_port, Endpoint dst, Message msg) {

@@ -104,7 +104,11 @@ class DccNode : public Node, public Transport {
   void OnDatagram(const Datagram& dgram) override;
 
   // Transport (for the wrapped server):
-  void Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) override;
+  void Send(uint16_t src_port, Endpoint dst, WireBytes payload) override;
+  // Message-level fast path: the wrapped resolver hands over its decoded
+  // message directly, skipping the encode-then-decode round trip Send()
+  // pays to interpose on the byte stream.
+  void SendMessage(uint16_t src_port, Endpoint dst, Message msg) override;
   Time now() const override { return Node::now(); }
   EventLoop& loop() override { return Node::loop(); }
   HostAddress local_address() const override { return address(); }

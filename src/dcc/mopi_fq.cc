@@ -310,20 +310,16 @@ std::optional<SchedMessage> MopiFq::Dequeue(Time now) {
 
     out_seq_.erase(it);
     if (p.depth == 0) {
-      poq_tracker_.erase(poq_it);
+      poq_tracker_.erase(output);
     } else {
       const int32_t new_current = pool_[p.head].round;
       if (new_current != p.current_round) {
         // Round boundary: drop stale per-source entries (their reserved
         // rounds have fully drained), bounding source_latest by the number
         // of sources active within the backlog window.
-        for (auto sit2 = p.source_latest.begin(); sit2 != p.source_latest.end();) {
-          if (sit2->second.queued <= 0 && sit2->second.latest_round < new_current) {
-            sit2 = p.source_latest.erase(sit2);
-          } else {
-            ++sit2;
-          }
-        }
+        p.source_latest.EraseIf([new_current](SourceId, const SourceState& ss) {
+          return ss.queued <= 0 && ss.latest_round < new_current;
+        });
       }
       p.current_round = new_current;
       p.seq_key = SeqKey{pool_[p.head].msg.arrival, output};
@@ -377,13 +373,9 @@ size_t MopiFq::MemoryFootprint() const {
 }
 
 void MopiFq::PurgeIdle(Time now, Duration idle) {
-  for (auto it = rate_lim_.begin(); it != rate_lim_.end();) {
-    if (it->second.last_active + idle < now && !poq_tracker_.contains(it->first)) {
-      it = rate_lim_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  rate_lim_.EraseIf([this, now, idle](OutputId output, const ChannelState& ch) {
+    return ch.last_active + idle < now && !poq_tracker_.contains(output);
+  });
 }
 
 void MopiFq::CheckInvariants() const {

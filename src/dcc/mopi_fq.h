@@ -18,9 +18,9 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/token_bucket.h"
 #include "src/dcc/scheduler.h"
 
@@ -111,12 +111,12 @@ class MopiFq : public Scheduler {
     // Ring buffer: index (round % max_rounds) -> tail entry of that round,
     // -1 when the round holds no messages.
     std::vector<int32_t> round_tails;
-    std::unordered_map<SourceId, SourceState> source_latest;
+    FlatMap<SourceId, SourceState> source_latest;
     SeqKey seq_key{0, 0};  // Current position in out_seq_.
   };
 
   struct ChannelState {
-    TokenBucket bucket;
+    TokenBucket bucket{0, 0};  // Placeholder for empty FlatMap slots.
     Time last_active = 0;
   };
 
@@ -139,9 +139,9 @@ class MopiFq : public Scheduler {
   int32_t free_head_ = -1;
   size_t total_depth_ = 0;
 
-  std::unordered_map<OutputId, PoqState> poq_tracker_;
-  std::unordered_map<OutputId, ChannelState> rate_lim_;
-  std::unordered_map<SourceId, double> shares_;
+  FlatMap<OutputId, PoqState> poq_tracker_;
+  FlatMap<OutputId, ChannelState> rate_lim_;
+  FlatMap<SourceId, double> shares_;
   // Outputs ordered by the arrival time of their queue-head message, or by
   // the predicted re-availability time when congested.
   std::set<SeqKey> out_seq_;

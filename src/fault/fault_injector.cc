@@ -168,7 +168,7 @@ void FaultInjector::SetPartition(const FaultEvent& event, bool down) {
 
 NetworkFaultHook::Verdict FaultInjector::OnDatagram(const Endpoint& src,
                                                     const Endpoint& dst,
-                                                    std::vector<uint8_t>& payload) {
+                                                    WireBytes& payload) {
   Verdict verdict;
   for (size_t i = 0; i < plan_.events.size(); ++i) {
     if (!active_[i]) continue;
@@ -193,11 +193,13 @@ NetworkFaultHook::Verdict FaultInjector::OnDatagram(const Endpoint& src,
         if (MatchLink(event, src.addr, dst.addr) && !payload.empty() &&
             rng_.NextBool(event.probability)) {
           // Flip one to three random bytes; the receiving codec must treat
-          // the result as any other malformed datagram.
+          // the result as any other malformed datagram. Mutable() clones the
+          // buffer when shared, so cached retransmit copies stay pristine.
+          std::vector<uint8_t>& bytes = payload.Mutable();
           uint64_t flips = 1 + rng_.NextBelow(3);
           for (uint64_t f = 0; f < flips; ++f) {
-            size_t pos = static_cast<size_t>(rng_.NextBelow(payload.size()));
-            payload[pos] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+            size_t pos = static_cast<size_t>(rng_.NextBelow(bytes.size()));
+            bytes[pos] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
           }
           ++datagrams_corrupted_;
           if (corrupted_counter_ != nullptr) corrupted_counter_->Inc();
@@ -206,7 +208,8 @@ NetworkFaultHook::Verdict FaultInjector::OnDatagram(const Endpoint& src,
       case FaultType::kTruncation:
         if (MatchLink(event, src.addr, dst.addr) && payload.size() > 1 &&
             rng_.NextBool(event.probability)) {
-          payload.resize(1 + static_cast<size_t>(rng_.NextBelow(payload.size() - 1)));
+          payload.Mutable().resize(
+              1 + static_cast<size_t>(rng_.NextBelow(payload.size() - 1)));
           ++datagrams_truncated_;
           if (truncated_counter_ != nullptr) truncated_counter_->Inc();
         }

@@ -54,7 +54,7 @@ class FaultInjector : public NetworkFaultHook {
   void AttachAudit(telemetry::DecisionAuditLog* audit) { audit_ = audit; }
 
   Verdict OnDatagram(const Endpoint& src, const Endpoint& dst,
-                     std::vector<uint8_t>& payload) override;
+                     WireBytes& payload) override;
 
   const FaultPlan& plan() const { return plan_; }
   uint64_t activations() const { return activations_; }

@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/token_bucket.h"
 #include "src/dns/message.h"
 #include "src/server/transport.h"
@@ -82,7 +82,7 @@ class AuthoritativeServer : public DatagramHandler {
     TokenBucket nxdomain;
     Time blocked_until = 0;
   };
-  std::unordered_map<HostAddress, ClientRrl> rrl_state_;
+  FlatMap<HostAddress, ClientRrl> rrl_state_;
   uint64_t queries_received_ = 0;
   uint64_t responses_sent_ = 0;
   uint64_t rate_limited_ = 0;

@@ -17,7 +17,7 @@ const CacheEntry* DnsCache::Lookup(const Name& name, RecordType type, Time now) 
     // Expired: keep the body within the stale-retention window so a later
     // LookupStale can still serve it, but report a miss either way.
     if (it->second.expiry + stale_retention_ <= now) {
-      entries_.erase(it);
+      entries_.erase(Key{name, type});
     }
     ++misses_;
     return nullptr;
@@ -44,9 +44,10 @@ void DnsCache::EvictOneIfFull() {
   if (entries_.size() < max_entries_) {
     return;
   }
-  // Unordered eviction of whatever bucket iteration yields first; cheap and
+  // Unordered eviction of whatever slot iteration yields first; cheap and
   // adequate for experiment workloads (the cache is sized to avoid pressure).
-  entries_.erase(entries_.begin());
+  const Key victim = entries_.begin()->first;
+  entries_.erase(victim);
 }
 
 void DnsCache::StorePositive(const Name& name, RecordType type, RrSet records, Time now) {
@@ -83,13 +84,9 @@ size_t DnsCache::MemoryFootprint() const {
 }
 
 void DnsCache::PurgeExpired(Time now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expiry + stale_retention_ <= now) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  entries_.EraseIf([this, now](const Key&, const CacheEntry& entry) {
+    return entry.expiry + stale_retention_ <= now;
+  });
 }
 
 }  // namespace dcc

@@ -9,8 +9,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "src/common/flat_map.h"
 #include "src/common/time.h"
 #include "src/dns/name.h"
 #include "src/dns/rr.h"
@@ -38,6 +38,9 @@ class DnsCache {
 
   // Returns the live entry for (name, type), or nullptr if absent/expired.
   // Expired entries past the stale-retention window are removed on access.
+  // The pointer is valid only until the next cache operation (including
+  // Lookup itself, which may erase): the flat table moves entries on any
+  // mutation. Copy what you need before touching the cache again.
   const CacheEntry* Lookup(const Name& name, RecordType type, Time now);
 
   // Returns an *expired* entry for (name, type) whose expiry is within
@@ -79,7 +82,7 @@ class DnsCache {
 
   size_t max_entries_;
   Duration stale_retention_;
-  std::unordered_map<Key, CacheEntry, KeyHash> entries_;
+  FlatMap<Key, CacheEntry, KeyHash> entries_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t stale_hits_ = 0;

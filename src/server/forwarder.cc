@@ -194,7 +194,7 @@ void Forwarder::HandleDatagram(const Datagram& dgram) {
     }
     Message response = std::move(*decoded);
     Pending done = std::move(pending);
-    pending_.erase(it);
+    pending_.erase(dgram.dst.port);
     RespondToClient(done, std::move(response));
   }
 }
@@ -251,7 +251,7 @@ void Forwarder::ForwardQuery(uint16_t port) {
   Pending& pending = it->second;
   if (pending.attempts_left <= 0) {
     Pending done = std::move(pending);
-    pending_.erase(it);
+    pending_.erase(port);
     FailPending(std::move(done),
                 telemetry::AuditCause::kForwarderAttemptsExhausted,
                 config_.upstream_attempts, config_.upstream_attempts);
@@ -275,7 +275,7 @@ void Forwarder::ForwardQuery(uint16_t port) {
     }
     if (!found_live && config_.serve_stale) {
       Pending done = std::move(pending);
-      pending_.erase(it);
+      pending_.erase(port);
       FailPending(std::move(done), telemetry::AuditCause::kForwarderNoUpstreams,
                   /*observed=*/0, /*limit=*/1);
       return;
@@ -289,14 +289,19 @@ void Forwarder::ForwardQuery(uint16_t port) {
   pending.sent_at = now;
   const int attempt = pending.attempt++;
 
-  Message query = pending.query;
-  query.header.rd = true;
-  if (config_.attach_attribution) {
-    SetOption(query, EncodeAttribution(Attribution{pending.client.addr,
-                                                   pending.client.port,
-                                                   pending.query.header.id}));
+  if (pending.upstream_wire.empty()) {
+    Message query = pending.query;
+    query.header.rd = true;
+    if (config_.attach_attribution) {
+      SetOption(query, EncodeAttribution(Attribution{pending.client.addr,
+                                                     pending.client.port,
+                                                     pending.query.header.id}));
+    }
+    pending.upstream_wire = EncodeMessage(query);
+  } else {
+    prof::CountEncodeCacheHit();
   }
-  transport_.Send(port, Endpoint{upstream, kDnsPort}, EncodeMessage(query));
+  transport_.Send(port, Endpoint{upstream, kDnsPort}, pending.upstream_wire);
   ++queries_sent_;
 
   const uint64_t generation = pending.generation;

@@ -7,9 +7,9 @@
 #define SRC_SERVER_FORWARDER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/dns/message.h"
 #include "src/server/cache.h"
@@ -84,6 +84,9 @@ class Forwarder : public DatagramHandler, public CrashResettable {
     HostAddress last_upstream = kInvalidAddress;
     Time sent_at = 0;
     int attempt = 0;  // Transmissions already made (0 before the first).
+    // Cached upstream encoding: the rd flag and attribution option depend
+    // only on the original query, so every retry resends the same bytes.
+    WireBytes upstream_wire;
   };
 
   void ForwardQuery(uint16_t port);
@@ -105,7 +108,7 @@ class Forwarder : public DatagramHandler, public CrashResettable {
   DnsCache cache_;
   UpstreamTracker tracker_;
   std::vector<HostAddress> upstreams_;
-  std::unordered_map<uint16_t, Pending> pending_;
+  FlatMap<uint16_t, Pending> pending_;
   size_t next_upstream_ = 0;
   uint16_t next_port_ = 2048;
   uint64_t next_generation_ = 1;

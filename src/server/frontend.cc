@@ -79,18 +79,28 @@ void FleetFrontend::Start() {
     return;
   }
   started_ = true;
+  ArmTimers();
+}
+
+void FleetFrontend::ArmTimers() {
+  for (CancelToken& timer : probe_timers_) {
+    timer.Cancel();
+  }
+  probe_timers_.clear();
+  rotation_timer_.Cancel();
   if (config_.health_checks && config_.probe_interval > 0) {
     for (size_t i = 0; i < members_.size(); ++i) {
       // Stagger the first round so a large fleet does not probe in lockstep.
       const Duration offset = static_cast<Duration>(
           config_.probe_interval * (i + 1) / (members_.size() + 1));
-      transport_.loop().ScheduleAfter(offset, "frontend.probe",
-                                      [this, i]() { SendProbe(i); });
+      probe_timers_.push_back(transport_.loop().ScheduleCancelableAfter(
+          offset, "frontend.probe", [this, i]() { SendProbe(i); }));
     }
   }
   if (config_.rotation_period > 0) {
-    transport_.loop().ScheduleAfter(config_.rotation_period, "frontend.rotate",
-                                    [this]() { OnRotationTick(); });
+    rotation_timer_ = transport_.loop().ScheduleCancelableAfter(
+        config_.rotation_period, "frontend.rotate",
+        [this]() { OnRotationTick(); });
   }
 }
 
@@ -99,6 +109,18 @@ void FleetFrontend::CrashReset() {
   probe_pending_.clear();
   resteer_budget_ = TokenBucket(config_.resteer_budget_qps,
                                 config_.resteer_budget_burst, transport_.now());
+  // A crashed frontend stops probing and rotating; CrashRestart re-arms.
+  for (CancelToken& timer : probe_timers_) {
+    timer.Cancel();
+  }
+  probe_timers_.clear();
+  rotation_timer_.Cancel();
+}
+
+void FleetFrontend::CrashRestart() {
+  if (started_) {
+    ArmTimers();
+  }
 }
 
 void FleetFrontend::AttachTelemetry(telemetry::MetricsRegistry* registry,
@@ -427,7 +449,7 @@ void FleetFrontend::HandleDatagram(const Datagram& dgram) {
       if (decoded->header.id != probe.query_id || dgram.src.addr != probe.member) {
         return;
       }
-      probe_pending_.erase(probe_it);
+      probe_pending_.erase(dgram.dst.port);
       // Any probe answer counts as liveness; it also clears an active
       // hold-down (recovery) through the tracker.
       tracker_.OnResponse(probe.member, transport_.now() - probe.sent_at,
@@ -454,7 +476,7 @@ void FleetFrontend::HandleDatagram(const Datagram& dgram) {
     }
     Message response = std::move(*decoded);
     Pending done = std::move(pending);
-    pending_.erase(it);
+    pending_.erase(dgram.dst.port);
     RespondToClient(done, std::move(response));
   }
 }
@@ -467,7 +489,7 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
   Pending& pending = it->second;
   if (pending.attempts_left <= 0) {
     Pending done = std::move(pending);
-    pending_.erase(it);
+    pending_.erase(port);
     FailPending(std::move(done),
                 telemetry::AuditCause::kFrontendAttemptsExhausted,
                 static_cast<double>(config_.max_attempts),
@@ -484,7 +506,7 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
         resteer_denied_counter_->Inc();
       }
       Pending done = std::move(pending);
-      pending_.erase(it);
+      pending_.erase(port);
       FailPending(std::move(done), telemetry::AuditCause::kFrontendBudgetDenied,
                   /*observed=*/0, config_.resteer_budget_burst);
       return;
@@ -506,14 +528,19 @@ void FleetFrontend::RelayQuery(uint16_t port, bool is_resteer) {
     counter->Inc();
   }
 
-  Message query = pending.query;
-  query.header.rd = true;
-  if (config_.attach_attribution) {
-    SetOption(query, EncodeAttribution(Attribution{pending.client.addr,
-                                                   pending.client.port,
-                                                   pending.query.header.id}));
+  if (pending.wire.empty()) {
+    Message query = pending.query;
+    query.header.rd = true;
+    if (config_.attach_attribution) {
+      SetOption(query, EncodeAttribution(Attribution{pending.client.addr,
+                                                     pending.client.port,
+                                                     pending.query.header.id}));
+    }
+    pending.wire = EncodeMessage(query);
+  } else {
+    prof::CountEncodeCacheHit();
   }
-  transport_.Send(port, Endpoint{member, kDnsPort}, EncodeMessage(query));
+  transport_.Send(port, Endpoint{member, kDnsPort}, pending.wire);
   ++queries_sent_;
 
   const uint64_t generation = pending.generation;
@@ -538,8 +565,11 @@ void FleetFrontend::SendProbe(size_t member_index) {
     return;
   }
   const HostAddress member = members_[member_index];
-  transport_.loop().ScheduleAfter(config_.probe_interval, "frontend.probe",
-                                  [this, member_index]() { SendProbe(member_index); });
+  if (member_index < probe_timers_.size()) {
+    probe_timers_[member_index] = transport_.loop().ScheduleCancelableAfter(
+        config_.probe_interval, "frontend.probe",
+        [this, member_index]() { SendProbe(member_index); });
+  }
   auto parsed = Name::Parse(config_.probe_name);
   if (!parsed.has_value()) {
     return;
@@ -571,7 +601,7 @@ void FleetFrontend::OnProbeTimeout(uint16_t port, uint64_t generation) {
     return;
   }
   const HostAddress member = it->second.member;
-  probe_pending_.erase(it);
+  probe_pending_.erase(port);
   ++probe_timeouts_;
   if (probe_timeout_counter_ != nullptr) {
     probe_timeout_counter_->Inc();
@@ -585,8 +615,9 @@ void FleetFrontend::OnRotationTick() {
   if (rotation_counter_ != nullptr) {
     rotation_counter_->Inc();
   }
-  transport_.loop().ScheduleAfter(config_.rotation_period, "frontend.rotate",
-                                  [this]() { OnRotationTick(); });
+  rotation_timer_ = transport_.loop().ScheduleCancelableAfter(
+      config_.rotation_period, "frontend.rotate",
+      [this]() { OnRotationTick(); });
 }
 
 size_t FleetFrontend::MemoryFootprint() const {

@@ -28,9 +28,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/common/token_bucket.h"
 #include "src/dns/message.h"
@@ -106,6 +106,7 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
 
   // Simulated process crash: drops all relayed-in-flight and probe state.
   void CrashReset() override;
+  void CrashRestart() override;
 
   uint64_t requests_received() const { return requests_received_; }
   uint64_t responses_sent() const { return responses_sent_; }
@@ -165,6 +166,9 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
     Time sent_at = 0;
     Time first_sent_at = 0;
     int attempt = 0;  // Transmissions already made (0 before the first).
+    // Cached upstream encoding: re-steering changes the member, not the
+    // bytes, so every attempt resends the same buffer.
+    WireBytes wire;
   };
   struct PendingProbe {
     HostAddress member = kInvalidAddress;
@@ -184,6 +188,9 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   void SendProbe(size_t member_index);
   void OnProbeTimeout(uint16_t port, uint64_t generation);
   void OnRotationTick();
+  // Arms the staggered per-member probe timers and the rotation timer,
+  // cancelling any that are still pending (idempotent re-arm).
+  void ArmTimers();
   void RespondToClient(const Pending& pending, Message response);
   // Answers `done` with SERVFAIL, attributing the fast-fail to `cause` with
   // the deciding observed/limit snapshot in the audit log and trace stream.
@@ -201,9 +208,13 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   UpstreamTracker tracker_;
   TokenBucket resteer_budget_;
   std::vector<HostAddress> members_;
-  std::unordered_map<HostAddress, uint64_t> steered_;
-  std::unordered_map<uint16_t, Pending> pending_;
-  std::unordered_map<uint16_t, PendingProbe> probe_pending_;
+  FlatMap<HostAddress, uint64_t> steered_;
+  FlatMap<uint16_t, Pending> pending_;
+  FlatMap<uint16_t, PendingProbe> probe_pending_;
+  // Cancellation handles for the periodic work: a crash cancels these so a
+  // dead frontend stops probing, and the restart handler re-arms them.
+  std::vector<CancelToken> probe_timers_;
+  CancelToken rotation_timer_;
   bool started_ = false;
   uint64_t epoch_ = 0;
   size_t next_member_ = 0;  // Round-robin cursor.
@@ -232,7 +243,7 @@ class FleetFrontend : public DatagramHandler, public CrashResettable {
   telemetry::Counter* servfail_counter_ = nullptr;
   telemetry::HistogramMetric* failover_latency_ = nullptr;
   // Lazily-created per-member frontend_steered_total{resolver,reason}.
-  std::unordered_map<uint64_t, telemetry::Counter*> steered_counters_;
+  FlatMap<uint64_t, telemetry::Counter*> steered_counters_;
 };
 
 }  // namespace dcc

@@ -282,6 +282,15 @@ void RecursiveResolver::HandleDatagram(const Datagram& dgram) {
   }
 }
 
+void RecursiveResolver::HandleMessage(const Datagram& carrier, Message msg) {
+  DCC_PROF_SCOPE("resolver.handle");
+  if (msg.IsQuery() && carrier.dst.port == kDnsPort) {
+    HandleClientRequest(carrier, std::move(msg));
+  } else if (msg.IsResponse()) {
+    HandleUpstreamResponse(carrier, std::move(msg));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Client-facing side
 // ---------------------------------------------------------------------------
@@ -389,7 +398,7 @@ void RecursiveResolver::HandleClientRequest(const Datagram& dgram, Message query
   ++requests_received_;
   if (query.question.empty()) {
     Message response = MakeResponse(query, Rcode::kFormErr);
-    transport_.Send(dgram.dst.port, dgram.src, EncodeMessage(response));
+    transport_.SendMessage(dgram.dst.port, dgram.src, std::move(response));
     return;
   }
   const Time now = transport_.now();
@@ -515,17 +524,16 @@ void RecursiveResolver::RespondToClient(ClientRequest& request, Message response
                     transport_.local_address(),
                     static_cast<int32_t>(response.header.rcode));
   }
-  auto wire = EncodeMessage(response);
   const Endpoint client = request.client;
   const uint16_t local_port = request.local_port;
   if (config_.processing_delay > 0) {
     transport_.loop().ScheduleAfter(
         config_.processing_delay, "resolver.respond",
-        [this, local_port, client, wire = std::move(wire)]() mutable {
-          transport_.Send(local_port, client, std::move(wire));
+        [this, local_port, client, response = std::move(response)]() mutable {
+          transport_.SendMessage(local_port, client, std::move(response));
         });
   } else {
-    transport_.Send(local_port, client, std::move(wire));
+    transport_.SendMessage(local_port, client, std::move(response));
   }
   ++responses_sent_;
 }
@@ -586,9 +594,12 @@ bool RecursiveResolver::EstablishZoneCut(Task& task) {
     if (const CacheEntry* entry = cache_.Lookup(cut, RecordType::kNs, now);
         entry != nullptr && entry->kind == CacheEntryKind::kPositive &&
         !entry->records.empty()) {
+      // Copy the NS RRset: the address lookups below may erase expired cache
+      // entries, which invalidates `entry` (FlatMap shifts slots on erase).
+      const RrSet ns_records = entry->records;
       std::vector<HostAddress> servers;
       std::vector<Name> unresolved;
-      for (const auto& ns : entry->records) {
+      for (const auto& ns : ns_records) {
         const CacheEntry* addr = cache_.Lookup(ns.target(), RecordType::kA, now);
         if (addr != nullptr && addr->kind == CacheEntryKind::kPositive &&
             !addr->records.empty()) {
@@ -717,15 +728,22 @@ void RecursiveResolver::SpawnNsChildren(uint64_t task_id) {
   // (the task's latest span), so the FF fan-out shows up as siblings under
   // one node of the span tree.
   const uint32_t cause_span = t.last_span != 0 ? t.last_span : t.origin_span;
+  const uint64_t request_id = t.request_id;
+  const int child_depth = t.depth + 1;
   std::vector<uint64_t> child_ids;
   child_ids.reserve(batch.size());
+  // Each CreateTask inserts into tasks_ and may invalidate references into
+  // it, so the parent is re-fetched after the batch is created.
   for (const auto& ns_name : batch) {
     const uint64_t child =
-        CreateTask(t.request_id, task_id, t.depth + 1, ns_name, RecordType::kA);
+        CreateTask(request_id, task_id, child_depth, ns_name, RecordType::kA);
     tasks_.at(child).origin_span = cause_span;
-    t.children.push_back(child);
-    ++t.pending_children;
     child_ids.push_back(child);
+  }
+  Task& parent = tasks_.at(task_id);
+  for (uint64_t child : child_ids) {
+    parent.children.push_back(child);
+    ++parent.pending_children;
   }
   for (uint64_t child : child_ids) {
     RunTask(child);
@@ -842,7 +860,15 @@ void RecursiveResolver::SendQuery(uint64_t task_id) {
   }
   if (PassesEgressRl(server)) {
     oq.sent = true;
-    transport_.Send(port, Endpoint{server, kDnsPort}, EncodeMessage(query));
+    if (!config_.attach_attribution) {
+      WireBytes wire = EncodeMessage(query);
+      oq.wire = wire;  // Retransmissions will resend these exact bytes.
+      transport_.Send(port, Endpoint{server, kDnsPort}, std::move(wire));
+    } else {
+      // Span ids change per attempt, so there is nothing to cache; hand the
+      // message itself over (the DCC shim then skips its decode).
+      transport_.SendMessage(port, Endpoint{server, kDnsPort}, std::move(query));
+    }
     ++queries_sent_;
     if (upstream_query_counter_ != nullptr) {
       upstream_query_counter_->Inc();
@@ -887,7 +913,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
   OutstandingQuery& oq = it->second;
   auto tit = tasks_.find(oq.task_id);
   if (tit == tasks_.end()) {
-    outstanding_.erase(it);
+    outstanding_.erase(port);
     return;
   }
   const Time now = transport_.now();
@@ -929,18 +955,33 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
     if (rit != requests_.end()) {
       RecordSubQuerySend(rit->second, oq);
     }
-    Message query = MakeQuery(oq.id, oq.qname, oq.qtype, /*rd=*/false);
-    query.EnsureEdns();
-    if (config_.attach_attribution && rit != requests_.end()) {
-      SetOption(query, EncodeAttribution(Attribution{rit->second.client.addr,
-                                                     rit->second.client.port,
-                                                     rit->second.query.header.id,
-                                                     oq.span_id,
-                                                     oq.parent_span_id}));
-    }
     if (PassesEgressRl(oq.server)) {
       oq.sent = true;
-      transport_.Send(port, Endpoint{oq.server, kDnsPort}, EncodeMessage(query));
+      if (!oq.wire.empty()) {
+        // Without attribution the retransmission is byte-identical to the
+        // first send; reuse the cached buffer.
+        prof::CountEncodeCacheHit();
+        transport_.Send(port, Endpoint{oq.server, kDnsPort}, oq.wire);
+      } else {
+        Message query = MakeQuery(oq.id, oq.qname, oq.qtype, /*rd=*/false);
+        query.EnsureEdns();
+        if (config_.attach_attribution && rit != requests_.end()) {
+          SetOption(query,
+                    EncodeAttribution(Attribution{rit->second.client.addr,
+                                                  rit->second.client.port,
+                                                  rit->second.query.header.id,
+                                                  oq.span_id,
+                                                  oq.parent_span_id}));
+        }
+        if (!config_.attach_attribution) {
+          WireBytes wire = EncodeMessage(query);
+          oq.wire = wire;
+          transport_.Send(port, Endpoint{oq.server, kDnsPort}, std::move(wire));
+        } else {
+          transport_.SendMessage(port, Endpoint{oq.server, kDnsPort},
+                                 std::move(query));
+        }
+      }
       ++queries_sent_;
       if (upstream_query_counter_ != nullptr) {
         upstream_query_counter_->Inc();
@@ -960,7 +1001,7 @@ void RecursiveResolver::OnQueryTimeout(uint16_t port, uint64_t generation) {
   }
   const uint64_t task_id = oq.task_id;
   RecordSubQueryDone(tit->second.request_id, oq, /*answered=*/false);
-  outstanding_.erase(it);
+  outstanding_.erase(port);
   TryNextServer(task_id);
 }
 
@@ -998,7 +1039,7 @@ void RecursiveResolver::HandleUpstreamResponse(const Datagram& dgram, Message re
       response.Q().qtype != oq.qtype) {
     return;
   }
-  outstanding_.erase(it);
+  outstanding_.erase(dgram.dst.port);
 
   // Health sample for the answering server. For retransmitted queries the
   // RTT is measured from the latest transmission, which may undershoot when
@@ -1157,13 +1198,9 @@ void RecursiveResolver::FailChildrenOf(uint64_t task_id) {
     FailChildrenOf(child);
     tasks_.erase(child);
   }
-  for (auto oit = outstanding_.begin(); oit != outstanding_.end();) {
-    if (!tasks_.contains(oit->second.task_id)) {
-      oit = outstanding_.erase(oit);
-    } else {
-      ++oit;
-    }
-  }
+  outstanding_.EraseIf([this](uint16_t, const OutstandingQuery& oq) {
+    return !tasks_.contains(oq.task_id);
+  });
 }
 
 void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
@@ -1177,7 +1214,7 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
     it = tasks_.find(task_id);  // The map may rehash during teardown.
   }
   Task task = std::move(it->second);
-  tasks_.erase(it);
+  tasks_.erase(task_id);
 
   if (task.parent_task != 0) {
     auto pit = tasks_.find(task.parent_task);
@@ -1234,14 +1271,14 @@ void RecursiveResolver::CompleteTask(uint64_t task_id, TaskStatus status,
     case TaskStatus::kFail:
       // Total resolution failure: RFC 8767 serve-stale before SERVFAIL.
       if (TryServeStale(request)) {
-        requests_.erase(rit);
+        requests_.erase(task.request_id);
         return;
       }
       response = MakeResponse(request.query, Rcode::kServFail);
       break;
   }
   RespondToClient(request, std::move(response));
-  requests_.erase(rit);
+  requests_.erase(task.request_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -1285,13 +1322,9 @@ void RecursiveResolver::Purge() {
       ++it;
     }
   }
-  for (auto it = ingress_rrl_state_.begin(); it != ingress_rrl_state_.end();) {
-    if (it->second.last_active + Seconds(10) < now) {
-      it = ingress_rrl_state_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  ingress_rrl_state_.EraseIf([now](HostAddress, const ClientRrl& state) {
+    return state.last_active + Seconds(10) < now;
+  });
 }
 
 }  // namespace dcc

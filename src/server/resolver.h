@@ -25,9 +25,9 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/common/token_bucket.h"
 #include "src/dns/edns_options.h"
@@ -105,6 +105,9 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
   void AddAuthorityHint(const Name& apex, HostAddress server);
 
   void HandleDatagram(const Datagram& dgram) override;
+  // Pre-decoded delivery from an interposing carrier (the DCC shim);
+  // skips the wire decode HandleDatagram pays.
+  void HandleMessage(const Datagram& carrier, Message msg) override;
 
   // Primes the cache with an RRset (warm start / benchmarking). Records are
   // stored exactly as if learned from an authoritative answer at `now`.
@@ -205,6 +208,9 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
     // fresh span whose parent is the previous attempt's span.
     uint32_t span_id = 0;
     uint32_t parent_span_id = 0;
+    // Cached encoding of the question, kept only when attribution is off —
+    // span ids change per attempt, so attributed sends cannot share bytes.
+    WireBytes wire;
     telemetry::SubQueryCause cause = telemetry::SubQueryCause::kInitial;
   };
 
@@ -275,17 +281,17 @@ class RecursiveResolver : public DatagramHandler, public CrashResettable {
 
   std::vector<std::pair<Name, HostAddress>> hints_;
 
-  std::unordered_map<uint64_t, ClientRequest> requests_;
-  std::unordered_map<uint64_t, Task> tasks_;
-  std::unordered_map<uint16_t, OutstandingQuery> outstanding_;  // By local port.
+  FlatMap<uint64_t, ClientRequest> requests_;
+  FlatMap<uint64_t, Task> tasks_;
+  FlatMap<uint16_t, OutstandingQuery> outstanding_;  // By local port.
   struct ClientRrl {
     TokenBucket noerror;
     TokenBucket nxdomain;
-    Time last_active;
+    Time last_active = 0;
     Time blocked_until = 0;
   };
-  std::unordered_map<HostAddress, ClientRrl> ingress_rrl_state_;
-  std::unordered_map<HostAddress, TokenBucket> egress_rl_state_;
+  FlatMap<HostAddress, ClientRrl> ingress_rrl_state_;
+  FlatMap<HostAddress, TokenBucket> egress_rl_state_;
 
   struct NsecInterval {
     Name next;

@@ -108,10 +108,15 @@ void StubClient::SendAttempt(uint16_t port) {
   Pending& p = it->second;
   p.generation = next_generation_++;
   const HostAddress resolver = resolvers_[p.resolver_index % resolvers_.size()];
-  const Question q = generator_(p.seq);
-  Message query = MakeQuery(static_cast<uint16_t>(p.seq), q.qname, q.qtype);
-  query.EnsureEdns();
-  transport_.Send(port, Endpoint{resolver, kDnsPort}, EncodeMessage(query));
+  if (p.wire.empty()) {
+    const Question q = generator_(p.seq);
+    Message query = MakeQuery(static_cast<uint16_t>(p.seq), q.qname, q.qtype);
+    query.EnsureEdns();
+    p.wire = EncodeMessage(query);
+  } else {
+    prof::CountEncodeCacheHit();
+  }
+  transport_.Send(port, Endpoint{resolver, kDnsPort}, p.wire);
   ++requests_sent_;
   if (requests_counter_ != nullptr) {
     requests_counter_->Inc();
@@ -138,7 +143,7 @@ void StubClient::Finish(uint16_t port, bool success, Time now) {
     return;
   }
   const Pending p = it->second;
-  pending_.erase(it);
+  pending_.erase(port);
   if (success) {
     ++succeeded_;
     latency_.Add(static_cast<double>(now - p.sent_at));

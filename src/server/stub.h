@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/stats.h"
 #include "src/dns/message.h"
 #include "src/server/transport.h"
@@ -82,6 +82,9 @@ class StubClient : public DatagramHandler {
     int attempts_left = 0;
     size_t resolver_index = 0;
     uint64_t generation = 0;
+    // Cached encoding of this request: the question is a pure function of
+    // `seq`, so retries resend the same bytes without re-encoding.
+    WireBytes wire;
   };
 
   void LaunchRequest();
@@ -94,7 +97,7 @@ class StubClient : public DatagramHandler {
   StubConfig config_;
   QuestionGenerator generator_;
   std::vector<HostAddress> resolvers_;
-  std::unordered_map<uint16_t, Pending> pending_;
+  FlatMap<uint16_t, Pending> pending_;
   size_t preferred_resolver_ = 0;  // Shifted by DCC-aware congestion handling.
   Time paused_until_ = 0;          // Set by DCC-aware policing handling.
   uint64_t next_seq_ = 0;

@@ -1,6 +1,21 @@
 #include "src/server/transport.h"
 
+#include <utility>
+
+#include "src/dns/codec.h"
+#include "src/dns/message.h"
+
 namespace dcc {
+
+void Transport::SendMessage(uint16_t src_port, Endpoint dst, Message msg) {
+  Send(src_port, dst, EncodeMessage(msg));
+}
+
+void DatagramHandler::HandleMessage(const Datagram& carrier, Message msg) {
+  Datagram dgram = carrier;
+  dgram.payload = EncodeMessage(msg);
+  HandleDatagram(dgram);
+}
 
 HostNode::HostNode(Network& network, HostAddress addr) {
   network.RegisterNode(this, addr);
@@ -12,7 +27,7 @@ void HostNode::OnDatagram(const Datagram& dgram) {
   }
 }
 
-void HostNode::Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+void HostNode::Send(uint16_t src_port, Endpoint dst, WireBytes payload) {
   SendDatagram(src_port, dst, std::move(payload));
 }
 

@@ -20,6 +20,8 @@
 
 namespace dcc {
 
+struct Message;
+
 // The standard DNS port used throughout the simulation.
 inline constexpr uint16_t kDnsPort = 53;
 
@@ -27,8 +29,17 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  // Sends a datagram from local `src_port` to `dst`.
-  virtual void Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) = 0;
+  // Sends a datagram from local `src_port` to `dst`. WireBytes converts
+  // implicitly from std::vector<uint8_t>, and retransmit paths can pass the
+  // same buffer repeatedly without copying.
+  virtual void Send(uint16_t src_port, Endpoint dst, WireBytes payload) = 0;
+
+  // Message-level send. The default encodes immediately and forwards to
+  // Send(); an interposing transport (the DCC shim) overrides it to inspect
+  // and reroute the message without a decode/encode round trip. Callers
+  // that cache wire encodings for byte-identical retransmission should keep
+  // using Send().
+  virtual void SendMessage(uint16_t src_port, Endpoint dst, Message msg);
 
   virtual Time now() const = 0;
   virtual EventLoop& loop() = 0;
@@ -41,6 +52,13 @@ class DatagramHandler {
  public:
   virtual ~DatagramHandler() = default;
   virtual void HandleDatagram(const Datagram& dgram) = 0;
+
+  // Message-level delivery for carriers that already hold the decoded
+  // message (the DCC shim after option stripping, or a synthesized
+  // SERVFAIL). `carrier` supplies the addressing; its payload may be stale.
+  // The default re-encodes `msg` into a fresh datagram so handlers unaware
+  // of this fast path see exactly what the wire would have carried.
+  virtual void HandleMessage(const Datagram& carrier, Message msg);
 };
 
 // Optional interface for servers whose volatile state can be wiped by the
@@ -50,6 +68,11 @@ class CrashResettable {
  public:
   virtual ~CrashResettable() = default;
   virtual void CrashReset() = 0;
+
+  // Called when the host comes back up after a crash window. Servers that
+  // stop periodic work (probes, rotation timers) in CrashReset re-arm it
+  // here; the default keeps legacy servers untouched.
+  virtual void CrashRestart() {}
 };
 
 // Plain host: binds one handler to one address on the network.
@@ -63,7 +86,7 @@ class HostNode : public Node, public Transport {
   void OnDatagram(const Datagram& dgram) override;
 
   // Transport:
-  void Send(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) override;
+  void Send(uint16_t src_port, Endpoint dst, WireBytes payload) override;
   Time now() const override { return Node::now(); }
   EventLoop& loop() override { return Node::loop(); }
   HostAddress local_address() const override { return address(); }

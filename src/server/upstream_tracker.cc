@@ -165,13 +165,9 @@ size_t UpstreamTracker::MemoryFootprint() const {
 }
 
 void UpstreamTracker::Purge(Time now, Duration idle) {
-  for (auto it = servers_.begin(); it != servers_.end();) {
-    if (it->second.last_active + idle < now && it->second.down_until <= now) {
-      it = servers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  servers_.EraseIf([now, idle](HostAddress, const ServerState& state) {
+    return state.last_active + idle < now && state.down_until <= now;
+  });
 }
 
 void UpstreamTracker::AttachSampler(telemetry::TimeSeriesSampler* sampler,

@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
@@ -139,7 +139,7 @@ class UpstreamTracker {
 
   UpstreamTrackerConfig config_;
   Rng rng_;
-  std::unordered_map<HostAddress, ServerState> servers_;
+  FlatMap<HostAddress, ServerState> servers_;
   std::function<void(HostAddress, bool, Time)> holddown_listener_;
 
   uint64_t timeouts_observed_ = 0;

@@ -1,9 +1,20 @@
 // Discrete-event loop with a virtual microsecond clock.
 //
-// All experiments run on virtual time: scheduling an event is O(log n) and
-// running 60 simulated seconds takes only as long as the handlers themselves.
-// Events at equal timestamps run in scheduling order (FIFO), which keeps the
-// simulation deterministic.
+// All experiments run on virtual time: scheduling an event is O(1) amortized
+// and running 60 simulated seconds takes only as long as the handlers
+// themselves. Events at equal timestamps run in scheduling order (FIFO),
+// which keeps the simulation deterministic.
+//
+// The pending set is a hierarchical timing wheel (htsim/kernel-timer style)
+// instead of a binary heap: level 0 holds one slot per microsecond of the
+// current 256 us frame, and three coarser 64-slot levels extend coverage to
+// ~67 simulated seconds, with a spill heap beyond that. Slots are indexed by
+// absolute time bits, so an event is pushed at most once per level on its
+// way down (O(1) amortized), and per-level bitmaps let the loop jump
+// directly to the next non-empty slot instead of ticking through empty
+// microseconds. A level-0 slot holds exactly one timestamp, so sorting the
+// slot by monotone sequence number at drain time reproduces the old
+// priority-queue (when, seq) order event-for-event.
 //
 // Every schedule call accepts an optional *category* — a string literal
 // naming the kind of work ("net.deliver", "stub.launch", "resolver.timeout").
@@ -13,12 +24,19 @@
 // wall time and the virtual schedule-to-run lag. Categories are plain
 // labels: they never affect ordering, so labeled and unlabeled runs are
 // event-for-event identical.
+//
+// Cancellation: the Cancelable schedule variants and SchedulePeriodic return
+// a CancelToken. Cancelling marks the pending event(s) dead; the loop skips
+// dead events at drain time without counting them as executed, so a
+// cancelled retransmit timer or a crashed node's periodic probe costs
+// nothing and never shows up in the profile.
 
 #ifndef SRC_SIM_EVENT_LOOP_H_
 #define SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -27,10 +45,38 @@
 
 namespace dcc {
 
+class EventLoop;
+
+// Handle to a scheduled (or periodic) event. Copyable; all copies refer to
+// the same underlying schedule. A default-constructed token is inert.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Marks the schedule dead. Idempotent; no-op on an inert token. The
+  // pending event is skipped (not executed, not counted) at drain time, and
+  // a periodic schedule stops re-arming.
+  void Cancel() const {
+    if (flag_ != nullptr) {
+      *flag_ = true;
+    }
+  }
+
+  // True while this token refers to a schedule that has not been cancelled.
+  bool active() const { return flag_ != nullptr && !*flag_; }
+
+ private:
+  friend class EventLoop;
+  explicit CancelToken(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+
+  std::shared_ptr<bool> flag_;
+};
+
 class EventLoop {
  public:
   using Handler = std::function<void()>;
 
+  EventLoop();
   ~EventLoop();
 
   Time now() const { return now_; }
@@ -56,13 +102,22 @@ class EventLoop {
   void ScheduleAfter(Duration delay, Handler fn);
   void ScheduleAfter(Duration delay, const char* category, Handler fn);
 
+  // Like ScheduleAt/ScheduleAfter, but returns a token that can cancel the
+  // event before it fires. A cancelled event is skipped at drain time and
+  // does not count as executed.
+  CancelToken ScheduleCancelableAt(Time t, const char* category, Handler fn);
+  CancelToken ScheduleCancelableAfter(Duration delay, const char* category,
+                                      Handler fn);
+
   // Schedules `fn` every `period`, starting at now + period, until the loop
-  // stops or `until` is reached (kTimeInfinity = forever). The handler is
-  // stored once in shared state: re-arming each tick copies a shared_ptr,
-  // not the handler itself (periodic samplers capture non-trivial state).
-  void SchedulePeriodic(Duration period, Handler fn, Time until = kTimeInfinity);
-  void SchedulePeriodic(Duration period, const char* category, Handler fn,
-                        Time until = kTimeInfinity);
+  // stops, `until` is reached (kTimeInfinity = forever), or the returned
+  // token is cancelled. The handler is stored once in shared state:
+  // re-arming each tick copies a shared_ptr, not the handler itself
+  // (periodic samplers capture non-trivial state).
+  CancelToken SchedulePeriodic(Duration period, Handler fn,
+                               Time until = kTimeInfinity);
+  CancelToken SchedulePeriodic(Duration period, const char* category,
+                               Handler fn, Time until = kTimeInfinity);
 
   // Runs until the queue is empty, `until` is passed, or Stop() is called.
   // Returns the number of events executed.
@@ -76,12 +131,17 @@ class EventLoop {
 
   void Stop() { stopped_ = true; }
 
-  size_t pending() const { return queue_.size(); }
+  // Live (uncancelled executions pending) plus cancelled-but-not-yet-reaped
+  // events; cancelled events leave this count when their timestamp drains.
+  size_t pending() const { return size_; }
 
   // Highest queue depth observed since construction. Always tracked (two
   // instructions per schedule) — the profiler report includes it, and the
-  // upcoming scheduler rebuild sizes its timing wheel from it.
+  // timing wheel's occupancy stats complement it.
   size_t max_pending() const { return max_pending_; }
+
+  // Events skipped at drain time because their token was cancelled first.
+  uint64_t cancelled_skipped() const { return cancelled_skipped_; }
 
  private:
   struct Event {
@@ -90,15 +150,58 @@ class EventLoop {
     Handler fn;
     const char* category;  // Never null; label only, never ordering.
     Time enqueued_at;      // Virtual enqueue time, for schedule-to-run lag.
+    std::shared_ptr<bool> cancelled;  // Null for non-cancellable events.
     bool operator>(const Event& other) const {
       return when != other.when ? when > other.when : seq > other.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Wheel geometry: absolute-time bit slices. Level 0 resolves single
+  // microseconds of the current 256 us frame; levels 1-3 cover 64 frames
+  // each of the next coarser granularity (2^14, 2^20, 2^26 us). Events more
+  // than ~67 s out wait in the overflow heap until the cursor enters their
+  // level-3 frame.
+  static constexpr int kL0Bits = 8;
+  static constexpr int kL0Slots = 1 << kL0Bits;         // 256
+  static constexpr int kLevelBits = 6;
+  static constexpr int kLevelSlots = 1 << kLevelBits;   // 64
+  static constexpr int kL1Shift = kL0Bits;              // 8
+  static constexpr int kL2Shift = kL0Bits + kLevelBits; // 14
+  static constexpr int kL3Shift = kL2Shift + kLevelBits; // 20
+  static constexpr int kSpanShift = kL3Shift + kLevelBits; // 26
+
+  void Schedule(Time t, const char* category, Handler fn,
+                std::shared_ptr<bool> cancel);
+  void Insert(Event e);
+  void CascadeInto(std::vector<Event>& bucket);
+
+  enum class Peek { kFound, kBeyond, kEmpty };
+  // Advances cursor_ (cascading coarser buckets down, never past `limit`)
+  // until the next pending timestamp is known. kFound: *t_out <= limit and
+  // level 0 holds that slot. kBeyond: the next event is after `limit`
+  // (cursor_ stays <= limit, so later schedules at <= limit stay findable).
+  Peek FindNext(Time limit, Time* t_out);
+
+  std::vector<Event> l0_[kL0Slots];
+  std::vector<Event> l1_[kLevelSlots];
+  std::vector<Event> l2_[kLevelSlots];
+  std::vector<Event> l3_[kLevelSlots];
+  uint64_t l0_bits_[kL0Slots / 64] = {};
+  uint64_t l1_bits_ = 0;
+  uint64_t l2_bits_ = 0;
+  uint64_t l3_bits_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> overflow_;
+  std::vector<Event> scratch_;  // Cascade staging; keeps its capacity.
+
   Time now_ = 0;
+  // Lower bound on every pending event's timestamp; the drain scan starts
+  // here. Invariant: cursor_ <= now() whenever control is outside Run(), so
+  // clamped schedules can never land behind the scan position.
+  Time cursor_ = 0;
   uint64_t next_seq_ = 0;
+  size_t size_ = 0;
   size_t max_pending_ = 0;
+  uint64_t cancelled_skipped_ = 0;
   bool stopped_ = false;
   telemetry::Counter* events_executed_ = nullptr;
 };

@@ -17,7 +17,7 @@ uint64_t PairKey(HostAddress a, HostAddress b) {
 
 }  // namespace
 
-void Node::SendDatagram(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload) {
+void Node::SendDatagram(uint16_t src_port, Endpoint dst, WireBytes payload) {
   network_->Send(Endpoint{address_, src_port}, dst, std::move(payload));
 }
 
@@ -41,7 +41,7 @@ Duration Network::DelayFor(HostAddress a, HostAddress b) const {
   return it != pair_delay_.end() ? it->second : default_delay_;
 }
 
-void Network::Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload) {
+void Network::Send(Endpoint src, Endpoint dst, WireBytes payload) {
   DCC_PROF_SCOPE("net.send");
   ++datagrams_sent_;
   prof::CountPayloadHop(payload.size());

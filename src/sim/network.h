@@ -11,12 +11,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/common/wire_bytes.h"
 #include "src/sim/event_loop.h"
 #include "src/telemetry/metrics.h"
 
@@ -25,7 +26,9 @@ namespace dcc {
 struct Datagram {
   Endpoint src;
   Endpoint dst;
-  std::vector<uint8_t> payload;
+  // Refcounted: fan-out and retransmissions share one buffer. Readers that
+  // want a vector/span get one via implicit conversion.
+  WireBytes payload;
 };
 
 class Network;
@@ -33,8 +36,10 @@ class Network;
 // Per-datagram fault seam consulted by Network::Send before its own loss and
 // delay model. The fault layer (src/fault) implements this to apply scripted
 // loss windows, latency spikes, and payload corruption/truncation. The hook
-// may mutate `payload` in place; a returned `drop` discards the datagram and
-// `extra_delay` is added on top of the pair delay + jitter.
+// may mutate the payload via WireBytes::Mutable() — copy-on-write, so a
+// shared retransmit buffer is cloned before the edit and other holders are
+// unaffected. A returned `drop` discards the datagram and `extra_delay` is
+// added on top of the pair delay + jitter.
 class NetworkFaultHook {
  public:
   virtual ~NetworkFaultHook() = default;
@@ -45,7 +50,7 @@ class NetworkFaultHook {
   };
 
   virtual Verdict OnDatagram(const Endpoint& src, const Endpoint& dst,
-                             std::vector<uint8_t>& payload) = 0;
+                             WireBytes& payload) = 0;
 };
 
 // Base class for simulated hosts. Subclasses implement OnDatagram and use
@@ -59,7 +64,7 @@ class Node {
   HostAddress address() const { return address_; }
 
  protected:
-  void SendDatagram(uint16_t src_port, Endpoint dst, std::vector<uint8_t> payload);
+  void SendDatagram(uint16_t src_port, Endpoint dst, WireBytes payload);
 
   EventLoop& loop();
   Time now() const;
@@ -82,7 +87,7 @@ class Network {
   // Sends a datagram; delivery is scheduled after the pair's one-way delay,
   // subject to the loss probability. Datagrams to unknown addresses vanish
   // (like real UDP).
-  void Send(Endpoint src, Endpoint dst, std::vector<uint8_t> payload);
+  void Send(Endpoint src, Endpoint dst, WireBytes payload);
 
   // Overrides the one-way delay for the (a, b) pair, both directions.
   void SetPairDelay(HostAddress a, HostAddress b, Duration one_way);
@@ -133,10 +138,10 @@ class Network {
 
   EventLoop& loop_;
   Duration default_delay_;
-  std::unordered_map<HostAddress, Node*> nodes_;
-  std::unordered_map<uint64_t, Duration> pair_delay_;
-  std::unordered_map<HostAddress, bool> host_down_;
-  std::unordered_map<uint64_t, bool> link_down_;
+  FlatMap<HostAddress, Node*> nodes_;
+  FlatMap<uint64_t, Duration> pair_delay_;
+  FlatMap<HostAddress, bool> host_down_;
+  FlatMap<uint64_t, bool> link_down_;
   NetworkFaultHook* fault_hook_ = nullptr;
   double loss_probability_ = 0.0;
   uint64_t loss_seed_ = 42;

@@ -143,8 +143,6 @@ uint64_t PopScopeInternal(ProfState& state) {
 
 }  // namespace
 
-thread_local bool tls_enabled = false;
-
 Site::Site(const char* name) : name_(name), id_(RegisterSite(name)) {}
 
 Site* InternSite(const char* name) {
@@ -167,26 +165,26 @@ Site* InternSite(const char* name) {
 
 void Enable() {
   ProfState& state = State();
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     return;
   }
-  tls_enabled = true;
+  TlsEnabled() = true;
   state.enable_start_ns = NowNs();
 }
 
 void Disable() {
   ProfState& state = State();
-  if (!tls_enabled) {
+  if (!TlsEnabled()) {
     return;
   }
-  tls_enabled = false;
+  TlsEnabled() = false;
   state.enabled_accum_ns += NowNs() - state.enable_start_ns;
   state.enable_start_ns = 0;
 }
 
 void Reset() {
   ProfState& state = State();
-  tls_enabled = false;
+  TlsEnabled() = false;
   state = ProfState();
 }
 
@@ -225,7 +223,7 @@ void RecordQueueDepthSlow(uint64_t depth) {
 CopyCounters& MutableCopyCounters() { return State().copies; }
 
 EventScope::EventScope(const char* category, uint64_t lag_us)
-    : active_(tls_enabled), category_(category), lag_us_(lag_us) {
+    : active_(TlsEnabled()), category_(category), lag_us_(lag_us) {
   if (!active_) {
     return;
   }
@@ -253,7 +251,7 @@ ProfileReport Snapshot() {
   const std::vector<const char*> names = SiteNames();
   ProfileReport report;
   report.enabled_wall_ns = state.enabled_accum_ns;
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     report.enabled_wall_ns += NowNs() - state.enable_start_ns;
   }
   for (uint32_t id = 0; id < state.sites.size(); ++id) {
@@ -394,6 +392,13 @@ json::Value ProfileJsonValue(const ProfileReport& report) {
   count("decode_bytes", c.decode_bytes);
   count("payload_hops", c.payload_hops);
   count("payload_hop_bytes", c.payload_hop_bytes);
+  count("pool_hits", c.pool_hits);
+  count("pool_misses", c.pool_misses);
+  count("encode_cache_hits", c.encode_cache_hits);
+  count("wheel_cascades", c.wheel_cascades);
+  count("wheel_cascade_events", c.wheel_cascade_events);
+  count("wheel_overflow", c.wheel_overflow);
+  count("wheel_bucket_max", c.wheel_bucket_max);
   root.Set("copies", std::move(copies));
 
   return root;

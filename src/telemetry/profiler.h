@@ -112,7 +112,9 @@ struct EventCategoryReport {
   uint64_t lag_us_max = 0;
 };
 
-// Message / buffer churn counters fed by src/dns and src/sim/network.
+// Message / buffer churn counters fed by src/dns and src/sim/network, plus
+// the PR 10 substrate counters: arena pool hit/miss, cached-encoding reuse,
+// and timing-wheel occupancy.
 struct CopyCounters {
   uint64_t msg_copies = 0;        // dcc::Message copy ctor/assign
   uint64_t msg_moves = 0;         // dcc::Message move ctor/assign
@@ -122,6 +124,13 @@ struct CopyCounters {
   uint64_t decode_bytes = 0;      // wire bytes parsed
   uint64_t payload_hops = 0;      // Network::Send datagrams accepted
   uint64_t payload_hop_bytes = 0; // payload bytes pushed through Send
+  uint64_t pool_hits = 0;         // arena acquisitions served from free list
+  uint64_t pool_misses = 0;       // arena acquisitions that allocated fresh
+  uint64_t encode_cache_hits = 0; // sends reusing a cached wire encoding
+  uint64_t wheel_cascades = 0;    // timing-wheel bucket redistributions
+  uint64_t wheel_cascade_events = 0;  // events moved down a wheel level
+  uint64_t wheel_overflow = 0;    // events parked beyond the wheel span
+  uint64_t wheel_bucket_max = 0;  // largest level-0 slot drained at once
 };
 
 struct ProfileReport {
@@ -158,11 +167,20 @@ std::string WriteProfileJson(const ProfileReport& report);
 // Hot-path hooks (inline fast path: one thread-local load + branch)
 // ---------------------------------------------------------------------------
 
-// True while the calling thread is profiling. Extern thread_local so the
-// inline guards below compile to a TLS load + branch, nothing else.
-extern thread_local bool tls_enabled;
+// True while the calling thread is profiling. Function-local and
+// constant-initialized: unlike an `extern thread_local`, access needs no
+// init-wrapper call, so the inline guards below still compile to one TLS
+// load + branch — and it sidesteps a GCC/binutils interaction where the
+// linker's TLS relaxation rewrites the wrapper's address computation from
+// `add` to `lea`, leaving UBSan's null check reading stale flags (a
+// spurious "load of null pointer of type 'bool'" abort under
+// -fsanitize=undefined).
+inline bool& TlsEnabled() {
+  thread_local bool enabled = false;
+  return enabled;
+}
 
-inline bool IsEnabled() { return tls_enabled; }
+inline bool IsEnabled() { return TlsEnabled(); }
 
 // Out-of-line slow paths, called only when enabled.
 void PushScope(const Site& site);
@@ -175,7 +193,7 @@ CopyCounters& MutableCopyCounters();
 // function-local static Site.
 class ScopedSite {
  public:
-  explicit ScopedSite(const Site& site) : active_(tls_enabled) {
+  explicit ScopedSite(const Site& site) : active_(TlsEnabled()) {
     if (active_) {
       PushScope(site);
     }
@@ -210,40 +228,75 @@ class EventScope {
 };
 
 inline void RecordQueueDepth(uint64_t depth) {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     RecordQueueDepthSlow(depth);
   }
 }
 
 inline void CountMessageCopy() {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     ++MutableCopyCounters().msg_copies;
   }
 }
 inline void CountMessageMove() {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     ++MutableCopyCounters().msg_moves;
   }
 }
 inline void CountEncode(uint64_t bytes) {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     CopyCounters& c = MutableCopyCounters();
     ++c.encode_calls;
     c.encode_bytes += bytes;
   }
 }
 inline void CountDecode(uint64_t bytes) {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     CopyCounters& c = MutableCopyCounters();
     ++c.decode_calls;
     c.decode_bytes += bytes;
   }
 }
 inline void CountPayloadHop(uint64_t bytes) {
-  if (tls_enabled) {
+  if (TlsEnabled()) {
     CopyCounters& c = MutableCopyCounters();
     ++c.payload_hops;
     c.payload_hop_bytes += bytes;
+  }
+}
+inline void CountPoolHit() {
+  if (TlsEnabled()) {
+    ++MutableCopyCounters().pool_hits;
+  }
+}
+inline void CountPoolMiss() {
+  if (TlsEnabled()) {
+    ++MutableCopyCounters().pool_misses;
+  }
+}
+inline void CountEncodeCacheHit() {
+  if (TlsEnabled()) {
+    ++MutableCopyCounters().encode_cache_hits;
+  }
+}
+inline void CountWheelCascade(uint64_t events) {
+  if (TlsEnabled()) {
+    CopyCounters& c = MutableCopyCounters();
+    ++c.wheel_cascades;
+    c.wheel_cascade_events += events;
+  }
+}
+inline void CountWheelOverflow() {
+  if (TlsEnabled()) {
+    ++MutableCopyCounters().wheel_overflow;
+  }
+}
+inline void RecordWheelBucket(uint64_t size) {
+  if (TlsEnabled()) {
+    CopyCounters& c = MutableCopyCounters();
+    if (size > c.wheel_bucket_max) {
+      c.wheel_bucket_max = size;
+    }
   }
 }
 

@@ -1,0 +1,209 @@
+// FlatMap unit suite (ISSUE 10): open-addressing semantics, robin-hood
+// collision chains with backward-shift deletion, growth across rehashes,
+// deterministic iteration, and a seeded differential test against
+// std::unordered_map as the semantic reference.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/rng.h"
+
+namespace dcc {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int, std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), map.end());
+
+  map[1] = "one";
+  map[2] = "two";
+  auto [it, inserted] = map.emplace(3, "three");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, "three");
+  EXPECT_EQ(map.size(), 3u);
+
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_EQ(map.count(2), 1u);
+  EXPECT_EQ(map.at(2), "two");
+  EXPECT_EQ(map.find(2)->second, "two");
+
+  EXPECT_EQ(map.erase(2), 1u);
+  EXPECT_EQ(map.erase(2), 0u);
+  EXPECT_FALSE(map.contains(2));
+  EXPECT_EQ(map.size(), 2u);
+
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), map.end());
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int, int> map;
+  EXPECT_EQ(map[7], 0);
+  map[7] += 5;
+  EXPECT_EQ(map.at(7), 5);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceKeepsExisting) {
+  FlatMap<int, std::string> map;
+  auto [it1, inserted1] = map.try_emplace(1, "first");
+  EXPECT_TRUE(inserted1);
+  auto [it2, inserted2] = map.try_emplace(1, "second");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "first");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, InsertKeepsExistingEntry) {
+  FlatMap<int, int> map;
+  EXPECT_TRUE(map.insert({4, 40}).second);
+  EXPECT_FALSE(map.insert({4, 99}).second);
+  EXPECT_EQ(map.at(4), 40);
+}
+
+// Constant hash: every key lands in the same home slot, forcing maximal
+// robin-hood displacement chains; exercises backward-shift deletion.
+struct CollidingHash {
+  size_t operator()(int) const { return 42; }
+};
+
+TEST(FlatMap, CollisionChainSurvivesMiddleErase) {
+  FlatMap<int, int, CollidingHash> map;
+  for (int i = 0; i < 10; ++i) {
+    map[i] = i * 100;
+  }
+  EXPECT_EQ(map.size(), 10u);
+  // Erase from the middle of the probe chain; backward-shift must keep the
+  // rest of the chain findable.
+  EXPECT_EQ(map.erase(4), 1u);
+  EXPECT_EQ(map.erase(7), 1u);
+  for (int i = 0; i < 10; ++i) {
+    if (i == 4 || i == 7) {
+      EXPECT_FALSE(map.contains(i)) << i;
+    } else {
+      ASSERT_TRUE(map.contains(i)) << i;
+      EXPECT_EQ(map.at(i), i * 100);
+    }
+  }
+}
+
+TEST(FlatMap, GrowthAcrossRehashes) {
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    map[i * 2654435761u] = i;
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(map.contains(i * 2654435761u)) << i;
+    EXPECT_EQ(map.at(i * 2654435761u), i);
+  }
+}
+
+TEST(FlatMap, ReserveAvoidsIncrementalRehash) {
+  FlatMap<int, int> map;
+  map.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    map[i] = i;
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(map.at(i), i);
+  }
+}
+
+TEST(FlatMap, EraseIfSweep) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 100; ++i) {
+    map[i] = i;
+  }
+  const size_t removed = map.EraseIf([](int key, int) { return key % 3 == 0; });
+  EXPECT_EQ(removed, 34u);  // 0, 3, ..., 99.
+  EXPECT_EQ(map.size(), 66u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(map.contains(i), i % 3 != 0) << i;
+  }
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 257; ++i) {
+    map[i] = i;
+  }
+  std::vector<bool> seen(257, false);
+  size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, value);
+    ASSERT_FALSE(seen[key]) << "duplicate visit of " << key;
+    seen[key] = true;
+    ++visited;
+  }
+  EXPECT_EQ(visited, 257u);
+}
+
+TEST(FlatMap, DeterministicIterationOrder) {
+  // Same insertion/erasure sequence => same slot order, the property the
+  // simulator's replay guarantees lean on when behavior picks begin().
+  auto build = []() {
+    FlatMap<uint64_t, int> map;
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+      map[rng.NextBelow(1000)] = i;
+      if (i % 7 == 0) {
+        map.erase(rng.NextBelow(1000));
+      }
+    }
+    std::vector<uint64_t> keys;
+    for (const auto& [key, value] : map) {
+      keys.push_back(key);
+    }
+    return keys;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(FlatMap, SeededDifferentialAgainstUnorderedMap) {
+  FlatMap<uint32_t, uint32_t> map;
+  std::unordered_map<uint32_t, uint32_t> reference;
+  Rng rng(7);
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(512));
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {  // Insert/overwrite.
+        const uint32_t value = static_cast<uint32_t>(op);
+        map[key] = value;
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // Erase.
+        EXPECT_EQ(map.erase(key), reference.erase(key)) << "op " << op;
+        break;
+      }
+      default: {  // Lookup.
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(map.contains(key)) << "op " << op;
+        } else {
+          ASSERT_TRUE(map.contains(key)) << "op " << op;
+          EXPECT_EQ(map.at(key), it->second) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size()) << "op " << op;
+  }
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(map.contains(key));
+    EXPECT_EQ(map.at(key), value);
+  }
+}
+
+}  // namespace
+}  // namespace dcc

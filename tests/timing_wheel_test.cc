@@ -1,0 +1,231 @@
+// Timing-wheel scheduler suite (ISSUE 10): FIFO stability within a tick,
+// overflow-heap promotion, cancellation, zero-delay self-reschedule, and a
+// seeded randomized differential test against a reference (when, seq) heap
+// reproducing the old priority-queue semantics event-for-event.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/event_loop.h"
+
+namespace dcc {
+namespace {
+
+TEST(TimingWheel, SameTickFifoStability) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    loop.ScheduleAt(Microseconds(50), "tw.same", [&order, i]() {
+      order.push_back(i);
+    });
+  }
+  const size_t executed = loop.Run();
+  EXPECT_EQ(executed, 100u);
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i) << "same-tick events must run in schedule order";
+  }
+  EXPECT_EQ(loop.now(), Microseconds(50));
+}
+
+TEST(TimingWheel, InterleavedTimesRunInTimeThenScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(Microseconds(30), "tw", [&]() { order.push_back(3); });
+  loop.ScheduleAt(Microseconds(10), "tw", [&]() { order.push_back(1); });
+  loop.ScheduleAt(Microseconds(30), "tw", [&]() { order.push_back(4); });
+  loop.ScheduleAt(Microseconds(20), "tw", [&]() { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TimingWheel, OverflowHeapPromotion) {
+  // Anything beyond the wheel span (~67 simulated seconds) parks in the
+  // overflow heap and must still fire at the exact requested time, ordered
+  // against nearer events.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<Time> at;
+  loop.ScheduleAt(Seconds(100), "tw.far", [&]() {
+    order.push_back(2);
+    at.push_back(loop.now());
+  });
+  loop.ScheduleAt(Seconds(200), "tw.farther", [&]() {
+    order.push_back(3);
+    at.push_back(loop.now());
+  });
+  loop.ScheduleAt(Seconds(1), "tw.near", [&]() {
+    order.push_back(1);
+    at.push_back(loop.now());
+    // Scheduled once the cursor has advanced: still lands before the
+    // overflow events.
+    loop.ScheduleAt(Seconds(99), "tw.mid", [&]() {
+      order.push_back(10);
+      at.push_back(loop.now());
+    });
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2, 3}));
+  EXPECT_EQ(at, (std::vector<Time>{Seconds(1), Seconds(99), Seconds(100),
+                                   Seconds(200)}));
+}
+
+TEST(TimingWheel, CancelBeforeFireSkipsWithoutExecuting) {
+  EventLoop loop;
+  int fired = 0;
+  CancelToken token = loop.ScheduleCancelableAfter(
+      Microseconds(10), "tw.cancel", [&]() { ++fired; });
+  loop.ScheduleAfter(Microseconds(20), "tw.after", [&]() { ++fired; });
+  EXPECT_TRUE(token.active());
+  token.Cancel();
+  EXPECT_FALSE(token.active());
+  const size_t executed = loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(executed, 1u) << "cancelled events must not count as executed";
+  EXPECT_EQ(loop.cancelled_skipped(), 1u);
+  token.Cancel();  // Idempotent.
+}
+
+TEST(TimingWheel, PeriodicCancelStopsRearming) {
+  EventLoop loop;
+  int ticks = 0;
+  CancelToken token;
+  token = loop.SchedulePeriodic(Microseconds(10), "tw.periodic",
+                                [&]() { ++ticks; });
+  loop.ScheduleAt(Microseconds(35), "tw.stopper", [&]() { token.Cancel(); });
+  loop.Run(Seconds(1));
+  // Ticks at 10, 20, 30; the cancel at 35 stops the 40 us tick and all
+  // later ones, so the loop drains instead of running to the horizon.
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(TimingWheel, ZeroDelaySelfReschedule) {
+  EventLoop loop;
+  int runs = 0;
+  std::function<void()> step = [&]() {
+    ++runs;
+    if (runs < 1000) {
+      loop.ScheduleAfter(0, "tw.zero", step);
+    }
+  };
+  loop.ScheduleAfter(0, "tw.zero", step);
+  const size_t executed = loop.Run();
+  EXPECT_EQ(runs, 1000);
+  EXPECT_EQ(executed, 1000u);
+  // Old priority-queue semantics: a zero-delay event runs at the current
+  // virtual time, so the chain never advances the clock.
+  EXPECT_EQ(loop.now(), 0u);
+}
+
+// Reference model of the old scheduler: a binary heap ordered by (when,
+// seq) with seq assigned in schedule order. The differential test drives
+// the real loop and this model through an identical seeded workload
+// (including reschedules from inside handlers) and requires the same
+// execution sequence.
+struct RefEvent {
+  Time when = 0;
+  uint64_t seq = 0;
+  uint64_t id = 0;
+  bool operator>(const RefEvent& other) const {
+    return when != other.when ? when > other.when : seq > other.seq;
+  }
+};
+
+// Deterministic per-event workload: how many children an event spawns and
+// at which delays, derived from its id alone so the real and reference
+// runs agree without sharing state.
+std::vector<Duration> ChildDelays(uint64_t id, Rng& rng) {
+  std::vector<Duration> delays;
+  const int children = static_cast<int>(rng.NextBelow(3));  // 0..2
+  for (int i = 0; i < children; ++i) {
+    // Mix of same-tick (0), near, frame-crossing and overflow distances.
+    switch (rng.NextBelow(5)) {
+      case 0: delays.push_back(0); break;
+      case 1: delays.push_back(Microseconds(1 + rng.NextBelow(200))); break;
+      case 2: delays.push_back(Microseconds(1 + rng.NextBelow(300000))); break;
+      case 3: delays.push_back(Seconds(1 + rng.NextBelow(60))); break;
+      default: delays.push_back(Seconds(70 + rng.NextBelow(100))); break;
+    }
+  }
+  (void)id;
+  return delays;
+}
+
+TEST(TimingWheel, SeededDifferentialAgainstReferenceHeap) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    // --- real run ---------------------------------------------------------
+    std::vector<uint64_t> real_order;
+    {
+      EventLoop loop;
+      Rng rng(seed);
+      uint64_t next_id = 0;
+      std::function<void(uint64_t)> body = [&](uint64_t id) {
+        real_order.push_back(id);
+        if (real_order.size() >= 5000) {
+          return;  // Bound the run; the reference applies the same cap.
+        }
+        for (Duration d : ChildDelays(id, rng)) {
+          const uint64_t child = ++next_id;
+          loop.ScheduleAfter(d, "tw.diff", [&, child]() { body(child); });
+        }
+      };
+      for (int i = 0; i < 64; ++i) {
+        const uint64_t id = ++next_id;
+        loop.ScheduleAfter(Microseconds(i * 37 % 500), "tw.diff",
+                           [&, id]() { body(id); });
+      }
+      loop.Run();
+    }
+
+    // --- reference run ----------------------------------------------------
+    std::vector<uint64_t> ref_order;
+    {
+      std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<>> heap;
+      Rng rng(seed);
+      uint64_t next_id = 0;
+      uint64_t next_seq = 0;
+      Time now = 0;
+      for (int i = 0; i < 64; ++i) {
+        heap.push(RefEvent{Microseconds(i * 37 % 500), next_seq++, ++next_id});
+      }
+      while (!heap.empty()) {
+        const RefEvent event = heap.top();
+        heap.pop();
+        now = event.when;
+        ref_order.push_back(event.id);
+        if (ref_order.size() >= 5000) {
+          continue;  // Keep draining, stop spawning — mirrors the real run.
+        }
+        for (Duration d : ChildDelays(event.id, rng)) {
+          heap.push(RefEvent{now + d, next_seq++, ++next_id});
+        }
+      }
+    }
+
+    ASSERT_EQ(real_order.size(), ref_order.size()) << "seed " << seed;
+    for (size_t i = 0; i < real_order.size(); ++i) {
+      ASSERT_EQ(real_order[i], ref_order[i])
+          << "execution order diverged at event " << i << " (seed " << seed
+          << ")";
+    }
+  }
+}
+
+TEST(TimingWheel, PendingAndWatermarkTracking) {
+  EventLoop loop;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAfter(Microseconds(i), "tw.depth", []() {});
+  }
+  EXPECT_EQ(loop.pending(), 10u);
+  EXPECT_GE(loop.max_pending(), 10u);
+  loop.Run();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace dcc

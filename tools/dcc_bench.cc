@@ -42,6 +42,7 @@ struct RunnerOptions {
   bool verbose = false;
   bool write_baseline = false;
   double wall_slack = 0.15;
+  double min_eps_scale = 1.0;
   std::string out = "BENCH_dcc.json";
   std::string baseline = "bench/baseline.json";
   std::string filter;
@@ -65,7 +66,13 @@ void PrintUsage(FILE* stream) {
                "                      --check (default 0.15; raise on noisy or\n"
                "                      differently-sized machines — sim_events\n"
                "                      stays tight either way)\n"
+               "  --min-eps F         scale applied to the baseline's per-bench\n"
+               "                      events/sec floors before the throughput\n"
+               "                      check (default 1.0; lower on slow runners,\n"
+               "                      0 disables the floor check)\n"
                "  --write-baseline    write the report to the baseline path too\n"
+               "                      (per-bench min_eps floors are carried over\n"
+               "                      from the previous baseline)\n"
                "  --profile-out PATH  run with the hot-path profiler enabled and\n"
                "                      write per-bench profiles (dcc_bench_profile\n"
                "                      JSON, readable by tools/dcc_prof) to PATH,\n"
@@ -113,6 +120,10 @@ bool ParseArgs(int argc, char** argv, RunnerOptions* options) {
       const char* v = value("--wall-slack");
       if (v == nullptr) return false;
       options->wall_slack = std::atof(v);
+    } else if (arg == "--min-eps") {
+      const char* v = value("--min-eps");
+      if (v == nullptr) return false;
+      options->min_eps_scale = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       std::exit(0);
@@ -283,6 +294,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.write_baseline) {
+    // Floors are policy, not measurement: a refreshed baseline keeps the
+    // min_eps values hand-set in the previous one instead of dropping them.
+    std::string old_text;
+    dcc::bench::SuiteReport old_baseline;
+    if (ReadFile(options.baseline, &old_text) &&
+        dcc::bench::ParseReportJson(old_text, &old_baseline)) {
+      for (dcc::bench::BenchReport& bench : report.benches) {
+        for (const dcc::bench::BenchReport& old : old_baseline.benches) {
+          if (old.name == bench.name) {
+            bench.metrics.min_events_per_sec = old.metrics.min_events_per_sec;
+            break;
+          }
+        }
+      }
+    }
+  }
+
   const std::string json = dcc::bench::RenderJson(report);
   if (!WriteFile(options.out, json)) {
     std::fprintf(stderr, "dcc_bench: cannot write %s\n", options.out.c_str());
@@ -330,6 +359,7 @@ int main(int argc, char** argv) {
     }
     dcc::bench::Tolerances tolerances;
     tolerances.wall_slack = options.wall_slack;
+    tolerances.min_eps_scale = options.min_eps_scale;
     std::vector<std::string> notes;
     const std::vector<std::string> violations =
         dcc::bench::CompareReports(report, baseline, tolerances, &notes);
